@@ -1,0 +1,173 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) and registers one Bechamel timing test per
+   table/figure.
+
+   - The REPRODUCTION part runs the full (write probability x algorithm)
+     sweep behind each figure and prints the throughput tables the paper
+     plots.  `BENCH_TIME_SCALE` (default 1.0) scales the simulated
+     warm-up/measurement windows: set 0.1 for a quick smoke pass.
+     `BENCH_FIGS="fig3 fig4"` restricts the set.
+   - The TIMING part (skipped when `BENCH_SKIP_TIMING` is set) uses
+     Bechamel to measure the wall-clock cost of one representative
+     simulation cell per figure. *)
+
+open Bechamel
+open Toolkit
+open Oodb_core
+
+let time_scale =
+  match Sys.getenv_opt "BENCH_TIME_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let figure_filter =
+  match Sys.getenv_opt "BENCH_FIGS" with
+  | None | Some "" -> None
+  | Some s -> Some (String.split_on_char ' ' s)
+
+let wanted id =
+  match figure_filter with None -> true | Some ids -> List.mem id ids
+
+(* --- Paper-vs-measured annotations ------------------------------------- *)
+
+let expectation = function
+  | "fig3" ->
+    "paper: PS-AA best once updates appear; PS-OA next; PS suffers false \
+     sharing; PS-OO pays per-object callbacks; OS worst (message-bound)"
+  | "fig4" ->
+    "paper: high locality removes PS's contention problem; PS ~ PS-AA at \
+     top, object-grain variants fall behind on message overhead"
+  | "fig6" ->
+    "paper: PS degrades below OS beyond wp~0.1; PS-AA slightly above \
+     PS-OA, then PS-OO"
+  | "fig7" ->
+    "paper: like fig4 - only PS-AA tracks PS at high write probabilities"
+  | "fig8" -> "paper: like fig6 with everything amplified by contention"
+  | "fig9" ->
+    "paper: the one case where PS beats PS-AA at high write probability \
+     (page conflicts imply object conflicts; PS-AA only adds deadlocks)"
+  | "fig10" ->
+    "paper: no contention - PS and PS-AA (page-grain grants) on top; \
+     PS-OA/PS-OO pay object write-lock messages; OS worst"
+  | "fig11" ->
+    "paper: pure false sharing - PS-OO competitive/best over part of the \
+     range; page-callback variants ping-pong hot pages"
+  | "fig12" | "fig13" | "fig14" ->
+    "paper: x9 scaling preserves the relative ordering (results shown \
+     normalized to PS-AA)"
+  | _ -> ""
+
+(* --- Reproduction tables ------------------------------------------------ *)
+
+let print_tables () =
+  if wanted "table1" then begin
+    Format.printf "=== Table 1: system and overhead parameters ===@.";
+    Format.printf "%a@.@." Config.pp Config.default
+  end;
+  if wanted "table2" then begin
+    Format.printf "=== Table 2: workload parameters ===@.";
+    Format.printf "%a@.@." Report.pp_workload_table Config.default
+  end;
+  if wanted "fig5" then begin
+    Format.printf "=== Figure 5 (analytic) ===@.";
+    Format.printf "%a@.@." Report.pp_figure5 (Experiments.figure5 ())
+  end
+
+let run_figures () =
+  List.iter
+    (fun (spec : Experiments.spec) ->
+      if wanted spec.id then begin
+        Format.printf "=== %s: %s ===@." spec.id spec.title;
+        let note = expectation spec.id in
+        if note <> "" then Format.printf "(%s)@." note;
+        let t0 = Unix.gettimeofday () in
+        let series = Experiments.run_spec ~time_scale spec in
+        Format.printf "%a@." Report.pp_series series;
+        Format.printf "[%s took %.1fs wall]@.@." spec.id
+          (Unix.gettimeofday () -. t0);
+        Format.print_flush ()
+      end)
+    Experiments.all
+
+(* --- Bechamel timing tests ---------------------------------------------- *)
+
+(* One representative cell per figure: PS-AA at write probability 0.1,
+   with a deliberately short simulated window so a Bechamel sample is
+   cheap. *)
+let cell_test (spec : Experiments.spec) =
+  let cfg = Experiments.cfg_of spec in
+  let params = Experiments.params_of spec ~write_prob:0.1 in
+  Test.make ~name:spec.id
+    (Staged.stage (fun () ->
+         ignore
+           (Runner.run ~warmup:2.0 ~measure:5.0 ~cfg ~algo:Algo.PS_AA ~params
+              () : Runner.result)))
+
+let table_test name f = Test.make ~name (Staged.stage f)
+
+let timing_tests () =
+  let figure_tests = List.map cell_test Experiments.all in
+  let aux =
+    [
+      table_test "table1" (fun () ->
+          ignore (Format.asprintf "%a" Config.pp Config.default : string));
+      table_test "table2" (fun () ->
+          ignore
+            (Format.asprintf "%a" Report.pp_workload_table Config.default
+              : string));
+      table_test "fig5" (fun () ->
+          ignore (Experiments.figure5 () : (int * (float * float) list) list));
+    ]
+  in
+  Test.make_grouped ~name:"oodb" (aux @ figure_tests)
+
+let run_timing () =
+  Format.printf "=== Bechamel timings (one PS-AA cell per figure) ===@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (timing_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] ->
+        Format.printf "%-24s %10.3f ms/run@." name (ns /. 1e6)
+      | Some _ | None -> Format.printf "%-24s (no estimate)@." name)
+    (List.sort compare rows)
+
+let run_sensitivity () =
+  Format.printf "=== Section 5.6.2 sensitivity sweeps ===@.";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun table ->
+      Format.printf "%a@." Sensitivity.pp_rows table;
+      Format.print_flush ())
+    (Sensitivity.all ~time_scale ());
+  Format.printf "[sensitivity took %.1fs wall]@.@." (Unix.gettimeofday () -. t0)
+
+let run_ablations () =
+  Format.printf "=== Ablations (Section 6 variants and design choices) ===@.";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun table ->
+      Format.printf "%a@." Extensions.Ablations.pp_rows table;
+      Format.print_flush ())
+    (Extensions.Ablations.all ~time_scale ());
+  Format.printf "[ablations took %.1fs wall]@.@." (Unix.gettimeofday () -. t0)
+
+let () =
+  Format.printf
+    "Fine-Grained Sharing in a Page Server OODBMS - reproduction benches@.";
+  Format.printf "time scale %.2f (BENCH_TIME_SCALE to change)@.@." time_scale;
+  print_tables ();
+  run_figures ();
+  if Sys.getenv_opt "BENCH_SKIP_SENSITIVITY" = None then run_sensitivity ();
+  if Sys.getenv_opt "BENCH_SKIP_ABLATIONS" = None then run_ablations ();
+  if Sys.getenv_opt "BENCH_SKIP_TIMING" = None then run_timing ()

@@ -1,0 +1,69 @@
+(* Regenerate the paper's figures.  Each figure id (fig3..fig14) runs the
+   full (write probability x algorithm) sweep and prints the throughput
+   table; fig5 is analytic; "table1"/"table2" print the parameter
+   tables.  CSV output per figure is written when --csv-dir is given. *)
+
+open Cmdliner
+open Oodb_core
+
+let run_figure ?(time_scale = 1.0) ~csv_dir ~detail id =
+  match id with
+  | "table1" -> Format.printf "%a@." Config.pp Config.default
+  | "table2" -> Format.printf "%a@." Report.pp_workload_table Config.default
+  | "fig5" -> Format.printf "%a@." Report.pp_figure5 (Experiments.figure5 ())
+  | id -> (
+    match Experiments.find id with
+    | None -> Format.printf "unknown experiment id %S@." id
+    | Some spec ->
+      let progress line = Format.printf "  %s@.%!" line in
+      let series = Experiments.run_spec ~time_scale ~progress spec in
+      Format.printf "%a@." Report.pp_series series;
+      if detail then Format.printf "%a@." Report.pp_series_detail series;
+      Option.iter
+        (fun dir ->
+          let path = Filename.concat dir (id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Report.series_to_csv series);
+          close_out oc;
+          Format.printf "wrote %s@." path)
+        csv_dir)
+
+let all_ids =
+  [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
+    "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14" ]
+
+let run ids time_scale csv_dir detail =
+  let ids = if ids = [] then all_ids else ids in
+  Option.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    csv_dir;
+  List.iter (run_figure ~time_scale ~csv_dir ~detail) ids
+
+let ids_t =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"ID"
+        ~doc:"Experiment ids (fig3..fig14, table1, table2); all when omitted")
+
+let time_scale_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "time-scale" ]
+        ~doc:"Multiply warm-up and measurement windows (0.25 = quick look)")
+
+let csv_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv-dir" ] ~doc:"Also write one CSV per figure into this directory")
+
+let detail_t =
+  Arg.(value & flag & info [ "detail" ] ~doc:"Print per-cell auxiliary metrics")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"regenerate the tables and figures of the SIGMOD'94 paper")
+    Term.(const run $ ids_t $ time_scale_t $ csv_dir_t $ detail_t)
+
+let () = exit (Cmd.eval cmd)

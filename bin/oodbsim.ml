@@ -1,0 +1,121 @@
+(* Command-line interface for running a single simulation configuration:
+   pick a protocol, a workload, a locality setting and a write
+   probability, and get the full metric report. *)
+
+open Cmdliner
+open Oodb_core
+
+let algo_conv =
+  let parse s =
+    match Algo.of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown algorithm %S (expected PS, OS, PS-OO, PS-OA, PS-AA)" s))
+  in
+  Arg.conv (parse, fun ppf a -> Algo.pp ppf a)
+
+let workload_conv =
+  let parse s =
+    match Workload.Presets.name_of_string s with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown workload %S (expected HOTCOLD, UNIFORM, HICON, PRIVATE, \
+              INTERLEAVED-PRIVATE)"
+             s))
+  in
+  Arg.conv
+    (parse, fun ppf w -> Format.pp_print_string ppf (Workload.Presets.name_to_string w))
+
+let locality_conv =
+  let parse = function
+    | "low" -> Ok Workload.Presets.Low
+    | "high" -> Ok Workload.Presets.High
+    | s -> Error (`Msg (Printf.sprintf "unknown locality %S (low|high)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf l ->
+        Format.pp_print_string ppf
+          (match l with Workload.Presets.Low -> "low" | Workload.Presets.High -> "high") )
+
+let run algo workload locality write_prob clients db_scale seed warmup measure
+    verbose trace =
+  if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
+  let cfg =
+    Config.scaled
+      { Config.default with num_clients = clients }
+      ~factor:db_scale
+  in
+  let params =
+    Workload.Presets.make workload ~db_pages:cfg.Config.db_pages
+      ~objects_per_page:cfg.Config.objects_per_page
+      ~num_clients:cfg.Config.num_clients ~locality ~write_prob
+  in
+  let r = Runner.run ~seed ~warmup ~measure ~cfg ~algo ~params () in
+  Format.printf "%a@." Runner.pp_result r;
+  if verbose then begin
+    Format.printf "@.system parameters:@.%a@." Config.pp cfg;
+    Format.printf "@.workloads at this configuration:@.%a@."
+      Report.pp_workload_table cfg
+  end
+
+let algo_t =
+  Arg.(value & opt algo_conv Algo.PS_AA & info [ "a"; "algo" ] ~doc:"Protocol")
+
+let workload_t =
+  Arg.(
+    value
+    & opt workload_conv Workload.Presets.Hotcold
+    & info [ "w"; "workload" ] ~doc:"Workload preset")
+
+let locality_t =
+  Arg.(
+    value
+    & opt locality_conv Workload.Presets.Low
+    & info [ "l"; "locality" ] ~doc:"Page locality (low|high)")
+
+let wp_t =
+  Arg.(
+    value & opt float 0.1
+    & info [ "p"; "write-prob" ] ~doc:"Per-object write probability")
+
+let clients_t =
+  Arg.(value & opt int 10 & info [ "c"; "clients" ] ~doc:"Client workstations")
+
+let scale_t =
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Database/buffer scale factor")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+
+let warmup_t =
+  Arg.(value & opt float 30.0 & info [ "warmup" ] ~doc:"Warm-up (sim seconds)")
+
+let measure_t =
+  Arg.(
+    value & opt float 120.0 & info [ "measure" ] ~doc:"Measurement (sim seconds)")
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print parameter tables")
+
+let trace_t =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream kernel events (commits, de-escalations, callbacks) to stderr")
+
+let cmd =
+  let doc =
+    "simulate a page/object-server OODBMS under fine-grained sharing \
+     protocols (Carey, Franklin & Zaharioudakis, SIGMOD 1994)"
+  in
+  Cmd.v
+    (Cmd.info "oodbsim" ~doc)
+    Term.(
+      const run $ algo_t $ workload_t $ locality_t $ wp_t $ clients_t $ scale_t
+      $ seed_t $ warmup_t $ measure_t $ verbose_t $ trace_t)
+
+let () = exit (Cmd.eval cmd)

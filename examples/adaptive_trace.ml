@@ -1,0 +1,92 @@
+(* A microscope on PS-AA's adaptive locking: two hand-built transactions
+   on one page, driven step by step, showing escalation (page write
+   lock granted when nobody shares), de-escalation (a reader forces the
+   holder down to object locks), and the final lock state.
+
+     dune exec examples/adaptive_trace.exe *)
+
+open Oodb_core
+open Storage
+
+let oid page slot = Ids.Oid.make ~page ~slot
+let op ?(write = false) o = { Workload.Refstring.oid = o; write }
+
+(* Advance the clock in small steps until a condition holds. *)
+let run_until_cond engine ~deadline cond =
+  let t = ref (Simcore.Engine.now engine) in
+  while (not (cond ())) && !t < deadline do
+    t := !t +. 0.001;
+    Simcore.Engine.run_until engine !t
+  done
+
+let dump_locks label sys =
+  let page_holder =
+    match Locking.Lock_table.holder sys.Model.server.plocks 0 with
+    | Some t -> Printf.sprintf "txn %d" t
+    | None -> "-"
+  in
+  let obj_locks =
+    List.concat_map
+      (fun slot ->
+        match Locking.Lock_table.holder sys.Model.server.olocks (oid 0 slot) with
+        | Some t -> [ Printf.sprintf "0.%d->txn %d" slot t ]
+        | None -> [])
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  Format.printf "  [%s]@.    page 0 write lock: %s; object locks: %s@." label
+    page_holder
+    (if obj_locks = [] then "-" else String.concat ", " obj_locks)
+
+let () =
+  let cfg = { Config.default with num_clients = 2 } in
+  (* Any workload params will do: transactions are supplied by hand. *)
+  let params =
+    Workload.Presets.make Workload.Presets.Uniform ~db_pages:cfg.db_pages
+      ~objects_per_page:cfg.objects_per_page ~num_clients:2
+      ~locality:Workload.Presets.Low ~write_prob:0.0
+  in
+  let sys = Model.create ~cfg ~algo:Algo.PS_AA ~params ~seed:7 in
+  let engine = sys.Model.engine in
+
+  Format.printf "PS-AA adaptive locking walkthrough (page 0, 2 clients)@.@.";
+
+  (* Writer at client 0: updates three objects on page 0, then browses
+     60 cold pages, which keeps its transaction open long enough for a
+     reader to interfere. *)
+  let browse =
+    Array.init 60 (fun i -> op (oid (100 + i) 0))
+  in
+  let writer_ops =
+    Array.append
+      [| op (oid 0 0); op ~write:true (oid 0 0);
+         op (oid 0 1); op ~write:true (oid 0 1);
+         op (oid 0 2); op ~write:true (oid 0 2) |]
+      browse
+  in
+  let writer_done = ref false in
+  Client.run_one sys ~client:0 writer_ops (fun () -> writer_done := true);
+  run_until_cond engine ~deadline:1.0 (fun () ->
+      match sys.Model.clients.(0).Model.running with
+      | Some t -> Ids.Oid_set.cardinal t.Model.updated >= 3
+      | None -> false);
+  dump_locks "after client 0's three updates" sys;
+  Format.printf
+    "    -> escalated: one page-grain write lock covers all three updates@.@.";
+
+  (* Reader at client 1 touches a different object on page 0: the
+     server asks client 0 to de-escalate. *)
+  let reader_done = ref false in
+  Client.run_one sys ~client:1 [| op (oid 0 9) |] (fun () ->
+      reader_done := true);
+  run_until_cond engine ~deadline:2.0 (fun () -> !reader_done);
+  dump_locks "after client 1 reads object 0.9" sys;
+  Format.printf
+    "    -> de-escalated: the page lock became per-object locks,@.\
+    \       and the reader proceeded without blocking the writer@.@.";
+
+  run_until_cond engine ~deadline:10.0 (fun () -> !writer_done);
+  dump_locks "after both transactions committed" sys;
+  Format.printf "@.writer committed: %b, reader committed: %b@." !writer_done
+    !reader_done;
+  Format.printf "de-escalations observed: %d@."
+    (Metrics.deescalations sys.Model.metrics)

@@ -1,0 +1,28 @@
+type t = PS | OS | PS_OO | PS_OA | PS_AA
+
+let all = [ PS; OS; PS_OO; PS_OA; PS_AA ]
+
+let to_string = function
+  | PS -> "PS"
+  | OS -> "OS"
+  | PS_OO -> "PS-OO"
+  | PS_OA -> "PS-OA"
+  | PS_AA -> "PS-AA"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "PS" -> Some PS
+  | "OS" -> Some OS
+  | "PS-OO" | "PS_OO" | "PSOO" -> Some PS_OO
+  | "PS-OA" | "PS_OA" | "PSOA" -> Some PS_OA
+  | "PS-AA" | "PS_AA" | "PSAA" -> Some PS_AA
+  | _ -> None
+
+let transfers_pages = function OS -> false | PS | PS_OO | PS_OA | PS_AA -> true
+let locks_objects = function PS -> false | OS | PS_OO | PS_OA | PS_AA -> true
+
+let page_grain_copies = function
+  | PS | PS_OA | PS_AA -> true
+  | OS | PS_OO -> false
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

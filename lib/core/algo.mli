@@ -1,0 +1,29 @@
+(** The five granularity alternatives of Section 3.
+
+    - {!PS}: basic page server — page transfer, page locking, page
+      callbacks;
+    - {!OS}: basic object server — everything at object granularity;
+    - {!PS_OO}: page transfer with static object locking and object
+      callbacks;
+    - {!PS_OA}: object locking with adaptive (page-when-possible)
+      callbacks;
+    - {!PS_AA}: adaptive locking {e and} adaptive callbacks, with lock
+      de-escalation and implicit re-escalation. *)
+
+type t = PS | OS | PS_OO | PS_OA | PS_AA
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val transfers_pages : t -> bool
+(** True for every variant except [OS]. *)
+
+val locks_objects : t -> bool
+(** True when (some) write locks are at object granularity. *)
+
+val page_grain_copies : t -> bool
+(** True when the server tracks cached copies at page granularity
+    (PS, PS-OA, PS-AA); OS and PS-OO track object copies. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+let page_write_prob ~object_write_prob ~objects_accessed =
+  if objects_accessed < 0 then invalid_arg "Analytic.page_write_prob";
+  1.0 -. ((1.0 -. object_write_prob) ** float_of_int objects_accessed)
+
+let page_write_prob_range ~object_write_prob ~locality =
+  let { Workload.Wparams.lo; hi } = locality in
+  if hi < lo then invalid_arg "Analytic.page_write_prob_range";
+  let n = hi - lo + 1 in
+  let sum = ref 0.0 in
+  for k = lo to hi do
+    sum := !sum +. page_write_prob ~object_write_prob ~objects_accessed:k
+  done;
+  !sum /. float_of_int n
+
+let figure5_localities = [ 1; 4; 12 ]

@@ -1,0 +1,21 @@
+(** Closed-form helper curves.
+
+    Figure 5 of the paper plots the {e per-page} update probability as a
+    function of the {e per-object} write probability, for several page
+    localities: a page is updated as soon as any of the [k] objects a
+    transaction accesses on it is updated, so
+    [P(page write) = 1 - (1 - w)^k].  The paper's curves use the
+    workloads' locality {e ranges}, so we also provide the expectation
+    over a uniform range. *)
+
+val page_write_prob : object_write_prob:float -> objects_accessed:int -> float
+(** [1 - (1-w)^k]. *)
+
+val page_write_prob_range :
+  object_write_prob:float -> locality:Workload.Wparams.range -> float
+(** Expectation of {!page_write_prob} over [k] uniform in the range. *)
+
+val figure5_localities : int list
+(** The localities plotted in Figure 5: 1 (extreme case discussed in
+    Section 5.6.2), 4 (low-locality average), and 12 (high-locality
+    average). *)

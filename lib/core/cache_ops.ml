@@ -1,0 +1,87 @@
+open Storage
+open Model
+
+(* Release the copy-table references held by a resident page copy: its
+   page reference under page-grain copy tracking, or one reference per
+   available object under object-grain tracking (PS-OO).  The matching
+   [register] calls happen server-side when the copy is shipped
+   (Srv.reply_page), so a fresh copy in transit keeps its own
+   reference even while its predecessor is being dropped. *)
+let release_page_copy_refs sys cid p (entry : page_entry) =
+  if Algo.page_grain_copies sys.algo then
+    Locking.Copy_table.unregister sys.server.pcopies p ~client:cid
+  else
+    for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+      if not (Ids.Int_set.mem slot entry.unavailable) then
+        Locking.Copy_table.unregister sys.server.ocopies
+          (Ids.Oid.make ~page:p ~slot) ~client:cid
+    done
+
+let drop_page sys c p ~discard_dirty =
+  match Lru.remove c.cache p with
+  | None -> ()
+  | Some entry ->
+    if (not discard_dirty) && not (Ids.Int_set.is_empty entry.dirty) then
+      invalid_arg "Cache_ops.drop_page: dropping uncommitted updates";
+    release_page_copy_refs sys c.cid p entry
+
+let drop_object sys c oid =
+  match Lru.remove c.ocache oid with
+  | None -> ()
+  | Some _ -> Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid
+
+let mark_unavailable sys c oid =
+  match Lru.peek c.cache oid.Ids.Oid.page with
+  | None -> ()
+  | Some entry ->
+    if not (Ids.Int_set.mem oid.Ids.Oid.slot entry.unavailable) then begin
+      entry.unavailable <- Ids.Int_set.add oid.Ids.Oid.slot entry.unavailable;
+      (* Under object-grain copy tracking the mark retires this copy's
+         reference for the object. *)
+      if not (Algo.page_grain_copies sys.algo) then
+        Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid
+    end
+
+let install_page sys c txn p ~unavailable ~version =
+  match Lru.find c.cache p with
+  | Some entry ->
+    (* Re-receiving a page we still cache: the incoming copy replaces
+       the old one (releasing the old copy's registrations — the ones
+       made when the incoming copy was shipped take over), merging so
+       our own uncommitted updates stay visible and available. *)
+    release_page_copy_refs sys c.cid p entry;
+    if not (Ids.Int_set.is_empty entry.dirty) then begin
+      Metrics.note_client_merge sys.metrics
+        ~objects:(Ids.Int_set.cardinal entry.dirty);
+      Resources.Cpu.system c.ccpu
+        (sys.cfg.Config.copy_merge_inst
+        *. float_of_int (Ids.Int_set.cardinal entry.dirty))
+    end;
+    entry.unavailable <- Ids.Int_set.diff unavailable entry.dirty;
+    entry.fetch_version <- version;
+    ignore txn;
+    None
+  | None ->
+    let entry =
+      { unavailable; dirty = Ids.Int_set.empty; fetch_version = version }
+    in
+    (match Lru.add c.cache p entry with
+    | None -> None
+    | Some (victim, ventry) ->
+      release_page_copy_refs sys c.cid victim ventry;
+      if Ids.Int_set.is_empty ventry.dirty then None
+      else Some (victim, ventry.dirty, ventry.fetch_version))
+
+let install_object sys c oid =
+  match Lru.find c.ocache oid with
+  | Some _ ->
+    (* Already cached: the shipment added a duplicate reference at the
+       server; the merged copy keeps a single one. *)
+    Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid;
+    None
+  | None -> (
+    match Lru.add c.ocache oid { odirty = false } with
+    | None -> None
+    | Some (victim, ventry) ->
+      Locking.Copy_table.unregister sys.server.ocopies victim ~client:c.cid;
+      if ventry.odirty then Some victim else None)

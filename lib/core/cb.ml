@@ -1,0 +1,77 @@
+open Storage
+open Simcore
+open Model
+
+type kind =
+  | Purge_page of Ids.page
+  | Purge_obj of Ids.Oid.t
+  | Mark_obj of Ids.Oid.t
+  | Adaptive of Ids.Oid.t
+
+type result = Purged | Marked | Not_cached
+
+(* Block behind the client's running transaction: the remote writer now
+   waits (transitively) on it, which the deadlock detector must see. *)
+let wait_for_txn_end sys c ~writer ~blocking =
+  Trace.event sys "callback for txn %d blocked behind txn %d at client %d"
+    writer blocking c.cid;
+  Metrics.note_callback_blocked sys.metrics;
+  Locking.Waits_for.add_blocker sys.server.wfg writer blocking;
+  ignore (Locking.Waits_for.check_deadlock sys.server.wfg ~from:writer);
+  Proc.suspend sys.engine (fun resume ->
+      c.end_hooks <- (fun () -> resume (Ok ())) :: c.end_hooks)
+
+let handle sys ~client:cid ~writer kind =
+  let c = sys.clients.(cid) in
+  Resources.Cpu.system c.ccpu sys.cfg.Config.lock_inst;
+  let rec attempt () =
+    match kind with
+    | Purge_page p -> (
+      if not (Lru.mem c.cache p) then Not_cached
+      else
+        match c.running with
+        | Some txn when page_in_use txn p ->
+          wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+          attempt ()
+        | Some _ | None ->
+          Cache_ops.drop_page sys c p ~discard_dirty:false;
+          Purged)
+    | Purge_obj o -> (
+      if not (Lru.mem c.ocache o) then Not_cached
+      else
+        match c.running with
+        | Some txn when obj_in_use txn o ->
+          wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+          attempt ()
+        | Some _ | None ->
+          Cache_ops.drop_object sys c o;
+          Purged)
+    | Mark_obj o -> (
+      match c.running with
+      | Some txn when obj_in_use txn o ->
+        wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+        attempt ()
+      | Some _ | None ->
+        if Lru.mem c.cache o.Ids.Oid.page then begin
+          Cache_ops.mark_unavailable sys c o;
+          Marked
+        end
+        else Not_cached)
+    | Adaptive o -> (
+      let p = o.Ids.Oid.page in
+      if not (Lru.mem c.cache p) then Not_cached
+      else
+        match c.running with
+        | Some txn when obj_in_use txn o ->
+          wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+          attempt ()
+        | Some txn when page_in_use txn p ->
+          (* Another object on the page is in use: de-escalated
+             callback — mark only the requested object. *)
+          Cache_ops.mark_unavailable sys c o;
+          Marked
+        | Some _ | None ->
+          Cache_ops.drop_page sys c p ~discard_dirty:false;
+          Purged)
+  in
+  attempt ()

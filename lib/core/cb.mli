@@ -1,0 +1,33 @@
+(** Client-side handling of callback requests (Section 3).
+
+    A callback behaves like a lock request against the client's local
+    locks: if the target conflicts with the transaction running at the
+    client, the callback blocks until that transaction terminates (the
+    waits-for graph gets an edge from the remote writer to the local
+    transaction, so distributed deadlocks through callbacks are
+    detected).  The four kinds implement the four protocols' policies:
+
+    - [Purge_page] (PS): purge the whole page;
+    - [Purge_obj] (OS): purge the object;
+    - [Mark_obj] (PS-OO): mark just the object unavailable;
+    - [Adaptive] (PS-OA, PS-AA): purge the page when no object on it is
+      in use, otherwise mark the object. *)
+
+open Storage
+
+type kind =
+  | Purge_page of Ids.page
+  | Purge_obj of Ids.Oid.t
+  | Mark_obj of Ids.Oid.t
+  | Adaptive of Ids.Oid.t
+
+type result =
+  | Purged  (** whole page (or the object, for OS) dropped *)
+  | Marked  (** only the target object made unavailable *)
+  | Not_cached  (** the copy was already gone *)
+
+val handle :
+  Model.sys -> client:int -> writer:Locking.Lock_types.txn -> kind -> result
+(** Process one callback at [client] on behalf of the waiting [writer]
+    transaction.  May block the calling fiber behind the client's
+    running transaction. *)

@@ -1,0 +1,320 @@
+open Storage
+open Simcore
+open Model
+
+let local_lock_charge sys c =
+  Resources.Cpu.system c.ccpu sys.cfg.Config.lock_inst
+
+(* How many times a read retries when its target keeps becoming
+   unavailable between server reply and local install; each retry
+   blocks at the server behind the new writer, so in practice one or
+   two rounds suffice. *)
+let max_read_retries = 64
+
+(* State mutations must precede the CPU charge for them: charging
+   suspends the fiber, and a callback arriving in that window must
+   already see the lock (otherwise it would mark/purge an object the
+   transaction is about to use). *)
+let record_read_locks sys c txn oid =
+  if not (Ids.Oid_set.mem oid txn.read_objs) then begin
+    txn.read_objs <- Ids.Oid_set.add oid txn.read_objs;
+    txn.read_pages <- Ids.Page_set.add oid.Ids.Oid.page txn.read_pages;
+    local_lock_charge sys c
+  end
+
+(* --- Read access ------------------------------------------------------ *)
+
+let rec fetch_page sys c txn oid ~tries =
+  if tries > max_read_retries then
+    failwith "Client: read livelock (unavailable after many refetches)";
+  match Srv.read_rpc sys txn oid with
+  | Srv.R_aborted -> raise Txn_aborted
+  | Srv.R_objs _ -> assert false
+  | Srv.R_page { unavailable; version } ->
+    (match Cache_ops.install_page sys c txn oid.Ids.Oid.page ~unavailable ~version with
+    | Some (victim, dirty, fetch_version) ->
+      (* Under redo-at-server the log carries the updates, so dirty
+         evictions need not ship the page. *)
+      if sys.cfg.Config.commit_mode = Config.Ship_pages then
+        Srv.ship_dirty_page sys txn victim ~dirty ~fetch_version
+          ~at_commit:false
+    | None -> ());
+    (* The shipped copy can mark our target unavailable if a writer
+       slipped in between the lock probe and the reply; ask again (the
+       probe will now block behind that writer). *)
+    if Ids.Int_set.mem oid.Ids.Oid.slot unavailable then
+      fetch_page sys c txn oid ~tries:(tries + 1)
+
+let read_access sys c txn oid =
+  match sys.algo with
+  | Algo.OS ->
+    if not (Lru.mem c.ocache oid) then begin
+      match Srv.read_rpc sys txn oid with
+      | Srv.R_aborted -> raise Txn_aborted
+      | Srv.R_page _ -> assert false
+      | Srv.R_objs group ->
+        List.iter
+          (fun o ->
+            match Cache_ops.install_object sys c o with
+            | Some victim ->
+              if sys.cfg.Config.commit_mode = Config.Ship_pages then
+                Srv.ship_dirty_objs sys txn [ victim ] ~at_commit:false
+            | None -> ())
+          group
+    end
+    else Lru.touch c.ocache oid;
+    record_read_locks sys c txn oid
+  | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
+    let available =
+      match Lru.find c.cache oid.Ids.Oid.page with
+      | Some entry -> not (Ids.Int_set.mem oid.Ids.Oid.slot entry.unavailable)
+      | None -> false
+    in
+    if not available then fetch_page sys c txn oid ~tries:0;
+    record_read_locks sys c txn oid
+
+(* --- Write access ----------------------------------------------------- *)
+
+let have_write_permission sys txn oid =
+  match sys.algo with
+  | Algo.PS -> Ids.Page_set.mem oid.Ids.Oid.page txn.wpages
+  | Algo.OS | Algo.PS_OO | Algo.PS_OA -> Ids.Oid_set.mem oid txn.wobjs
+  | Algo.PS_AA ->
+    Ids.Page_set.mem oid.Ids.Oid.page txn.wpages
+    || Ids.Oid_set.mem oid txn.wobjs
+
+(* Protocol safety invariants, checked on every update:
+   1. no two live transactions hold uncommitted updates to one object;
+   2. the updater holds the server-side write lock that covers the
+      object (the page lock, the object lock, or either for PS-AA).
+   A protocol bug that loses mutual exclusion trips these instantly. *)
+let assert_update_invariants sys c txn oid =
+  Array.iter
+    (fun (other : Model.client) ->
+      if other.cid <> c.cid then
+        match other.running with
+        | Some t when Ids.Oid_set.mem oid t.updated ->
+          failwith
+            (Printf.sprintf
+               "invariant violation: object %d.%d updated concurrently by \
+                txn %d (client %d) and txn %d (client %d)"
+               oid.Ids.Oid.page oid.Ids.Oid.slot txn.tid c.cid t.tid other.cid)
+        | Some _ | None -> ())
+    sys.clients;
+  let holds_page =
+    Locking.Lock_table.held_by sys.server.plocks oid.Ids.Oid.page ~txn:txn.tid
+  in
+  let holds_obj =
+    Locking.Lock_table.held_by sys.server.olocks oid ~txn:txn.tid
+  in
+  let covered =
+    match sys.algo with
+    | Algo.PS -> holds_page
+    | Algo.OS | Algo.PS_OO | Algo.PS_OA -> holds_obj
+    | Algo.PS_AA -> holds_page || holds_obj
+  in
+  if not covered then
+    failwith
+      (Printf.sprintf
+         "invariant violation: txn %d updates %d.%d without a covering \
+          server write lock"
+         txn.tid oid.Ids.Oid.page oid.Ids.Oid.slot)
+
+let mark_updated sys c txn oid =
+  assert_update_invariants sys c txn oid;
+  txn.updated <- Ids.Oid_set.add oid txn.updated;
+  match sys.algo with
+  | Algo.OS -> (
+    match Lru.peek c.ocache oid with
+    | Some entry -> entry.odirty <- true
+    | None ->
+      (* The object was read moments ago and callbacks against in-use
+         objects block, so it must still be cached. *)
+      assert false)
+  | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA -> (
+    match Lru.peek c.cache oid.Ids.Oid.page with
+    | Some entry ->
+      (* Invariant: the read lock recorded before this write blocks any
+         callback that would mark the target. *)
+      if Ids.Int_set.mem oid.Ids.Oid.slot entry.unavailable then
+        failwith
+          (Printf.sprintf
+             "invariant violation: txn %d writes %d.%d which a callback \
+              marked unavailable despite the read lock"
+             txn.tid oid.Ids.Oid.page oid.Ids.Oid.slot);
+      entry.dirty <- Ids.Int_set.add oid.Ids.Oid.slot entry.dirty
+    | None -> assert false)
+
+let write_access sys c txn oid =
+  if not (have_write_permission sys txn oid) then begin
+    match Srv.write_rpc sys txn oid with
+    | Srv.W_aborted -> raise Txn_aborted
+    | Srv.W_page ->
+      txn.wpages <- Ids.Page_set.add oid.Ids.Oid.page txn.wpages;
+      (* Under PS-AA the server acquired the object lock on the way to
+         escalating; mirror it so release covers both. *)
+      if sys.algo = Algo.PS_AA then txn.wobjs <- Ids.Oid_set.add oid txn.wobjs
+    | Srv.W_obj -> txn.wobjs <- Ids.Oid_set.add oid txn.wobjs
+  end;
+  mark_updated sys c txn oid;
+  local_lock_charge sys c
+
+(* --- Operations ------------------------------------------------------- *)
+
+let exec_op sys c txn (op : Workload.Refstring.op) =
+  read_access sys c txn op.oid;
+  if op.write then write_access sys c txn op.oid;
+  let cost =
+    if op.write then sys.params.Workload.Wparams.per_object_write_instr
+    else sys.params.Workload.Wparams.per_object_read_instr
+  in
+  Resources.Cpu.user c.ccpu cost
+
+(* --- Transaction termination ------------------------------------------ *)
+
+let finish_txn c =
+  c.running <- None;
+  let hooks = c.end_hooks in
+  c.end_hooks <- [];
+  List.iter (fun resume -> resume ()) hooks
+
+let updated_pages txn =
+  Ids.Oid_set.fold
+    (fun o acc -> Ids.Page_set.add o.Ids.Oid.page acc)
+    txn.updated Ids.Page_set.empty
+
+let commit sys c txn =
+  (match sys.cfg.Config.commit_mode with
+  | Config.Redo_at_server -> Srv.ship_redo_log sys txn
+  | Config.Ship_pages ->
+  match sys.algo with
+  | Algo.OS ->
+    let dirty =
+      Ids.Oid_set.fold
+        (fun o acc ->
+          match Lru.peek c.ocache o with
+          | Some entry when entry.odirty -> o :: acc
+          | Some _ | None -> acc)
+        txn.updated []
+    in
+    Srv.ship_dirty_objs sys txn dirty ~at_commit:true
+  | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
+    Ids.Page_set.iter
+      (fun p ->
+        match Lru.peek c.cache p with
+        | Some entry when not (Ids.Int_set.is_empty entry.dirty) ->
+          Srv.ship_dirty_page sys txn p ~dirty:entry.dirty
+            ~fetch_version:entry.fetch_version ~at_commit:true
+        | Some _ | None -> ())
+      (updated_pages txn));
+  Srv.commit_rpc sys txn;
+  (* Updates are durable at the server; retain the pages/objects as
+     clean cached copies and let blocked callbacks proceed. *)
+  (match sys.algo with
+  | Algo.OS ->
+    Ids.Oid_set.iter
+      (fun o ->
+        match Lru.peek c.ocache o with
+        | Some entry -> entry.odirty <- false
+        | None -> ())
+      txn.updated
+  | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
+    Ids.Page_set.iter
+      (fun p ->
+        match Lru.peek c.cache p with
+        | Some entry ->
+          entry.dirty <- Ids.Int_set.empty;
+          entry.fetch_version <- Model.page_version sys p
+        | None -> ())
+      (updated_pages txn));
+  finish_txn c
+
+let abort_cleanup sys c txn =
+  (* Purge uncommitted updates from the cache (purge-at-client,
+     Section 3.1 / footnote 2), unblock any pending callbacks, then let
+     the server release the transaction's locks. *)
+  (match sys.algo with
+  | Algo.OS -> Ids.Oid_set.iter (Cache_ops.drop_object sys c) txn.updated
+  | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
+    Ids.Page_set.iter
+      (fun p -> Cache_ops.drop_page sys c p ~discard_dirty:true)
+      (updated_pages txn));
+  finish_txn c;
+  Srv.abort_rpc sys txn;
+  Metrics.note_abort sys.metrics
+
+(* --- The per-client transaction source -------------------------------- *)
+
+let make_txn sys ~client ~ops ~first_started =
+  let now = Engine.now sys.engine in
+  {
+    tid = fresh_tid sys;
+    client;
+    ops;
+    started = now;
+    first_started;
+    restarts = 0;
+    read_pages = Ids.Page_set.empty;
+    read_objs = Ids.Oid_set.empty;
+    wpages = Ids.Page_set.empty;
+    wobjs = Ids.Oid_set.empty;
+    updated = Ids.Oid_set.empty;
+  }
+
+let restart_delay c =
+  let mean =
+    if Stats.Welford.count c.resp_history > 0 then
+      Stats.Welford.mean c.resp_history
+    else 0.25
+  in
+  Rng.exponential c.crng ~mean
+
+let rec attempt sys c ops ~first_started ~restarts =
+  let txn = make_txn sys ~client:c.cid ~ops ~first_started in
+  txn.restarts <- restarts;
+  c.running <- Some txn;
+  Trace.txn sys ~tid:txn.tid ~client:c.cid
+    (if restarts = 0 then "start" else Printf.sprintf "restart #%d" restarts);
+  Locking.Waits_for.begin_txn sys.server.wfg txn.tid
+    ~start:(Engine.now sys.engine);
+  match
+    Array.iter (exec_op sys c txn) ops;
+    commit sys c txn
+  with
+  | () ->
+    let response = Engine.now sys.engine -. first_started in
+    Trace.txn sys ~tid:txn.tid ~client:c.cid
+      (Printf.sprintf "commit (response %.0f ms, %d updates)"
+         (1000.0 *. response)
+         (Ids.Oid_set.cardinal txn.updated));
+    Metrics.note_commit sys.metrics ~response;
+    Stats.Welford.add c.resp_history response
+  | exception Txn_aborted ->
+    Trace.txn sys ~tid:txn.tid ~client:c.cid "abort (deadlock victim)";
+    abort_cleanup sys c txn;
+    Proc.hold sys.engine (restart_delay c);
+    attempt sys c ops ~first_started ~restarts:(restarts + 1)
+
+let run_one sys ~client ops k =
+  let c = sys.clients.(client) in
+  Proc.spawn sys.engine (fun () ->
+      attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0;
+      k ())
+
+let client_loop sys c =
+  (* Iterative so the fiber stack stays flat across thousands of
+     transactions. *)
+  while sys.live do
+    let ops =
+      Workload.Refstring.generate ~rng:c.crng ~params:sys.params ~client:c.cid
+        ~objects_per_page:sys.cfg.Config.objects_per_page
+    in
+    attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0;
+    let think = sys.params.Workload.Wparams.think_time in
+    if think > 0.0 then Proc.hold sys.engine think else Proc.yield sys.engine
+  done
+
+let start sys =
+  Array.iter
+    (fun c -> Proc.spawn sys.engine (fun () -> client_loop sys c))
+    sys.clients

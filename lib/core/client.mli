@@ -1,0 +1,20 @@
+(** Client-side transaction execution (the Client Manager plus the
+    Transaction Source of Figure 2).
+
+    Each client workstation runs one fiber that generates transactions
+    from its workload stream and executes them one after another.  An
+    operation acquires read (and, for updates, write) permission per
+    the protocol, then charges the per-object application CPU cost at
+    user priority.  Transactions aborted by deadlock are resubmitted
+    with the same reference string after a randomized restart delay
+    (Section 4.1). *)
+
+val start : Model.sys -> unit
+(** Spawn the transaction-source fiber of every client. *)
+
+val run_one :
+  Model.sys -> client:int -> Workload.Refstring.t -> (unit -> unit) -> unit
+(** Run a single, explicitly supplied transaction at [client] (with
+    restarts until it commits), then call the continuation.  Exposed
+    for tests and the trace example; {!start} is the normal entry
+    point. *)

@@ -1,0 +1,131 @@
+type commit_mode = Ship_pages | Redo_at_server
+type update_mode = Merge | Write_token
+
+type t = {
+  num_clients : int;
+  client_mips : float;
+  server_mips : float;
+  client_buf_frac : float;
+  server_buf_frac : float;
+  server_disks : int;
+  min_disk_time : float;
+  max_disk_time : float;
+  network_mbits : float;
+  page_size : int;
+  db_pages : int;
+  objects_per_page : int;
+  fixed_msg_inst : float;
+  per_byte_msg_inst : float;
+  control_msg_bytes : int;
+  lock_inst : float;
+  register_copy_inst : float;
+  disk_overhead_inst : float;
+  copy_merge_inst : float;
+  deescalate_inst : float;
+  commit_mode : commit_mode;
+  update_mode : update_mode;
+  redo_per_object_inst : float;
+  log_record_bytes : int;
+  os_group_size : int;
+  size_change_prob : float;
+  overflow_prob : float;
+  forward_inst : float;
+}
+
+let default =
+  {
+    num_clients = 10;
+    client_mips = 15.0;
+    server_mips = 30.0;
+    client_buf_frac = 0.25;
+    server_buf_frac = 0.50;
+    server_disks = 2;
+    min_disk_time = 0.010;
+    max_disk_time = 0.030;
+    network_mbits = 80.0;
+    page_size = 4096;
+    db_pages = 1250;
+    objects_per_page = 20;
+    fixed_msg_inst = 20_000.0;
+    per_byte_msg_inst = 10_000.0 /. 4096.0;
+    control_msg_bytes = 256;
+    lock_inst = 300.0;
+    register_copy_inst = 300.0;
+    disk_overhead_inst = 5_000.0;
+    copy_merge_inst = 300.0;
+    deescalate_inst = 300.0;
+    commit_mode = Ship_pages;
+    update_mode = Merge;
+    redo_per_object_inst = 1_000.0;
+    log_record_bytes = 256;
+    os_group_size = 1;
+    size_change_prob = 0.0;
+    overflow_prob = 0.0;
+    forward_inst = 2_000.0;
+  }
+
+let scaled t ~factor =
+  if factor <= 0 then invalid_arg "Config.scaled: factor";
+  { t with db_pages = t.db_pages * factor }
+
+let client_buf_pages t =
+  max 1 (int_of_float (t.client_buf_frac *. float_of_int t.db_pages))
+
+let server_buf_pages t =
+  max 1 (int_of_float (t.server_buf_frac *. float_of_int t.db_pages))
+
+let client_buf_objects t = client_buf_pages t * t.objects_per_page
+let object_bytes t = t.page_size / t.objects_per_page
+let control_bytes t = t.control_msg_bytes
+let page_msg_bytes t = t.page_size + t.control_msg_bytes
+let objs_msg_bytes t ~count = (count * object_bytes t) + t.control_msg_bytes
+
+let msg_instr t ~bytes =
+  t.fixed_msg_inst +. (t.per_byte_msg_inst *. float_of_int bytes)
+
+let validate t =
+  let check b what = if not b then invalid_arg ("Config: bad " ^ what) in
+  check (t.num_clients > 0) "num_clients";
+  check (t.client_mips > 0.0 && t.server_mips > 0.0) "MIPS";
+  check (t.client_buf_frac > 0.0 && t.client_buf_frac <= 1.0) "client_buf_frac";
+  check (t.server_buf_frac > 0.0 && t.server_buf_frac <= 1.0) "server_buf_frac";
+  check (t.server_disks > 0) "server_disks";
+  check (t.min_disk_time >= 0.0 && t.max_disk_time >= t.min_disk_time) "disk times";
+  check (t.network_mbits > 0.0) "network_mbits";
+  check (t.page_size > 0) "page_size";
+  check (t.db_pages > 0) "db_pages";
+  check (t.objects_per_page > 0) "objects_per_page";
+  check (t.page_size >= t.objects_per_page) "objects_per_page vs page_size";
+  check (t.os_group_size >= 1 && t.os_group_size <= t.objects_per_page)
+    "os_group_size";
+  check (t.size_change_prob >= 0.0 && t.size_change_prob <= 1.0)
+    "size_change_prob";
+  check (t.overflow_prob >= 0.0 && t.overflow_prob <= 1.0) "overflow_prob"
+
+let pp ppf t =
+  let f fmt = Format.fprintf ppf fmt in
+  f "@[<v>";
+  f "ClientCPU          %.0f MIPS@," t.client_mips;
+  f "ServerCPU          %.0f MIPS@," t.server_mips;
+  f "ClientBufSize      %.0f%% of DB (%d pages)@," (100.0 *. t.client_buf_frac)
+    (client_buf_pages t);
+  f "ServerBufSize      %.0f%% of DB (%d pages)@," (100.0 *. t.server_buf_frac)
+    (server_buf_pages t);
+  f "ServerDisks        %d disks@," t.server_disks;
+  f "MinDiskTime        %.0f ms@," (1000.0 *. t.min_disk_time);
+  f "MaxDiskTime        %.0f ms@," (1000.0 *. t.max_disk_time);
+  f "NetworkBandwidth   %.0f Mbits/s@," t.network_mbits;
+  f "NumClients         %d@," t.num_clients;
+  f "PageSize           %d bytes@," t.page_size;
+  f "DatabaseSize       %d pages (%.1f MB)@," t.db_pages
+    (float_of_int (t.db_pages * t.page_size) /. 1048576.0);
+  f "ObjectsPerPage     %d objects@," t.objects_per_page;
+  f "FixedMsgInst       %.0f instructions@," t.fixed_msg_inst;
+  f "PerByteMsgInst     %.0f instr per 4KB page@,"
+    (t.per_byte_msg_inst *. 4096.0);
+  f "ControlMsgSize     %d bytes@," t.control_msg_bytes;
+  f "LockInst           %.0f instructions@," t.lock_inst;
+  f "RegisterCopyInst   %.0f instructions@," t.register_copy_inst;
+  f "DiskOverheadInst   %.0f instructions@," t.disk_overhead_inst;
+  f "CopyMergeInst      %.0f instructions per object@," t.copy_merge_inst;
+  f "@]"

@@ -1,0 +1,95 @@
+(** System and overhead parameters (the paper's Table 1).
+
+    Times are seconds, CPU costs are instruction counts, and sizes are
+    bytes.  {!default} reproduces the paper's settings; {!scaled} builds
+    the x9 database/buffer configuration of Section 5.6.1.  A few rows
+    of Table 1 are garbled in the source scan; their values are
+    reconstructed from the companion models [Care91, Fran93] and
+    documented in DESIGN.md. *)
+
+type commit_mode =
+  | Ship_pages
+      (** merge-at-server: dirty pages are shipped back and merged
+          (the paper's main design, Section 3.1) *)
+  | Redo_at_server
+      (** WAL log records are shipped instead and replayed at the
+          server (the initial SHORE choice, Section 6.1) *)
+
+type update_mode =
+  | Merge  (** concurrent page updates allowed, merged at the server *)
+  | Write_token
+      (** one updater per page at a time, page bounced through the
+          server on token transfer ([Moha91] / Section 6.1, the paper's
+          future work) *)
+
+type t = {
+  num_clients : int;  (** client workstations (10) *)
+  client_mips : float;  (** client CPU, MIPS (15) *)
+  server_mips : float;  (** server CPU, MIPS (30) *)
+  client_buf_frac : float;  (** client buffer, fraction of DB (0.25) *)
+  server_buf_frac : float;  (** server buffer, fraction of DB (0.50) *)
+  server_disks : int;  (** disks at server (2) *)
+  min_disk_time : float;  (** min disk access (0.010 s) *)
+  max_disk_time : float;  (** max disk access (0.030 s) *)
+  network_mbits : float;  (** network bandwidth, Mbit/s (80) *)
+  page_size : int;  (** bytes per page (4096) *)
+  db_pages : int;  (** database size in pages (1250) *)
+  objects_per_page : int;  (** objects per page (20) *)
+  fixed_msg_inst : float;  (** instructions per message (20000) *)
+  per_byte_msg_inst : float;
+      (** instructions per message byte (10000 per 4 KB page = 2.441) *)
+  control_msg_bytes : int;  (** size of a control message (256) *)
+  lock_inst : float;  (** instructions per lock/unlock pair (300) *)
+  register_copy_inst : float;
+      (** instructions per copy register/unregister (300) *)
+  disk_overhead_inst : float;  (** CPU cost per disk I/O (5000) *)
+  copy_merge_inst : float;  (** per-differing-object page merge cost (300) *)
+  deescalate_inst : float;
+      (** per-object server cost of a PS-AA lock de-escalation (300) *)
+  commit_mode : commit_mode;  (** default [Ship_pages] *)
+  update_mode : update_mode;  (** default [Merge] *)
+  redo_per_object_inst : float;
+      (** server CPU to replay one logged object update (Redo_at_server) *)
+  log_record_bytes : int;
+      (** shipped log-record size per updated object (Redo_at_server) *)
+  os_group_size : int;
+      (** objects shipped per OS fetch: 1 = pure object server, larger =
+          "grouped-object" server (Section 6.2) *)
+  size_change_prob : float;
+      (** probability an update changes the object's size (Section 6.1) *)
+  overflow_prob : float;
+      (** probability a size-changing update overflows its page when
+          installed, requiring forwarding *)
+  forward_inst : float;  (** server CPU to forward an overflowed object *)
+}
+
+val default : t
+
+val scaled : t -> factor:int -> t
+(** Multiply database and (implicitly, via the fractions) buffer sizes
+    by [factor]. *)
+
+val client_buf_pages : t -> int
+val server_buf_pages : t -> int
+val client_buf_objects : t -> int
+(** Capacity of the object server's client cache, in objects. *)
+
+val object_bytes : t -> int
+(** [page_size / objects_per_page], rounded down (204 bytes for the
+    default 4096/20). *)
+
+val control_bytes : t -> int
+val page_msg_bytes : t -> int
+(** A data message carrying one page (payload + header). *)
+
+val objs_msg_bytes : t -> count:int -> int
+(** A data message carrying [count] objects. *)
+
+val msg_instr : t -> bytes:int -> float
+(** CPU cost to send or to receive a message of the given size. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent settings. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as a Table-1-style parameter listing. *)

@@ -1,0 +1,110 @@
+open Workload
+
+type spec = {
+  id : string;
+  title : string;
+  workload : Presets.name;
+  locality : Presets.locality;
+  scale : int;
+  trans_size : int option;
+  write_probs : float list;
+  normalize : bool;
+  warmup : float;
+  measure : float;
+}
+
+let sweep = [ 0.0; 0.02; 0.05; 0.1; 0.15; 0.2; 0.3; 0.5 ]
+let sweep_scaled = [ 0.0; 0.05; 0.15; 0.3 ]
+
+let std id title workload locality =
+  {
+    id;
+    title;
+    workload;
+    locality;
+    scale = 1;
+    trans_size = None;
+    write_probs = sweep;
+    normalize = false;
+    warmup = 30.0;
+    measure = 120.0;
+  }
+
+let scaled id title workload =
+  {
+    id;
+    title;
+    workload;
+    locality = Presets.Low;
+    scale = 9;
+    trans_size = Some 90;
+    write_probs = sweep_scaled;
+    normalize = true;
+    warmup = 60.0;
+    measure = 120.0;
+  }
+
+let all =
+  [
+    std "fig3" "HOTCOLD, low page locality (30 pages, 1-7 obj)"
+      Presets.Hotcold Presets.Low;
+    std "fig4" "HOTCOLD, high page locality (10 pages, 8-16 obj)"
+      Presets.Hotcold Presets.High;
+    std "fig6" "UNIFORM, low page locality" Presets.Uniform Presets.Low;
+    std "fig7" "UNIFORM, high page locality" Presets.Uniform Presets.High;
+    std "fig8" "HICON, low page locality" Presets.Hicon Presets.Low;
+    std "fig9" "HICON, high page locality" Presets.Hicon Presets.High;
+    std "fig10" "PRIVATE, high page locality" Presets.Private_ Presets.High;
+    std "fig11" "Interleaved PRIVATE (false sharing)"
+      Presets.Interleaved_private Presets.High;
+    scaled "fig12" "HOTCOLD scaled x9, normalized to PS-AA" Presets.Hotcold;
+    scaled "fig13" "UNIFORM scaled x9, normalized to PS-AA" Presets.Uniform;
+    scaled "fig14" "HICON scaled x9, normalized to PS-AA" Presets.Hicon;
+  ]
+
+let find id = List.find_opt (fun s -> s.id = id) all
+
+type point = { write_prob : float; results : (Algo.t * Runner.result) list }
+type series = { spec : spec; points : point list }
+
+let cfg_of spec = Config.scaled Config.default ~factor:spec.scale
+
+let params_of spec ~write_prob =
+  let cfg = cfg_of spec in
+  Presets.make ?trans_size:spec.trans_size spec.workload
+    ~db_pages:cfg.Config.db_pages ~objects_per_page:cfg.Config.objects_per_page
+    ~num_clients:cfg.Config.num_clients ~locality:spec.locality ~write_prob
+
+let run_spec ?(seed = 42) ?(time_scale = 1.0) ?(progress = fun _ -> ()) spec =
+  let cfg = cfg_of spec in
+  let warmup = spec.warmup *. time_scale in
+  let measure = spec.measure *. time_scale in
+  let points =
+    List.map
+      (fun write_prob ->
+        let params = params_of spec ~write_prob in
+        let results =
+          List.map
+            (fun algo ->
+              let r = Runner.run ~seed ~warmup ~measure ~cfg ~algo ~params () in
+              progress
+                (Printf.sprintf "%s wp=%.2f %-5s: %.2f tps" spec.id write_prob
+                   (Algo.to_string algo) r.Runner.throughput);
+              (algo, r))
+            Algo.all
+        in
+        { write_prob; results })
+      spec.write_probs
+  in
+  { spec; points }
+
+let figure5 () =
+  let wps = [ 0.0; 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5 ] in
+  List.map
+    (fun k ->
+      ( k,
+        List.map
+          (fun w ->
+            (w, Analytic.page_write_prob ~object_write_prob:w ~objects_accessed:k))
+          wps ))
+    Analytic.figure5_localities

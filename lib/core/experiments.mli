@@ -1,0 +1,51 @@
+(** The paper's experiment suite: one {!spec} per evaluation figure.
+
+    Each throughput figure sweeps the per-object write probability for
+    all five algorithms under one workload/locality setting (Section
+    5.1); Figures 12-14 rerun three workloads on the x9-scaled database
+    with 3x transactions and report throughput normalized to PS-AA
+    (Section 5.6.1). *)
+
+type spec = {
+  id : string;  (** e.g. "fig3" *)
+  title : string;
+  workload : Workload.Presets.name;
+  locality : Workload.Presets.locality;
+  scale : int;  (** database/buffer scale factor (1, or 9 for figs 12-14) *)
+  trans_size : int option;  (** override (scaled runs use 3x) *)
+  write_probs : float list;
+  normalize : bool;  (** report throughput relative to PS-AA *)
+  warmup : float;
+  measure : float;
+}
+
+val all : spec list
+(** fig3, fig4, fig6..fig11, fig12..fig14 (fig5 is analytic, see
+    {!Analytic}). *)
+
+val find : string -> spec option
+
+type point = {
+  write_prob : float;
+  results : (Algo.t * Runner.result) list;
+}
+
+type series = { spec : spec; points : point list }
+
+val run_spec :
+  ?seed:int ->
+  ?time_scale:float ->
+  ?progress:(string -> unit) ->
+  spec ->
+  series
+(** Run every (write probability, algorithm) cell of the figure.
+    [time_scale] multiplies both warm-up and measurement windows (e.g.
+    0.25 for a quick look); [progress] receives one line per completed
+    cell. *)
+
+val cfg_of : spec -> Config.t
+val params_of : spec -> write_prob:float -> Workload.Wparams.t
+
+val figure5 : unit -> (int * (float * float) list) list
+(** The analytic Figure 5 data: for each locality, (object write
+    probability, page write probability) pairs. *)

@@ -1,0 +1,187 @@
+open Storage
+open Simcore
+
+type page_entry = {
+  mutable unavailable : Ids.Int_set.t;
+  mutable dirty : Ids.Int_set.t;
+  mutable fetch_version : int;
+}
+
+type obj_entry = { mutable odirty : bool }
+
+type txn = {
+  tid : Locking.Lock_types.txn;
+  client : int;
+  ops : Workload.Refstring.t;
+  started : float;
+  first_started : float;
+  mutable restarts : int;
+  mutable read_pages : Ids.Page_set.t;
+  mutable read_objs : Ids.Oid_set.t;
+  mutable wpages : Ids.Page_set.t;
+  mutable wobjs : Ids.Oid_set.t;
+  mutable updated : Ids.Oid_set.t;
+}
+
+type client = {
+  cid : int;
+  ccpu : Resources.Cpu.t;
+  crng : Rng.t;
+  cache : (Ids.page, page_entry) Lru.t;
+  ocache : (Ids.Oid.t, obj_entry) Lru.t;
+  mutable running : txn option;
+  mutable end_hooks : (unit -> unit) list;
+  resp_history : Stats.Welford.t;
+}
+
+type server = {
+  scpu : Resources.Cpu.t;
+  sdisks : Resources.Disk_array.t;
+  sbuffer : Buffer_pool.t;
+  plocks : Ids.page Locking.Lock_table.t;
+  olocks : Ids.Oid.t Locking.Lock_table.t;
+  pcopies : Ids.page Locking.Copy_table.t;
+  ocopies : Ids.Oid.t Locking.Copy_table.t;
+  wfg : Locking.Waits_for.t;
+  versions : (Ids.page, int) Hashtbl.t;
+  olocks_by_page : (Ids.page, int Ids.Oid_map.t) Hashtbl.t;
+  deesc_inflight : (Ids.page, unit Ivar.t) Hashtbl.t;
+  token_owner : (Ids.page, int * Locking.Lock_types.txn) Hashtbl.t;
+  srv_rng : Rng.t;
+}
+
+type sys = {
+  engine : Engine.t;
+  cfg : Config.t;
+  algo : Algo.t;
+  params : Workload.Wparams.t;
+  net : Resources.Network.t;
+  server : server;
+  clients : client array;
+  metrics : Metrics.t;
+  mutable next_tid : int;
+  mutable live : bool;
+}
+
+exception Txn_aborted
+
+let fresh_tid sys =
+  let tid = sys.next_tid in
+  sys.next_tid <- tid + 1;
+  tid
+
+let page_version sys p =
+  match Hashtbl.find_opt sys.server.versions p with Some v -> v | None -> 0
+
+let bump_page_version sys p ~by =
+  if by > 0 then Hashtbl.replace sys.server.versions p (page_version sys p + by)
+
+let client_txn sys cid = sys.clients.(cid).running
+
+let obj_in_use txn oid =
+  Ids.Oid_set.mem oid txn.read_objs || Ids.Oid_set.mem oid txn.updated
+
+let page_in_use txn p =
+  Ids.Page_set.mem p txn.read_pages
+  || Ids.Page_set.mem p txn.wpages
+  || Ids.Oid_set.exists (fun o -> o.Ids.Oid.page = p) txn.updated
+
+let index_obj_lock server oid =
+  let p = oid.Ids.Oid.page in
+  let map =
+    match Hashtbl.find_opt server.olocks_by_page p with
+    | Some m -> m
+    | None -> Ids.Oid_map.empty
+  in
+  let count = Option.value ~default:0 (Ids.Oid_map.find_opt oid map) in
+  Hashtbl.replace server.olocks_by_page p (Ids.Oid_map.add oid (count + 1) map)
+
+let unindex_obj_lock server oid =
+  let p = oid.Ids.Oid.page in
+  match Hashtbl.find_opt server.olocks_by_page p with
+  | None -> ()
+  | Some m -> (
+    match Ids.Oid_map.find_opt oid m with
+    | None -> ()
+    | Some count ->
+      let m =
+        if count <= 1 then Ids.Oid_map.remove oid m
+        else Ids.Oid_map.add oid (count - 1) m
+      in
+      if Ids.Oid_map.is_empty m then Hashtbl.remove server.olocks_by_page p
+      else Hashtbl.replace server.olocks_by_page p m)
+
+let foreign_locked_slots sys p ~tid =
+  match Hashtbl.find_opt sys.server.olocks_by_page p with
+  | None -> Ids.Int_set.empty
+  | Some m ->
+    Ids.Oid_map.fold
+      (fun oid _count acc ->
+        match Locking.Lock_table.holder sys.server.olocks oid with
+        | Some h when h <> tid -> Ids.Int_set.add oid.Ids.Oid.slot acc
+        | Some _ | None -> acc)
+      m Ids.Int_set.empty
+
+let page_has_foreign_obj_lock sys p ~tid =
+  not (Ids.Int_set.is_empty (foreign_locked_slots sys p ~tid))
+
+let create ~cfg ~algo ~params ~seed =
+  Config.validate cfg;
+  Workload.Wparams.validate params ~db_pages:cfg.Config.db_pages
+    ~objects_per_page:cfg.Config.objects_per_page;
+  if Array.length params.Workload.Wparams.clients <> cfg.Config.num_clients then
+    invalid_arg "Model.create: workload clients <> config clients";
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let wfg = Locking.Waits_for.create () in
+  let server =
+    {
+      scpu =
+        Resources.Cpu.create engine ~name:"server" ~mips:cfg.Config.server_mips;
+      sdisks =
+        Resources.Disk_array.create engine ~rng:(Rng.split rng)
+          ~disks:cfg.Config.server_disks ~min_time:cfg.Config.min_disk_time
+          ~max_time:cfg.Config.max_disk_time;
+      sbuffer = Buffer_pool.create ~capacity:(Config.server_buf_pages cfg);
+      plocks = Locking.Lock_table.create engine ~waits_for:wfg ~lock_name:"page";
+      olocks =
+        Locking.Lock_table.create engine ~waits_for:wfg ~lock_name:"object";
+      pcopies = Locking.Copy_table.create ~clients:cfg.Config.num_clients;
+      ocopies = Locking.Copy_table.create ~clients:cfg.Config.num_clients;
+      wfg;
+      versions = Hashtbl.create 1024;
+      olocks_by_page = Hashtbl.create 256;
+      deesc_inflight = Hashtbl.create 16;
+      token_owner = Hashtbl.create 256;
+      srv_rng = Rng.split rng;
+    }
+  in
+  let clients =
+    Array.init cfg.Config.num_clients (fun cid ->
+        {
+          cid;
+          ccpu =
+            Resources.Cpu.create engine
+              ~name:(Printf.sprintf "client%d" cid)
+              ~mips:cfg.Config.client_mips;
+          crng = Rng.split rng;
+          cache = Lru.create ~capacity:(Config.client_buf_pages cfg);
+          ocache = Lru.create ~capacity:(Config.client_buf_objects cfg);
+          running = None;
+          end_hooks = [];
+          resp_history = Stats.Welford.create ();
+        })
+  in
+  {
+    engine;
+    cfg;
+    algo;
+    params;
+    net =
+      Resources.Network.create engine ~bandwidth_mbits:cfg.Config.network_mbits;
+    server;
+    clients;
+    metrics = Metrics.create ();
+    next_tid = 1;
+    live = true;
+  }

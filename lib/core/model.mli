@@ -1,0 +1,135 @@
+(** Shared mutable state of the simulated system (Figure 2).
+
+    All protocol modules operate on one {!sys} value holding the server,
+    the clients, the shared resources, and the metrics.  The types live
+    here (rather than in the client/server modules) so that the
+    client-side and server-side logic — which call into each other via
+    callbacks and de-escalations — need no mutual recursion. *)
+
+open Storage
+open Simcore
+
+type page_entry = {
+  mutable unavailable : Ids.Int_set.t;
+      (** slots marked unavailable by remote write locks/callbacks *)
+  mutable dirty : Ids.Int_set.t;
+      (** slots updated by this client's current transaction *)
+  mutable fetch_version : int;
+      (** server page version when this copy was shipped (merge check) *)
+}
+
+type obj_entry = { mutable odirty : bool }
+(** Object-server client cache entry. *)
+
+type txn = {
+  tid : Locking.Lock_types.txn;  (** unique per incarnation *)
+  client : int;
+  ops : Workload.Refstring.t;
+  started : float;  (** this incarnation's start *)
+  first_started : float;  (** first submission (for response time) *)
+  mutable restarts : int;
+  mutable read_pages : Ids.Page_set.t;  (** client-local page read locks *)
+  mutable read_objs : Ids.Oid_set.t;  (** client-local object read locks *)
+  mutable wpages : Ids.Page_set.t;  (** server page write locks held *)
+  mutable wobjs : Ids.Oid_set.t;  (** server object write locks held *)
+  mutable updated : Ids.Oid_set.t;  (** objects updated so far *)
+}
+
+type client = {
+  cid : int;
+  ccpu : Resources.Cpu.t;
+  crng : Rng.t;
+  cache : (Ids.page, page_entry) Lru.t;  (** page-grain cache (PS family) *)
+  ocache : (Ids.Oid.t, obj_entry) Lru.t;  (** object-grain cache (OS) *)
+  mutable running : txn option;
+  mutable end_hooks : (unit -> unit) list;
+      (** resumers of callbacks blocked on the running transaction;
+          drained when it terminates *)
+  resp_history : Stats.Welford.t;
+      (** all-time response times, used to size restart delays *)
+}
+
+type server = {
+  scpu : Resources.Cpu.t;
+  sdisks : Resources.Disk_array.t;
+  sbuffer : Buffer_pool.t;
+  plocks : Ids.page Locking.Lock_table.t;  (** page write locks *)
+  olocks : Ids.Oid.t Locking.Lock_table.t;  (** object write locks *)
+  pcopies : Ids.page Locking.Copy_table.t;
+  ocopies : Ids.Oid.t Locking.Copy_table.t;
+  wfg : Locking.Waits_for.t;
+  versions : (Ids.page, int) Hashtbl.t;
+      (** committed-update counter per page; missing = 0 *)
+  olocks_by_page : (Ids.page, int Ids.Oid_map.t) Hashtbl.t;
+      (** reference-counted index of object write locks (and pending
+          write-lock requests) per page, for availability marking; the
+          marks themselves consult the lock table's holder, so pending
+          entries are harmless, while indexing {e before} the blocking
+          acquire leaves no window in which a freshly granted lock is
+          invisible to a concurrently computed reply *)
+  deesc_inflight : (Ids.page, unit Ivar.t) Hashtbl.t;
+      (** serializes concurrent PS-AA de-escalations of the same page *)
+  token_owner : (Ids.page, int * Locking.Lock_types.txn) Hashtbl.t;
+      (** page update-token ownership (client, last owning txn) — used
+          only under [Config.Write_token] *)
+  srv_rng : Rng.t;
+      (** server-local randomness (size-change/overflow model) *)
+}
+
+type sys = {
+  engine : Engine.t;
+  cfg : Config.t;
+  algo : Algo.t;
+  params : Workload.Wparams.t;
+  net : Resources.Network.t;
+  server : server;
+  clients : client array;
+  metrics : Metrics.t;
+  mutable next_tid : int;
+  mutable live : bool;
+      (** cleared at simulation end so client loops stop resubmitting *)
+}
+
+exception Txn_aborted
+(** Raised inside a client transaction fiber when the server reports
+    that the transaction lost a deadlock. *)
+
+val fresh_tid : sys -> int
+
+val page_version : sys -> Ids.page -> int
+val bump_page_version : sys -> Ids.page -> by:int -> unit
+
+(** {2 Client-local lock queries} *)
+
+val client_txn : sys -> int -> txn option
+(** The transaction currently running at a client, if any. *)
+
+val obj_in_use : txn -> Ids.Oid.t -> bool
+(** The transaction read or updated this object (local object lock). *)
+
+val page_in_use : txn -> Ids.page -> bool
+(** The transaction holds a local lock on any object of the page, or a
+    page write lock. *)
+
+(** {2 Object-lock page index} *)
+
+val index_obj_lock : server -> Ids.Oid.t -> unit
+(** Add one reference. *)
+
+val unindex_obj_lock : server -> Ids.Oid.t -> unit
+(** Release one reference. *)
+
+val foreign_locked_slots : sys -> Ids.page -> tid:int -> Ids.Int_set.t
+(** Slots of objects on the page write-locked by transactions other than
+    [tid] — the "unavailable" marking applied when shipping the page. *)
+
+val page_has_foreign_obj_lock : sys -> Ids.page -> tid:int -> bool
+
+(** {2 Construction} *)
+
+val create :
+  cfg:Config.t ->
+  algo:Algo.t ->
+  params:Workload.Wparams.t ->
+  seed:int ->
+  sys

@@ -1,0 +1,23 @@
+open Model
+
+type endpoint = Client of int | Server
+
+let cpu_of sys = function
+  | Client c -> sys.clients.(c).ccpu
+  | Server -> sys.server.scpu
+
+let send sys ~cls ~src ~dst ~bytes =
+  let instr = Config.msg_instr sys.cfg ~bytes in
+  Metrics.note_msg sys.metrics cls ~bytes;
+  Resources.Cpu.system (cpu_of sys src) instr;
+  Resources.Network.transfer sys.net ~bytes;
+  Resources.Cpu.system (cpu_of sys dst) instr
+
+let control sys ~cls ~src ~dst =
+  send sys ~cls ~src ~dst ~bytes:(Config.control_bytes sys.cfg)
+
+let page_data sys ~cls ~src ~dst =
+  send sys ~cls ~src ~dst ~bytes:(Config.page_msg_bytes sys.cfg)
+
+let objs_data sys ~cls ~src ~dst ~count =
+  send sys ~cls ~src ~dst ~bytes:(Config.objs_msg_bytes sys.cfg ~count)

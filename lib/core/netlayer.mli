@@ -1,0 +1,36 @@
+(** Message transport.
+
+    Every message charges protocol-processing CPU (fixed + per-byte,
+    Table 1) at {e both} the sender and the receiver (system priority),
+    and occupies the FIFO network for its on-the-wire time (Section
+    4.1).  The calling fiber blocks through the whole path, so the
+    arrival time it observes includes CPU and network queueing. *)
+
+type endpoint = Client of int | Server
+
+val send :
+  Model.sys ->
+  cls:Metrics.msg_class ->
+  src:endpoint ->
+  dst:endpoint ->
+  bytes:int ->
+  unit
+(** Move one message from [src] to [dst]; blocks the calling fiber until
+    the receiver has finished protocol processing. *)
+
+val control :
+  Model.sys -> cls:Metrics.msg_class -> src:endpoint -> dst:endpoint -> unit
+(** A [control_msg_bytes]-sized message. *)
+
+val page_data :
+  Model.sys -> cls:Metrics.msg_class -> src:endpoint -> dst:endpoint -> unit
+(** A message carrying one page. *)
+
+val objs_data :
+  Model.sys ->
+  cls:Metrics.msg_class ->
+  src:endpoint ->
+  dst:endpoint ->
+  count:int ->
+  unit
+(** A message carrying [count] objects. *)

@@ -1,0 +1,143 @@
+let algo_throughput (point : Experiments.point) algo =
+  match List.assoc_opt algo point.results with
+  | Some r -> r.Runner.throughput
+  | None -> nan
+
+let pp_header ppf =
+  Format.fprintf ppf "%8s" "wp";
+  List.iter (fun a -> Format.fprintf ppf "%9s" (Algo.to_string a)) Algo.all;
+  Format.fprintf ppf "@,"
+
+let pp_series ppf (s : Experiments.series) =
+  Format.fprintf ppf "@[<v>%s: %s@," s.spec.Experiments.id
+    s.spec.Experiments.title;
+  Format.fprintf ppf "throughput (transactions/second)@,";
+  pp_header ppf;
+  List.iter
+    (fun (p : Experiments.point) ->
+      Format.fprintf ppf "%8.2f" p.write_prob;
+      List.iter
+        (fun a -> Format.fprintf ppf "%9.2f" (algo_throughput p a))
+        Algo.all;
+      Format.fprintf ppf "@,")
+    s.points;
+  if s.spec.Experiments.normalize then begin
+    Format.fprintf ppf "normalized to PS-AA@,";
+    pp_header ppf;
+    List.iter
+      (fun (p : Experiments.point) ->
+        let base = algo_throughput p Algo.PS_AA in
+        Format.fprintf ppf "%8.2f" p.write_prob;
+        List.iter
+          (fun a ->
+            let v = algo_throughput p a in
+            Format.fprintf ppf "%9.2f" (if base > 0.0 then v /. base else nan))
+          Algo.all;
+        Format.fprintf ppf "@,")
+      s.points
+  end;
+  Format.fprintf ppf "@]"
+
+let pp_series_detail ppf (s : Experiments.series) =
+  Format.fprintf ppf "@[<v>%s details@," s.spec.Experiments.id;
+  List.iter
+    (fun (p : Experiments.point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Format.fprintf ppf
+            "wp=%.2f %-6s tput=%6.2f resp=%6.0fms ci=%5.0fms msgs/c=%6.1f \
+             aborts=%4d dlk=%3d srvCPU=%4.2f disk=%4.2f net=%4.2f deesc=%4d \
+             merges=%4d pw/ow=%d/%d@,"
+            p.write_prob (Algo.to_string a) r.throughput
+            (1000.0 *. r.resp_mean) (1000.0 *. r.resp_ci90) r.msgs_per_commit
+            r.aborts r.deadlocks r.server_cpu_util r.disk_util r.net_util
+            r.deescalations r.merges r.page_write_grants r.object_write_grants)
+        p.results)
+    s.points;
+  Format.fprintf ppf "@]"
+
+let series_to_csv (s : Experiments.series) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "figure,write_prob,algo,throughput,resp_ms,resp_ci_ms,commits,aborts,\
+     deadlocks,msgs_per_commit,kbytes_per_commit,disk_ios,server_cpu,\
+     client_cpu,disk_util,net_util,deescalations,merges,page_grants,\
+     object_grants\n";
+  List.iter
+    (fun (p : Experiments.point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%s,%.3f,%s,%.4f,%.1f,%.1f,%d,%d,%d,%.2f,%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d\n"
+               s.spec.Experiments.id p.write_prob (Algo.to_string a)
+               r.Runner.throughput
+               (1000.0 *. r.Runner.resp_mean)
+               (1000.0 *. r.Runner.resp_ci90)
+               r.Runner.commits r.Runner.aborts r.Runner.deadlocks
+               r.Runner.msgs_per_commit r.Runner.kbytes_per_commit
+               r.Runner.disk_ios r.Runner.server_cpu_util
+               r.Runner.client_cpu_util r.Runner.disk_util r.Runner.net_util
+               r.Runner.deescalations r.Runner.merges
+               r.Runner.page_write_grants r.Runner.object_write_grants))
+        p.results)
+    s.points;
+  Buffer.contents buf
+
+let pp_figure5 ppf curves =
+  Format.fprintf ppf
+    "@[<v>fig5: per-page update probability vs per-object write probability@,";
+  Format.fprintf ppf "%8s" "wp";
+  List.iter (fun (k, _) -> Format.fprintf ppf "%9s" (Printf.sprintf "k=%d" k)) curves;
+  Format.fprintf ppf "@,";
+  (match curves with
+  | [] -> ()
+  | (_, first) :: _ ->
+    List.iteri
+      (fun i (w, _) ->
+        Format.fprintf ppf "%8.2f" w;
+        List.iter
+          (fun (_, pts) ->
+            let _, v = List.nth pts i in
+            Format.fprintf ppf "%9.3f" v)
+          curves;
+        Format.fprintf ppf "@,")
+      first);
+  Format.fprintf ppf "@]"
+
+let pp_workload_table ppf cfg =
+  let open Workload in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun which ->
+      List.iter
+        (fun locality ->
+          let p =
+            Presets.make which ~db_pages:cfg.Config.db_pages
+              ~objects_per_page:cfg.Config.objects_per_page
+              ~num_clients:cfg.Config.num_clients ~locality ~write_prob:0.0
+          in
+          let c0 = p.Wparams.clients.(0) in
+          Format.fprintf ppf
+            "%-20s %-4s transSize=%2d locality=%d-%d hot=%s hotProb=%.0f%% \
+             cold=[%d,%d]%s@,"
+            p.Wparams.name
+            (match locality with Presets.Low -> "low" | Presets.High -> "high")
+            p.Wparams.trans_size p.Wparams.page_locality.Wparams.lo
+            p.Wparams.page_locality.Wparams.hi
+            (match c0.Wparams.hot_region with
+            | Some r -> Printf.sprintf "[%d,%d]/client" r.Wparams.first r.Wparams.last
+            | None -> "none")
+            (100.0 *. c0.Wparams.hot_access_prob)
+            c0.Wparams.cold_region.Wparams.first
+            c0.Wparams.cold_region.Wparams.last
+            (if c0.Wparams.cold_write_prob = 0.0 && c0.Wparams.hot_write_prob = 0.0
+             then
+               match which with
+               | Presets.Private_ | Presets.Interleaved_private ->
+                 " (cold read-only)"
+               | _ -> ""
+             else ""))
+        [ Presets.Low; Presets.High ])
+    Presets.all;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,19 @@
+(** Rendering of experiment output: the paper-style throughput tables
+    (one row per write probability, one column per algorithm), CSV
+    export, and the workload parameter table (Table 2). *)
+
+val pp_series : Format.formatter -> Experiments.series -> unit
+(** Throughput table; normalized figures also print the ratio table
+    relative to PS-AA. *)
+
+val pp_series_detail : Format.formatter -> Experiments.series -> unit
+(** Per-cell auxiliary metrics: messages/commit, aborts, utilizations. *)
+
+val series_to_csv : Experiments.series -> string
+(** CSV with header [write_prob,algo,throughput,resp_ms,resp_ci_ms,...]. *)
+
+val pp_figure5 : Format.formatter -> (int * (float * float) list) list -> unit
+
+val pp_workload_table : Format.formatter -> Config.t -> unit
+(** Render the Table-2-style workload parameter listing for all
+    presets at the given configuration. *)

@@ -1,0 +1,108 @@
+open Simcore
+open Model
+
+type result = {
+  algo : Algo.t;
+  workload : string;
+  sim_seconds : float;
+  throughput : float;
+  resp_mean : float;
+  resp_ci90 : float;
+  resp_batches : int;
+  commits : int;
+  aborts : int;
+  deadlocks : int;
+  messages : int;
+  msgs_per_commit : float;
+  kbytes_per_commit : float;
+  disk_ios : int;
+  server_cpu_util : float;
+  client_cpu_util : float;
+  disk_util : float;
+  net_util : float;
+  lock_waits : int;
+  avg_lock_wait : float;
+  callback_blocks : int;
+  merges : int;
+  deescalations : int;
+  page_write_grants : int;
+  object_write_grants : int;
+  overflows : int;
+  token_waits : int;
+  token_bounces : int;
+}
+
+let reset_resource_stats sys =
+  Resources.Cpu.reset_stats sys.server.scpu;
+  Array.iter (fun c -> Resources.Cpu.reset_stats c.ccpu) sys.clients;
+  Resources.Disk_array.reset_stats sys.server.sdisks;
+  Resources.Network.reset_stats sys.net
+
+let run ?(seed = 42) ?(warmup = 40.0) ?(measure = 200.0) ~cfg ~algo ~params ()
+    =
+  let sys = Model.create ~cfg ~algo ~params ~seed in
+  Client.start sys;
+  Engine.run_until sys.engine warmup;
+  Metrics.reset sys.metrics ~now:warmup;
+  reset_resource_stats sys;
+  let deadlocks_at_warmup = Locking.Waits_for.deadlocks sys.server.wfg in
+  let stop = warmup +. measure in
+  Engine.run_until sys.engine stop;
+  sys.live <- false;
+  let m = sys.metrics in
+  let commits = Metrics.commits m in
+  let clients_util =
+    let s =
+      Array.fold_left
+        (fun acc c -> acc +. Resources.Cpu.utilization c.ccpu)
+        0.0 sys.clients
+    in
+    s /. float_of_int (Array.length sys.clients)
+  in
+  {
+    algo;
+    workload = params.Workload.Wparams.name;
+    sim_seconds = measure;
+    throughput = Metrics.throughput m ~now:stop;
+    resp_mean = Metrics.response_mean m;
+    resp_ci90 = Metrics.response_ci90 m;
+    resp_batches = Metrics.response_batches m;
+    commits;
+    aborts = Metrics.aborts m;
+    deadlocks = Locking.Waits_for.deadlocks sys.server.wfg - deadlocks_at_warmup;
+    messages = Metrics.messages m;
+    msgs_per_commit = Metrics.msgs_per_commit m;
+    kbytes_per_commit =
+      (if commits = 0 then 0.0
+       else float_of_int (Metrics.bytes m) /. 1024.0 /. float_of_int commits);
+    disk_ios = Resources.Disk_array.io_count sys.server.sdisks;
+    server_cpu_util = Resources.Cpu.utilization sys.server.scpu;
+    client_cpu_util = clients_util;
+    disk_util = Resources.Disk_array.utilization sys.server.sdisks;
+    net_util = Resources.Network.utilization sys.net;
+    lock_waits = Metrics.lock_waits m;
+    avg_lock_wait = Metrics.avg_lock_wait m;
+    callback_blocks = Metrics.callback_blocks m;
+    merges = Metrics.merges m;
+    deescalations = Metrics.deescalations m;
+    page_write_grants = Metrics.page_write_grants m;
+    object_write_grants = Metrics.object_write_grants m;
+    overflows = Metrics.overflows m;
+    token_waits = Metrics.token_waits m;
+    token_bounces = Metrics.token_bounces m;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s / %s: %.2f tps (resp %.0f ms +/- %.0f, %d batches)@,\
+     commits %d, aborts %d, deadlocks %d@,\
+     msgs/commit %.1f, KB/commit %.1f, disk I/Os %d@,\
+     util: server CPU %.2f, client CPU %.2f, disk %.2f, net %.2f@,\
+     lock waits %d (avg %.1f ms), callback blocks %d, merges %d@,\
+     de-escalations %d, write grants page/object %d/%d@]"
+    (Algo.to_string r.algo) r.workload r.throughput (1000.0 *. r.resp_mean)
+    (1000.0 *. r.resp_ci90) r.resp_batches r.commits r.aborts r.deadlocks
+    r.msgs_per_commit r.kbytes_per_commit r.disk_ios r.server_cpu_util
+    r.client_cpu_util r.disk_util r.net_util r.lock_waits
+    (1000.0 *. r.avg_lock_wait) r.callback_blocks r.merges r.deescalations
+    r.page_write_grants r.object_write_grants

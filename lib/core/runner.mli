@@ -1,0 +1,51 @@
+(** Assemble and run one simulation configuration.
+
+    A run builds the system, lets it warm up (caches fill, queues reach
+    steady state), resets the statistics, measures for a fixed window of
+    simulated time, and reports a {!result}.  Runs are deterministic in
+    [seed]. *)
+
+type result = {
+  algo : Algo.t;
+  workload : string;
+  sim_seconds : float;  (** length of the measurement window *)
+  throughput : float;  (** committed transactions per second *)
+  resp_mean : float;
+  resp_ci90 : float;  (** 90% batch-means confidence half-width *)
+  resp_batches : int;
+  commits : int;
+  aborts : int;
+  deadlocks : int;
+  messages : int;
+  msgs_per_commit : float;
+  kbytes_per_commit : float;
+  disk_ios : int;
+  server_cpu_util : float;
+  client_cpu_util : float;  (** mean across clients *)
+  disk_util : float;
+  net_util : float;
+  lock_waits : int;
+  avg_lock_wait : float;
+  callback_blocks : int;
+  merges : int;
+  deescalations : int;
+  page_write_grants : int;
+  object_write_grants : int;
+  overflows : int;  (** page overflows (size-changing update model) *)
+  token_waits : int;  (** write-token blocking events *)
+  token_bounces : int;  (** page bounces on token transfer *)
+}
+
+val run :
+  ?seed:int ->
+  ?warmup:float ->
+  ?measure:float ->
+  cfg:Config.t ->
+  algo:Algo.t ->
+  params:Workload.Wparams.t ->
+  unit ->
+  result
+(** Defaults: [seed = 42], [warmup = 40.0] simulated seconds,
+    [measure = 200.0]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,115 @@
+type row = { label : string; result : Runner.result }
+
+let pp_rows ppf (title, rows) =
+  Format.fprintf ppf "@[<v>%s@," title;
+  Format.fprintf ppf "%-40s %8s %9s %8s %7s@," "configuration" "tps" "msgs/c"
+    "resp ms" "srvCPU";
+  List.iter
+    (fun { label; result = r } ->
+      Format.fprintf ppf "%-40s %8.2f %9.1f %8.0f %7.2f@," label
+        r.Runner.throughput r.Runner.msgs_per_commit
+        (1000.0 *. r.Runner.resp_mean) r.Runner.server_cpu_util)
+    rows;
+  Format.fprintf ppf "@]"
+
+let windows time_scale = (30.0 *. time_scale, 120.0 *. time_scale)
+
+let run ?(time_scale = 1.0) ?(cfg = Config.default) ?trans_size ?page_locality
+    ?(access_pattern = Workload.Wparams.Unclustered)
+    ?(which = Workload.Presets.Hotcold) ?(locality = Workload.Presets.Low)
+    ?(write_prob = 0.1) ~algo () =
+  let warmup, measure = windows time_scale in
+  let params =
+    Workload.Presets.make ?trans_size ?page_locality ~access_pattern which
+      ~db_pages:cfg.Config.db_pages
+      ~objects_per_page:cfg.Config.objects_per_page
+      ~num_clients:cfg.Config.num_clients ~locality ~write_prob
+  in
+  Runner.run ~warmup ~measure ~cfg ~algo ~params ()
+
+let client_scaling ?(time_scale = 1.0) () =
+  let rows =
+    List.concat_map
+      (fun n ->
+        let cfg = { Config.default with Config.num_clients = n } in
+        List.map
+          (fun algo ->
+            {
+              label =
+                Printf.sprintf "%2d clients  %-6s" n (Algo.to_string algo);
+              result = run ~time_scale ~cfg ~algo ();
+            })
+          [ Algo.PS; Algo.PS_AA; Algo.OS ])
+      [ 1; 5; 10; 25 ]
+  in
+  ("sensitivity: number of client workstations (HOTCOLD low, wp=0.1)", rows)
+
+let clustered_access ?(time_scale = 1.0) () =
+  let rows =
+    List.concat_map
+      (fun (pat, pat_name) ->
+        List.map
+          (fun algo ->
+            {
+              label =
+                Printf.sprintf "%-12s %-6s" pat_name (Algo.to_string algo);
+              result = run ~time_scale ~access_pattern:pat ~algo ();
+            })
+          [ Algo.PS; Algo.PS_AA; Algo.OS ])
+      [
+        (Workload.Wparams.Unclustered, "unclustered");
+        (Workload.Wparams.Clustered, "clustered");
+      ]
+  in
+  ("sensitivity: clustered vs unclustered access (HOTCOLD low, wp=0.1)", rows)
+
+let slow_network ?(time_scale = 1.0) () =
+  let rows =
+    List.concat_map
+      (fun (mbits, net_name) ->
+        let cfg = { Config.default with Config.network_mbits = mbits } in
+        List.map
+          (fun algo ->
+            {
+              label =
+                Printf.sprintf "%-10s %-6s" net_name (Algo.to_string algo);
+              result = run ~time_scale ~cfg ~algo ();
+            })
+          [ Algo.PS; Algo.PS_AA; Algo.OS ])
+      [ (80.0, "80 Mbit/s"); (8.0, "8 Mbit/s") ]
+  in
+  ("sensitivity: network bandwidth reduced 10x (HOTCOLD low, wp=0.1)", rows)
+
+let extreme_locality ?(time_scale = 1.0) () =
+  let rows =
+    List.concat_map
+      (fun which ->
+        List.concat_map
+          (fun wp ->
+            List.map
+              (fun algo ->
+                {
+                  label =
+                    Printf.sprintf "%-8s wp=%.2f %-6s"
+                      (Workload.Presets.name_to_string which)
+                      wp (Algo.to_string algo);
+                  result =
+                    run ~time_scale ~trans_size:120
+                      ~page_locality:{ Workload.Wparams.lo = 1; hi = 1 }
+                      ~which ~write_prob:wp ~algo ();
+                })
+              Algo.all)
+          [ 0.05; 0.2 ])
+      [ Workload.Presets.Hotcold; Workload.Presets.Uniform ]
+  in
+  ( "sensitivity: extreme page locality of 1 (120 pages x 1 object; the \
+     paper's only OS win)",
+    rows )
+
+let all ?(time_scale = 1.0) () =
+  [
+    client_scaling ~time_scale ();
+    clustered_access ~time_scale ();
+    slow_network ~time_scale ();
+    extreme_locality ~time_scale ();
+  ]

@@ -1,0 +1,28 @@
+(** The parameter-space sweeps of Section 5.6.2, which the paper
+    summarizes without figures: varying the number of clients, the
+    object access pattern (clustered), the network bandwidth, and —
+    the one case that changes a conclusion — an extreme page locality
+    of one object per page, where the object server becomes
+    competitive.  Each driver returns labelled rows for the bench
+    harness to print. *)
+
+type row = { label : string; result : Runner.result }
+
+val pp_rows : Format.formatter -> string * row list -> unit
+
+val client_scaling : ?time_scale:float -> unit -> string * row list
+(** 1 to 25 client workstations, HOTCOLD low locality, wp 0.1, PS vs
+    PS-AA vs OS. *)
+
+val clustered_access : ?time_scale:float -> unit -> string * row list
+(** Clustered vs unclustered object reference patterns. *)
+
+val slow_network : ?time_scale:float -> unit -> string * row list
+(** Bandwidth reduced by a factor of ten (8 Mbit/s). *)
+
+val extreme_locality : ?time_scale:float -> unit -> string * row list
+(** Page locality of exactly one object per page (120-page
+    transactions): the paper's only regime where OS wins under HOTCOLD
+    and briefly under UNIFORM. *)
+
+val all : ?time_scale:float -> unit -> (string * row list) list

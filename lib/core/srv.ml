@@ -1,0 +1,617 @@
+open Storage
+open Simcore
+open Model
+open Locking
+
+type read_reply =
+  | R_page of { unavailable : Ids.Int_set.t; version : int }
+  | R_objs of Ids.Oid.t list
+  | R_aborted
+
+type write_reply = W_page | W_obj | W_aborted
+
+let scharge sys instr = Resources.Cpu.system sys.server.scpu instr
+
+(* One physical I/O: initiation CPU then the disk itself. *)
+let disk_io sys =
+  scharge sys sys.cfg.Config.disk_overhead_inst;
+  Resources.Disk_array.io sys.server.sdisks
+
+(* Ensure a page is resident, paying the read (and any dirty
+   write-back).  [read_from_disk:false] installs a full incoming page
+   copy, which needs no read. *)
+let buffer_page sys p ~read_from_disk =
+  match Buffer_pool.access sys.server.sbuffer p with
+  | Buffer_pool.Hit -> ()
+  | Buffer_pool.Miss evicted ->
+    (match evicted with
+    | Some (_victim, true) -> disk_io sys (* write back dirty victim *)
+    | Some (_, false) | None -> ());
+    if read_from_disk then disk_io sys
+
+(* Blocking lock-table request with wait-time accounting. *)
+let locked_acquire sys table item ~txn ~kind =
+  let t0 = Engine.now sys.engine in
+  let g = Lock_table.acquire table item ~txn:txn.tid ~kind in
+  let dt = Engine.now sys.engine -. t0 in
+  if dt > 0.0 then Metrics.note_lock_wait sys.metrics ~duration:dt;
+  g
+
+(* --- Callbacks ------------------------------------------------------- *)
+
+(* The copy tables are maintained exactly and exclusively by the
+   client-side cache operations (install/drop/mark, with piggybacked
+   deregistration), so a callback acknowledgement never mutates them:
+   updating the table at ack time would race with the target refetching
+   the item while the ack is in transit, erasing a registration the
+   client legitimately holds. *)
+let copy_registered sys kind target =
+  match kind with
+  | Cb.Purge_page p -> Copy_table.holds sys.server.pcopies p ~client:target
+  | Cb.Adaptive o ->
+    Copy_table.holds sys.server.pcopies o.Ids.Oid.page ~client:target
+  | Cb.Purge_obj o | Cb.Mark_obj o ->
+    Copy_table.holds sys.server.ocopies o ~client:target
+
+(* Issue callbacks to [targets] and wait for all acknowledgements.  The
+   writer's wait is registered in the waits-for graph (the per-client
+   handlers add the actual edges as they discover local conflicts); if
+   the writer is chosen as a deadlock victim meanwhile, the wait resolves
+   to [`Aborted] and the stragglers complete harmlessly in the
+   background.
+
+   A [Not_cached] result while the server still has the target
+   registered means the copy was in transit to the client when the
+   callback arrived; the callback is re-sent so the conflict is resolved
+   against the installed copy rather than silently ignored. *)
+let do_callbacks sys ~writer ~kind ~targets =
+  if targets = [] then `Acks []
+  else begin
+    let engine = sys.engine in
+    let gather = Gather.create engine (List.length targets) in
+    let outcome = Ivar.create engine in
+    Waits_for.set_wait ~info:"callback-gather" sys.server.wfg writer ~blockers:[]
+      ~cancel:(fun () ->
+        if not (Ivar.is_full outcome) then Ivar.fill outcome `Aborted);
+    List.iter
+      (fun target ->
+        Proc.spawn engine (fun () ->
+            let rec round () =
+              Netlayer.control sys ~cls:Metrics.M_callback ~src:Netlayer.Server
+                ~dst:(Netlayer.Client target);
+              let result = Cb.handle sys ~client:target ~writer kind in
+              Netlayer.control sys ~cls:Metrics.M_callback_reply
+                ~src:(Netlayer.Client target) ~dst:Netlayer.Server;
+              scharge sys sys.cfg.Config.register_copy_inst;
+              match result with
+              | Cb.Not_cached when copy_registered sys kind target ->
+                round ()
+              | result -> Gather.add gather (target, result)
+            in
+            round ()))
+      targets;
+    Proc.spawn engine (fun () ->
+        let results = Gather.wait gather in
+        if not (Ivar.is_full outcome) then Ivar.fill outcome (`Acks results));
+    let r = Ivar.read outcome in
+    (match r with
+    | `Acks _ -> Waits_for.clear_wait sys.server.wfg writer
+    | `Aborted -> ());
+    r
+  end
+
+(* Size-changing update model (Section 6.1): each installed update may
+   have grown its object; a grown object overflows its page with some
+   probability, costing forwarding work and an extra I/O to update the
+   anchor page of the forwarded object. *)
+let maybe_overflow sys ~objects =
+  let cfg = sys.cfg in
+  let p_over = cfg.Config.size_change_prob *. cfg.Config.overflow_prob in
+  if p_over > 0.0 then
+    for _ = 1 to objects do
+      if Rng.bool sys.server.srv_rng ~p:p_over then begin
+        Metrics.note_overflow sys.metrics;
+        scharge sys cfg.Config.forward_inst;
+        disk_io sys
+      end
+    done
+
+(* --- PS-AA de-escalation --------------------------------------------- *)
+
+let client_of_txn sys tid =
+  let found = ref None in
+  Array.iter
+    (fun c ->
+      match c.running with
+      | Some t when t.tid = tid -> found := Some c
+      | _ -> ())
+    sys.clients;
+  !found
+
+(* Ask the holder of a page write lock to de-escalate: it registers
+   object write locks for the objects it has updated on the page and
+   gives up the page lock (Section 3.3.3). *)
+let deescalate_page sys p holder =
+  match Hashtbl.find_opt sys.server.deesc_inflight p with
+  | Some inflight ->
+    (* Another request already triggered this de-escalation; just wait
+       for it to finish. *)
+    Ivar.read inflight
+  | None -> (
+    match client_of_txn sys holder with
+    | None -> () (* holder finished in the meantime *)
+    | Some hc ->
+      let inflight = Ivar.create sys.engine in
+      Hashtbl.replace sys.server.deesc_inflight p inflight;
+      Netlayer.control sys ~cls:Metrics.M_deescalate ~src:Netlayer.Server
+        ~dst:(Netlayer.Client hc.cid);
+      (* Client side: atomically convert the local bookkeeping so any
+         further updates at the holder request proper object locks. *)
+      Resources.Cpu.system hc.ccpu sys.cfg.Config.lock_inst;
+      let objs =
+        match hc.running with
+        | Some t when t.tid = holder && Ids.Page_set.mem p t.wpages ->
+          let objs =
+            Ids.Oid_set.filter (fun o -> o.Ids.Oid.page = p) t.updated
+          in
+          t.wpages <- Ids.Page_set.remove p t.wpages;
+          t.wobjs <- Ids.Oid_set.union objs t.wobjs;
+          objs
+        | _ -> Ids.Oid_set.empty
+      in
+      Netlayer.control sys ~cls:Metrics.M_deescalate_reply
+        ~src:(Netlayer.Client hc.cid) ~dst:Netlayer.Server;
+      let n = Ids.Oid_set.cardinal objs in
+      if n > 0 then begin
+        scharge sys (float_of_int n *. sys.cfg.Config.deescalate_inst);
+        (* The holder may have committed or aborted while the reply (or
+           the CPU charge above) was pending — its server-side locks are
+           then already gone even though the client-side [running] field
+           lingers until the commit reply returns.  Converting locks for
+           such a transaction would leak them forever, so the precise
+           guard is that the page write lock is still held; no suspension
+           can occur between this check and the lock surgery below. *)
+        let holder_alive =
+          Lock_table.holder sys.server.plocks p = Some holder
+        in
+        if holder_alive then begin
+          Ids.Oid_set.iter
+            (fun o ->
+              Lock_table.force_grant sys.server.olocks o ~txn:holder;
+              index_obj_lock sys.server o)
+            objs;
+          Lock_table.release sys.server.plocks p ~txn:holder;
+          Metrics.note_deescalation sys.metrics ~objects:n;
+          Trace.event sys "txn %d deescalated page %d -> %d object locks"
+            holder p n
+        end
+      end;
+      Hashtbl.remove sys.server.deesc_inflight p;
+      Ivar.fill inflight ())
+
+(* Repeat until the page carries no foreign page-grain write lock.  Each
+   round either converts the current holder's lock, observes that it is
+   gone, or — when the holder is mid-commit/mid-abort (its client no
+   longer runs the transaction but the server has not yet processed the
+   release) — waits behind the lock with a read probe rather than
+   spinning at the same simulated instant.  Returns [Aborted] if the
+   requester loses a deadlock while probing. *)
+let rec deescalate_loop sys txn p =
+  match Lock_table.holder sys.server.plocks p with
+  | Some h when h <> txn.tid -> (
+    match client_of_txn sys h with
+    | Some _ ->
+      deescalate_page sys p h;
+      deescalate_loop sys txn p
+    | None -> (
+      match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Probe with
+      | Lock_types.Aborted -> Lock_types.Aborted
+      | Lock_types.Granted -> deescalate_loop sys txn p))
+  | Some _ | None -> Lock_types.Granted
+
+(* --- Write-token page updates (Section 6.1 alternative) ---------------- *)
+
+(* Under [Config.Write_token] a page has at most one updater at a time:
+   a writer must own the page's update token.  Taking the token from a
+   transaction with uncommitted updates on the page blocks until that
+   transaction terminates (with a deadlock-detectable wait); taking it
+   from an idle owner bounces the page through the server — the
+   communication cost the paper cites as the approach's weakness. *)
+let acquire_token sys txn p =
+  let rec go () =
+    match Hashtbl.find_opt sys.server.token_owner p with
+    | Some (owner_client, owner_tid) when owner_client <> txn.client -> (
+      (* The owning transaction counts as live as long as it runs: its
+         first update may not be recorded yet when its lock grant and a
+         competitor's token request race, and stealing the token in that
+         window would let two transactions update the page at once. *)
+      let live_owner =
+        match client_txn sys owner_client with
+        | Some t when t.tid = owner_tid -> Some t
+        | Some _ | None -> None
+      in
+      match live_owner with
+      | Some t -> (
+        (* Owner still has uncommitted updates: wait for its end. *)
+        Metrics.note_token_wait sys.metrics;
+        let outcome =
+          Proc.suspend sys.engine (fun resume ->
+              let fired = ref false in
+              let fire r =
+                if not !fired then begin
+                  fired := true;
+                  resume (Ok r)
+                end
+              in
+              let oc = sys.clients.(owner_client) in
+              oc.end_hooks <- (fun () -> fire `Retry) :: oc.end_hooks;
+              Waits_for.set_wait ~info:"token" sys.server.wfg txn.tid
+                ~blockers:[ t.tid ] ~cancel:(fun () -> fire `Aborted);
+              ignore (Waits_for.check_deadlock sys.server.wfg ~from:txn.tid))
+        in
+        match outcome with
+        | `Aborted -> Lock_types.Aborted
+        | `Retry ->
+          Waits_for.clear_wait sys.server.wfg txn.tid;
+          go ())
+      | None ->
+        (* Idle owner: bounce the latest copy of the page through the
+           server to the new owner. *)
+        Metrics.note_token_bounce sys.metrics;
+        Netlayer.page_data sys ~cls:Metrics.M_dirty_data
+          ~src:(Netlayer.Client owner_client) ~dst:Netlayer.Server;
+        buffer_page sys p ~read_from_disk:false;
+        Netlayer.page_data sys ~cls:Metrics.M_dirty_data ~src:Netlayer.Server
+          ~dst:(Netlayer.Client txn.client);
+        (* The bounce refreshed the new owner's copy. *)
+        (match Lru.peek sys.clients.(txn.client).cache p with
+        | Some entry -> entry.fetch_version <- page_version sys p
+        | None -> ());
+        Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
+        Lock_types.Granted)
+    | Some _ | None ->
+      Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
+      Lock_types.Granted
+  in
+  if sys.cfg.Config.update_mode = Config.Merge then Lock_types.Granted
+  else go ()
+
+(* --- Read requests ---------------------------------------------------- *)
+
+let reply_abort_read sys txn =
+  Netlayer.control sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+    ~dst:(Netlayer.Client txn.client);
+  R_aborted
+
+let reply_page sys txn p =
+  let unavailable =
+    match sys.algo with
+    | Algo.PS -> Ids.Int_set.empty
+    | Algo.OS -> assert false
+    | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
+      foreign_locked_slots sys p ~tid:txn.tid
+  in
+  (match sys.algo with
+  | Algo.PS | Algo.PS_OA | Algo.PS_AA ->
+    scharge sys sys.cfg.Config.register_copy_inst;
+    Copy_table.register sys.server.pcopies p ~client:txn.client
+  | Algo.PS_OO ->
+    (* Object-grain copy tracking: register every available object the
+       page copy confers, before the reply leaves the server, so a
+       writer that wins its lock while the copy is in transit still
+       calls this client back. *)
+    scharge sys sys.cfg.Config.register_copy_inst;
+    for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+      if not (Ids.Int_set.mem slot unavailable) then
+        Copy_table.register sys.server.ocopies (Ids.Oid.make ~page:p ~slot)
+          ~client:txn.client
+    done
+  | Algo.OS -> assert false);
+  let version = page_version sys p in
+  Netlayer.page_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+    ~dst:(Netlayer.Client txn.client);
+  R_page { unavailable; version }
+
+let read_rpc sys txn oid =
+  let p = oid.Ids.Oid.page in
+  Netlayer.control sys ~cls:Metrics.M_read_req
+    ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server;
+  scharge sys sys.cfg.Config.lock_inst;
+  match sys.algo with
+  | Algo.PS -> (
+    match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Probe with
+    | Lock_types.Aborted -> reply_abort_read sys txn
+    | Lock_types.Granted ->
+      buffer_page sys p ~read_from_disk:true;
+      reply_page sys txn p)
+  | Algo.OS -> (
+    match
+      locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
+    with
+    | Lock_types.Aborted -> reply_abort_read sys txn
+    | Lock_types.Granted ->
+      buffer_page sys p ~read_from_disk:true;
+      (* With os_group_size > 1 the server ships the whole static group
+         around the requested object (a grouped-object server, Section
+         6.2), skipping members write-locked elsewhere. *)
+      let group =
+        let g = sys.cfg.Config.os_group_size in
+        if g <= 1 then [ oid ]
+        else begin
+          let base = oid.Ids.Oid.slot / g * g in
+          List.filter_map
+            (fun i ->
+              let slot = base + i in
+              if slot >= sys.cfg.Config.objects_per_page then None
+              else
+                let o = Ids.Oid.make ~page:p ~slot in
+                if Ids.Oid.equal o oid then Some o
+                else if Lock_table.conflicts sys.server.olocks o ~txn:txn.tid
+                then None
+                else Some o)
+            (List.init g Fun.id)
+        end
+      in
+      scharge sys sys.cfg.Config.register_copy_inst;
+      List.iter
+        (fun o -> Copy_table.register sys.server.ocopies o ~client:txn.client)
+        group;
+      Netlayer.objs_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+        ~dst:(Netlayer.Client txn.client) ~count:(List.length group);
+      R_objs group)
+  | Algo.PS_OO | Algo.PS_OA -> (
+    match
+      locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
+    with
+    | Lock_types.Aborted -> reply_abort_read sys txn
+    | Lock_types.Granted ->
+      buffer_page sys p ~read_from_disk:true;
+      reply_page sys txn p)
+  | Algo.PS_AA -> (
+    match deescalate_loop sys txn p with
+    | Lock_types.Aborted -> reply_abort_read sys txn
+    | Lock_types.Granted -> (
+      match
+        locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
+      with
+      | Lock_types.Aborted -> reply_abort_read sys txn
+      | Lock_types.Granted -> (
+        (* A fresh page-grain lock cannot normally appear while we were
+           queued (our requested object was free), but stay defensive. *)
+        match deescalate_loop sys txn p with
+        | Lock_types.Aborted -> reply_abort_read sys txn
+        | Lock_types.Granted ->
+          buffer_page sys p ~read_from_disk:true;
+          reply_page sys txn p)))
+
+(* --- Write requests ---------------------------------------------------- *)
+
+let reply_write sys txn cls reply =
+  Netlayer.control sys ~cls ~src:Netlayer.Server
+    ~dst:(Netlayer.Client txn.client);
+  reply
+
+(* The index entry is added before the (possibly blocking) acquire:
+   marks consult the lock table's holder, so a pending entry changes
+   nothing, while a freshly granted lock is immediately visible to any
+   reply computed in the same instant — there is no window between the
+   queue grant and the indexing. *)
+let acquire_obj_lock sys txn oid =
+  index_obj_lock sys.server oid;
+  match locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Lock with
+  | Lock_types.Aborted ->
+    unindex_obj_lock sys.server oid;
+    false
+  | Lock_types.Granted -> true
+
+let write_rpc sys txn oid =
+  let p = oid.Ids.Oid.page in
+  Netlayer.control sys ~cls:Metrics.M_write_req
+    ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server;
+  scharge sys sys.cfg.Config.lock_inst;
+  let reply = reply_write sys txn Metrics.M_write_reply in
+  match sys.algo with
+  | Algo.PS -> (
+    match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Lock with
+    | Lock_types.Aborted -> reply W_aborted
+    | Lock_types.Granted -> (
+      let targets =
+        Copy_table.holders_except sys.server.pcopies p ~client:txn.client
+      in
+      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Purge_page p) ~targets with
+      | `Aborted -> reply W_aborted
+      | `Acks _ ->
+        Metrics.note_page_write_grant sys.metrics;
+        reply W_page))
+  | Algo.OS -> (
+    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else
+      let targets =
+        Copy_table.holders_except sys.server.ocopies oid ~client:txn.client
+      in
+      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Purge_obj oid) ~targets with
+      | `Aborted -> reply W_aborted
+      | `Acks _ ->
+        Metrics.note_object_write_grant sys.metrics;
+        reply W_obj)
+  | Algo.PS_OO -> (
+    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
+    else
+      let targets =
+        Copy_table.holders_except sys.server.ocopies oid ~client:txn.client
+      in
+      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Mark_obj oid) ~targets with
+      | `Aborted -> reply W_aborted
+      | `Acks _ ->
+        Metrics.note_object_write_grant sys.metrics;
+        reply W_obj)
+  | Algo.PS_OA -> (
+    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
+    else
+      let targets =
+        Copy_table.holders_except sys.server.pcopies p ~client:txn.client
+      in
+      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets with
+      | `Aborted -> reply W_aborted
+      | `Acks _ ->
+        Metrics.note_object_write_grant sys.metrics;
+        reply W_obj)
+  | Algo.PS_AA -> (
+    match deescalate_loop sys txn p with
+    | Lock_types.Aborted -> reply W_aborted
+    | Lock_types.Granted ->
+    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
+    else begin
+      match deescalate_loop sys txn p with
+      | Lock_types.Aborted -> reply W_aborted
+      | Lock_types.Granted ->
+      let targets =
+        Copy_table.holders_except sys.server.pcopies p ~client:txn.client
+      in
+      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets with
+      | `Aborted -> reply W_aborted
+      | `Acks results ->
+        let all_purged =
+          List.for_all
+            (fun (_, r) -> match r with
+              | Cb.Purged | Cb.Not_cached -> true
+              | Cb.Marked -> false)
+            results
+        in
+        if
+          all_purged
+          && Copy_table.holders_except sys.server.pcopies p ~client:txn.client
+             = []
+          && (not (page_has_foreign_obj_lock sys p ~tid:txn.tid))
+          && Lock_table.try_acquire sys.server.plocks p ~txn:txn.tid
+               ~kind:Lock_types.Lock
+        then begin
+          (* Nobody was using the page: escalate to a page write lock
+             (this is also how the protocol re-escalates once earlier
+             contention has dissipated). *)
+          Metrics.note_page_write_grant sys.metrics;
+          Trace.event sys "txn %d escalated to page write lock on %d" txn.tid
+            p;
+          reply W_page
+        end
+        else begin
+          Metrics.note_object_write_grant sys.metrics;
+          reply W_obj
+        end
+    end)
+
+(* --- Update installation and transaction termination ------------------ *)
+
+let ship_dirty_page sys txn p ~dirty ~fetch_version ~at_commit =
+  let cls = if at_commit then Metrics.M_commit_data else Metrics.M_dirty_data in
+  Netlayer.page_data sys ~cls ~src:(Netlayer.Client txn.client)
+    ~dst:Netlayer.Server;
+  let n = Ids.Int_set.cardinal dirty in
+  let merge_needed =
+    (* Under the write-token discipline only one client at a time
+       updates a page, and token transfer refreshes the new owner's
+       copy, so incoming pages never diverge from the server's. *)
+    sys.cfg.Config.update_mode = Config.Merge
+    && (page_version sys p > fetch_version
+       || page_has_foreign_obj_lock sys p ~tid:txn.tid)
+  in
+  if merge_needed then begin
+    (* Another transaction updated the page since this copy was
+       fetched: merge object by object against the server's copy. *)
+    buffer_page sys p ~read_from_disk:true;
+    scharge sys (sys.cfg.Config.copy_merge_inst *. float_of_int n);
+    Metrics.note_merge sys.metrics ~objects:n
+  end
+  else buffer_page sys p ~read_from_disk:false;
+  Buffer_pool.mark_dirty sys.server.sbuffer p;
+  maybe_overflow sys ~objects:n
+
+let ship_dirty_objs sys txn oids ~at_commit =
+  match oids with
+  | [] -> ()
+  | _ ->
+    let cls =
+      if at_commit then Metrics.M_commit_data else Metrics.M_dirty_data
+    in
+    Netlayer.objs_data sys ~cls ~src:(Netlayer.Client txn.client)
+      ~dst:Netlayer.Server ~count:(List.length oids);
+    let pages =
+      List.sort_uniq compare (List.map (fun o -> o.Ids.Oid.page) oids)
+    in
+    List.iter
+      (fun p ->
+        (* Installing an object into a page requires the page frame. *)
+        buffer_page sys p ~read_from_disk:true;
+        Buffer_pool.mark_dirty sys.server.sbuffer p)
+      pages;
+    maybe_overflow sys ~objects:(List.length oids)
+
+(* Redo-at-server commit processing: the client ships log records, not
+   pages, and the server replays each update onto its own copy.  This
+   saves the page-sized commit messages but moves the update CPU work
+   onto the server (the data-shipping offload concern of Section 6.1). *)
+let ship_redo_log sys txn =
+  let n = Ids.Oid_set.cardinal txn.updated in
+  if n > 0 then begin
+    let bytes =
+      (n * sys.cfg.Config.log_record_bytes) + Config.control_bytes sys.cfg
+    in
+    Netlayer.send sys ~cls:Metrics.M_commit_data
+      ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server ~bytes;
+    let by_page = Hashtbl.create 16 in
+    Ids.Oid_set.iter
+      (fun o ->
+        let p = o.Ids.Oid.page in
+        Hashtbl.replace by_page p
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_page p)))
+      txn.updated;
+    Hashtbl.iter
+      (fun p count ->
+        buffer_page sys p ~read_from_disk:true;
+        scharge sys
+          (float_of_int count *. sys.cfg.Config.redo_per_object_inst);
+        Buffer_pool.mark_dirty sys.server.sbuffer p)
+      by_page;
+    maybe_overflow sys ~objects:n
+  end
+
+(* Release from the lock tables' own per-transaction maps, not the
+   client's mirror: a deadlock victim may hold locks the server granted
+   moments before the abort reply, which the client never recorded. *)
+let release_txn_locks sys txn =
+  List.iter
+    (fun o -> unindex_obj_lock sys.server o)
+    (Lock_table.locks_of sys.server.olocks ~txn:txn.tid);
+  Lock_table.release_all sys.server.olocks ~txn:txn.tid;
+  Lock_table.release_all sys.server.plocks ~txn:txn.tid;
+  Waits_for.end_txn sys.server.wfg txn.tid
+
+let bump_versions sys txn =
+  let counts = Hashtbl.create 16 in
+  Ids.Oid_set.iter
+    (fun o ->
+      let p = o.Ids.Oid.page in
+      Hashtbl.replace counts p
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
+    txn.updated;
+  Hashtbl.iter (fun p n -> bump_page_version sys p ~by:n) counts
+
+let commit_rpc sys txn =
+  Netlayer.control sys ~cls:Metrics.M_commit ~src:(Netlayer.Client txn.client)
+    ~dst:Netlayer.Server;
+  scharge sys sys.cfg.Config.lock_inst;
+  bump_versions sys txn;
+  release_txn_locks sys txn;
+  Netlayer.control sys ~cls:Metrics.M_commit_reply ~src:Netlayer.Server
+    ~dst:(Netlayer.Client txn.client)
+
+let abort_rpc sys txn =
+  Netlayer.control sys ~cls:Metrics.M_abort ~src:(Netlayer.Client txn.client)
+    ~dst:Netlayer.Server;
+  scharge sys sys.cfg.Config.lock_inst;
+  release_txn_locks sys txn;
+  Netlayer.control sys ~cls:Metrics.M_abort_reply ~src:Netlayer.Server
+    ~dst:(Netlayer.Client txn.client)

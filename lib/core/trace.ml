@@ -1,0 +1,18 @@
+let src = Logs.Src.create "oodb.kernel" ~doc:"OODBMS simulator kernel events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let setup ~level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.Src.set_level src level
+
+let txn sys ~tid ~client what =
+  Log.debug (fun m ->
+      m "%.5f txn %d (client %d) %s" (Simcore.Engine.now sys.Model.engine) tid
+        client what)
+
+let event sys fmt =
+  Format.kasprintf
+    (fun s ->
+      Log.debug (fun m -> m "%.5f %s" (Simcore.Engine.now sys.Model.engine) s))
+    fmt

@@ -1,0 +1,23 @@
+(** Kernel event tracing on the [Logs] library.
+
+    Disabled by default; enable with {!setup} (the CLIs expose it as
+    [--trace]) to stream transaction lifecycle and protocol events —
+    grants, callbacks, de-escalations, aborts — with simulated
+    timestamps, e.g.:
+
+    {v
+    [oodb] 12.03417 txn 841 (client 3) deescalate page 57 -> 2 object locks
+    v} *)
+
+val src : Logs.src
+(** The [oodb.kernel] log source. *)
+
+val setup : level:Logs.level option -> unit
+(** Install a stderr reporter and set the source's level. *)
+
+val txn : Model.sys -> tid:int -> client:int -> string -> unit
+(** Log one transaction-scoped event (debug level), stamped with the
+    current simulated time. *)
+
+val event : Model.sys -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Log a free-form kernel event (debug level). *)

@@ -1,0 +1,153 @@
+open Oodb_core
+
+type row = { label : string; result : Runner.result }
+
+let pp_rows ppf (title, rows) =
+  Format.fprintf ppf "@[<v>%s@," title;
+  Format.fprintf ppf "%-44s %8s %9s %8s %7s %7s@," "configuration" "tps"
+    "msgs/c" "KB/c" "srvCPU" "disk";
+  List.iter
+    (fun { label; result = r } ->
+      Format.fprintf ppf "%-44s %8.2f %9.1f %8.1f %7.2f %7.2f@," label
+        r.Runner.throughput r.Runner.msgs_per_commit r.Runner.kbytes_per_commit
+        r.Runner.server_cpu_util r.Runner.disk_util)
+    rows;
+  Format.fprintf ppf "@]"
+
+let windows time_scale = (30.0 *. time_scale, 120.0 *. time_scale)
+
+let run_cell ?(time_scale = 1.0) ~cfg ~algo ~which ~locality ~write_prob () =
+  let warmup, measure = windows time_scale in
+  let params =
+    Workload.Presets.make which ~db_pages:cfg.Config.db_pages
+      ~objects_per_page:cfg.Config.objects_per_page
+      ~num_clients:cfg.Config.num_clients ~locality ~write_prob
+  in
+  Runner.run ~warmup ~measure ~cfg ~algo ~params ()
+
+let commit_mode ?(time_scale = 1.0) () =
+  let rows =
+    List.concat_map
+      (fun (mode, mode_name) ->
+        List.concat_map
+          (fun algo ->
+            List.map
+              (fun wp ->
+                let cfg = { Config.default with Config.commit_mode = mode } in
+                let result =
+                  run_cell ~time_scale ~cfg ~algo
+                    ~which:Workload.Presets.Hotcold
+                    ~locality:Workload.Presets.Low ~write_prob:wp ()
+                in
+                {
+                  label =
+                    Printf.sprintf "%-14s %-6s wp=%.2f" mode_name
+                      (Algo.to_string algo) wp;
+                  result;
+                })
+              [ 0.05; 0.2 ])
+          [ Algo.PS; Algo.PS_AA ])
+      [ (Config.Ship_pages, "ship-pages"); (Config.Redo_at_server, "redo-log") ]
+  in
+  ("ablation: commit processing (merge-at-server vs redo-at-server)", rows)
+
+let write_token ?(time_scale = 1.0) () =
+  let rows =
+    List.concat_map
+      (fun (mode, mode_name) ->
+        List.concat_map
+          (fun algo ->
+            List.map
+              (fun wp ->
+                let cfg = { Config.default with Config.update_mode = mode } in
+                let result =
+                  run_cell ~time_scale ~cfg ~algo
+                    ~which:Workload.Presets.Interleaved_private
+                    ~locality:Workload.Presets.High ~write_prob:wp ()
+                in
+                {
+                  label =
+                    Printf.sprintf "%-12s %-6s wp=%.2f" mode_name
+                      (Algo.to_string algo) wp;
+                  result;
+                })
+              [ 0.1; 0.3 ])
+          [ Algo.PS_OO; Algo.PS_AA ])
+      [ (Config.Merge, "merge"); (Config.Write_token, "write-token") ]
+  in
+  ("ablation: concurrent page updates (merge vs write token)", rows)
+
+let group_size ?(time_scale = 1.0) () =
+  let rows =
+    List.concat_map
+      (fun locality ->
+        List.map
+          (fun g ->
+            let cfg = { Config.default with Config.os_group_size = g } in
+            let result =
+              run_cell ~time_scale ~cfg ~algo:Algo.OS
+                ~which:Workload.Presets.Hotcold ~locality ~write_prob:0.05 ()
+            in
+            {
+              label =
+                Printf.sprintf "OS group=%-2d locality=%s" g
+                  (match locality with
+                  | Workload.Presets.Low -> "low"
+                  | Workload.Presets.High -> "high");
+              result;
+            })
+          [ 1; 5; 10; 20 ])
+      [ Workload.Presets.Low; Workload.Presets.High ]
+  in
+  ("ablation: grouped-object server (OS transfer group size)", rows)
+
+let overflow ?(time_scale = 1.0) () =
+  let rows =
+    List.map
+      (fun scp ->
+        let cfg =
+          {
+            Config.default with
+            Config.size_change_prob = scp;
+            overflow_prob = 0.1;
+          }
+        in
+        let result =
+          run_cell ~time_scale ~cfg ~algo:Algo.PS_AA
+            ~which:Workload.Presets.Hotcold ~locality:Workload.Presets.Low
+            ~write_prob:0.2 ()
+        in
+        { label = Printf.sprintf "size-change prob=%.2f" scp; result })
+      [ 0.0; 0.2; 0.5; 1.0 ]
+  in
+  ("ablation: size-changing updates and page overflow", rows)
+
+let think_time ?(time_scale = 1.0) () =
+  let warmup, measure = windows time_scale in
+  let rows =
+    List.map
+      (fun think ->
+        let cfg = Config.default in
+        let params =
+          Workload.Presets.make Workload.Presets.Hotcold ~think_time:think
+            ~db_pages:cfg.Config.db_pages
+            ~objects_per_page:cfg.Config.objects_per_page
+            ~num_clients:cfg.Config.num_clients ~locality:Workload.Presets.Low
+            ~write_prob:0.1
+        in
+        let result =
+          Runner.run ~warmup ~measure ~cfg ~algo:Algo.PS_AA ~params ()
+        in
+        { label = Printf.sprintf "think time %.1fs" think; result })
+      [ 0.0; 0.5; 2.0 ]
+  in
+  ("ablation: client think time (closed-system load)", rows)
+
+let all ?(time_scale = 1.0) () =
+  [
+    commit_mode ~time_scale ();
+    write_token ~time_scale ();
+    group_size ~time_scale ();
+    overflow ~time_scale ();
+    think_time ~time_scale ();
+  ]

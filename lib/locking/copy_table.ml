@@ -1,0 +1,55 @@
+type 'item t = {
+  clients : int;
+  table : ('item, int array) Hashtbl.t;
+  mutable total : int; (* (item, site) pairs with count > 0 *)
+}
+
+let create ~clients =
+  if clients <= 0 then invalid_arg "Copy_table.create: clients";
+  { clients; table = Hashtbl.create 1024; total = 0 }
+
+let register t item ~client =
+  let sites =
+    match Hashtbl.find_opt t.table item with
+    | Some s -> s
+    | None ->
+      let s = Array.make t.clients 0 in
+      Hashtbl.replace t.table item s;
+      s
+  in
+  if sites.(client) = 0 then t.total <- t.total + 1;
+  sites.(client) <- sites.(client) + 1
+
+let unregister t item ~client =
+  match Hashtbl.find_opt t.table item with
+  | None -> ()
+  | Some sites ->
+    if sites.(client) > 0 then begin
+      sites.(client) <- sites.(client) - 1;
+      if sites.(client) = 0 then begin
+        t.total <- t.total - 1;
+        if Array.for_all (fun c -> c = 0) sites then Hashtbl.remove t.table item
+      end
+    end
+
+let refs t item ~client =
+  match Hashtbl.find_opt t.table item with
+  | None -> 0
+  | Some sites -> sites.(client)
+
+let holds t item ~client = refs t item ~client > 0
+
+let holders t item =
+  match Hashtbl.find_opt t.table item with
+  | None -> []
+  | Some sites ->
+    let out = ref [] in
+    for c = t.clients - 1 downto 0 do
+      if sites.(c) > 0 then out := c :: !out
+    done;
+    !out
+
+let holders_except t item ~client =
+  List.filter (fun c -> c <> client) (holders t item)
+
+let copies t = t.total

@@ -1,0 +1,38 @@
+(** Server-side registry of cached copies ("replica management").
+
+    Tracks which client sites hold a cached copy of each item so the
+    server knows where to direct callbacks.  The page-server protocols
+    track pages; OS and PS-OO track objects (Section 3.3).
+
+    Registrations are {e reference counted}: the server registers a
+    copy when it ships it (before the reply reaches the client), so a
+    client may momentarily hold two references to one item — the cached
+    copy and a fresh copy in transit.  Installing the fresh copy over
+    the old one releases the old copy's reference, and dropping a copy
+    releases exactly one reference, so a registration in flight is
+    never erased by the concurrent purge of its predecessor.  A site is
+    a callback target while it holds any reference. *)
+
+type 'item t
+
+val create : clients:int -> 'item t
+
+val register : 'item t -> 'item -> client:int -> unit
+(** Add one reference. *)
+
+val unregister : 'item t -> 'item -> client:int -> unit
+(** Release one reference (no-op at zero). *)
+
+val holds : 'item t -> 'item -> client:int -> bool
+(** True while the site holds at least one reference. *)
+
+val refs : 'item t -> 'item -> client:int -> int
+
+val holders : 'item t -> 'item -> int list
+(** Sites holding at least one reference, ascending. *)
+
+val holders_except : 'item t -> 'item -> client:int -> int list
+(** Callback targets: every holding site except the requester's. *)
+
+val copies : 'item t -> int
+(** Number of (item, site) pairs with at least one reference. *)

@@ -1,0 +1,3 @@
+type txn = int
+type request_kind = Probe | Lock
+type grant = Granted | Aborted

@@ -1,0 +1,20 @@
+(** Shared vocabulary of the locking layer.
+
+    In the callback-locking protocols of the paper, read permissions are
+    embodied by cached copies (a client may read anything it caches), so
+    the server-side lock tables contain only {e write} (exclusive)
+    locks.  Two request kinds queue at the server:
+
+    - {!request_kind.Probe} — a read request that must wait until no
+      other transaction write-locks the item, but acquires nothing;
+    - {!request_kind.Lock} — a request for the exclusive write lock. *)
+
+type txn = int
+(** Transaction identifier.  Each incarnation of a (possibly restarted)
+    transaction gets a fresh id. *)
+
+type request_kind = Probe | Lock
+
+type grant = Granted | Aborted
+(** Outcome of a blocking request: [Aborted] means the requesting
+    transaction was chosen as a deadlock victim while waiting. *)

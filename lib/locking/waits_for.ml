@@ -1,0 +1,96 @@
+open Lock_types
+
+type wait = { mutable blockers : txn list; cancel : unit -> unit; info : string }
+
+type t = {
+  waits : (txn, wait) Hashtbl.t;
+  starts : (txn, float) Hashtbl.t;
+  mutable deadlock_count : int;
+}
+
+let create () =
+  { waits = Hashtbl.create 64; starts = Hashtbl.create 64; deadlock_count = 0 }
+
+let begin_txn t txn ~start = Hashtbl.replace t.starts txn start
+
+let end_txn t txn =
+  assert (not (Hashtbl.mem t.waits txn));
+  Hashtbl.remove t.starts txn
+
+let set_wait ?(info = "") t txn ~blockers ~cancel =
+  Hashtbl.replace t.waits txn { blockers; cancel; info }
+
+let update_blockers t txn blockers =
+  match Hashtbl.find_opt t.waits txn with
+  | None -> ()
+  | Some w -> w.blockers <- blockers
+
+let add_blocker t txn blocker =
+  match Hashtbl.find_opt t.waits txn with
+  | None -> ()
+  | Some w -> if not (List.mem blocker w.blockers) then w.blockers <- blocker :: w.blockers
+
+let clear_wait t txn = Hashtbl.remove t.waits txn
+let is_waiting t txn = Hashtbl.mem t.waits txn
+
+(* Depth-first search for a path from a blocker of [from] back to
+   [from].  Only waiting transactions have outgoing edges, so the search
+   space is the set of blocked transactions (small: at most one wait per
+   client).  Returns the cycle as a list of transactions. *)
+let find_cycle t ~from =
+  let visited = Hashtbl.create 16 in
+  let rec dfs u path =
+    if u = from then Some path
+    else if Hashtbl.mem visited u then None
+    else begin
+      Hashtbl.add visited u ();
+      match Hashtbl.find_opt t.waits u with
+      | None -> None
+      | Some w -> dfs_list w.blockers (u :: path)
+    end
+  and dfs_list vs path =
+    match vs with
+    | [] -> None
+    | v :: rest -> (
+      match dfs v path with Some c -> Some c | None -> dfs_list rest path)
+  in
+  match Hashtbl.find_opt t.waits from with
+  | None -> None
+  | Some w -> dfs_list w.blockers [ from ]
+
+let start_time t txn =
+  match Hashtbl.find_opt t.starts txn with Some s -> s | None -> neg_infinity
+
+(* The youngest transaction (latest start) loses. *)
+let pick_victim t cycle =
+  List.fold_left
+    (fun best txn ->
+      if start_time t txn > start_time t best then txn else best)
+    (List.hd cycle) (List.tl cycle)
+
+let cancel_wait t victim =
+  match Hashtbl.find_opt t.waits victim with
+  | None -> ()
+  | Some w ->
+    Hashtbl.remove t.waits victim;
+    w.cancel ()
+
+let check_deadlock t ~from =
+  let victims = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match find_cycle t ~from with
+    | None -> continue := false
+    | Some cycle ->
+      let victim = pick_victim t cycle in
+      t.deadlock_count <- t.deadlock_count + 1;
+      incr victims;
+      cancel_wait t victim
+  done;
+  !victims
+
+let deadlocks t = t.deadlock_count
+let waiting_count t = Hashtbl.length t.waits
+
+let dump t =
+  Hashtbl.fold (fun txn w acc -> (txn, w.blockers, w.info) :: acc) t.waits []

@@ -1,0 +1,56 @@
+(** Global waits-for graph with continuous deadlock detection.
+
+    The simulator is omniscient, so a single graph covers both kinds of
+    waiting in the protocols: transactions blocked in server lock
+    queues, and writers blocked on callbacks that are in turn held up by
+    other clients' active transactions.  A cycle is broken by aborting
+    the {e youngest} transaction in it (the one that started most
+    recently, losing the least work); the victim's registered [cancel]
+    thunk is responsible for dequeuing its pending request and resuming
+    its fiber with [Aborted]. *)
+
+open Lock_types
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> txn -> start:float -> unit
+(** Register a transaction incarnation and its start time (used for
+    victim selection). *)
+
+val end_txn : t -> txn -> unit
+(** Forget a finished or aborted transaction.  It must not be waiting. *)
+
+val set_wait :
+  ?info:string -> t -> txn -> blockers:txn list -> cancel:(unit -> unit) -> unit
+(** [txn] is now blocked on the given transactions.  A transaction can
+    have at most one pending wait; re-registering replaces it. *)
+
+val update_blockers : t -> txn -> txn list -> unit
+(** Replace the blocker set of a waiting transaction (no-op if it is not
+    waiting). *)
+
+val add_blocker : t -> txn -> txn -> unit
+(** Add one edge to an existing wait (no-op if not waiting). *)
+
+val clear_wait : t -> txn -> unit
+(** The transaction is no longer blocked (granted); drops its edges
+    without invoking the cancel thunk. *)
+
+val is_waiting : t -> txn -> bool
+
+val check_deadlock : t -> from:txn -> int
+(** Detect and break every cycle reachable from [from].  Returns the
+    number of victims aborted (0 when no deadlock).  Detection must be
+    run after every edge addition; cycles always involve the
+    most-recently blocked transaction. *)
+
+val deadlocks : t -> int
+(** Total victims aborted since creation. *)
+
+val waiting_count : t -> int
+
+val dump : t -> (txn * txn list * string) list
+(** Snapshot of the graph: each waiting transaction with its blockers
+    (diagnostics). *)

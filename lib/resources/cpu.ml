@@ -1,0 +1,118 @@
+open Simcore
+
+type job = { mutable rem : float; resume : unit Proc.resumer }
+
+type t = {
+  engine : Engine.t;
+  cpu_name : string;
+  rate : float; (* instructions per second *)
+  sys_queue : (float * unit Proc.resumer) Queue.t;
+  mutable sys_active : bool;
+  mutable users : job list;
+  mutable last_progress : float; (* when users' remaining work was last updated *)
+  mutable gen : int; (* invalidates stale user-completion events *)
+  busy : Stats.Time_weighted.t;
+}
+
+let create engine ~name ~mips =
+  if mips <= 0.0 then invalid_arg "Cpu.create: mips must be positive";
+  {
+    engine;
+    cpu_name = name;
+    rate = mips *. 1e6;
+    sys_queue = Queue.create ();
+    sys_active = false;
+    users = [];
+    last_progress = Engine.now engine;
+    gen = 0;
+    busy = Stats.Time_weighted.create ~now:(Engine.now engine);
+  }
+
+let name t = t.cpu_name
+
+let is_busy t = t.sys_active || t.users <> []
+
+let update_busy t =
+  Stats.Time_weighted.update t.busy ~now:(Engine.now t.engine)
+    (if is_busy t then 1.0 else 0.0)
+
+(* Charge elapsed processor-shared progress to every active user job.
+   No progress is made while a system request is active. *)
+let catch_up_users t =
+  let now = Engine.now t.engine in
+  if (not t.sys_active) && t.users <> [] then begin
+    let n = float_of_int (List.length t.users) in
+    let done_instr = (now -. t.last_progress) *. t.rate /. n in
+    List.iter (fun j -> j.rem <- j.rem -. done_instr) t.users
+  end;
+  t.last_progress <- now
+
+let eps_instr = 1e-6
+
+let rec reschedule_users t =
+  t.gen <- t.gen + 1;
+  if (not t.sys_active) && t.users <> [] then begin
+    let min_rem =
+      List.fold_left (fun acc j -> min acc j.rem) infinity t.users
+    in
+    let n = float_of_int (List.length t.users) in
+    let dt = Float.max 0.0 (min_rem *. n /. t.rate) in
+    let gen = t.gen in
+    Engine.schedule_after t.engine dt (fun () ->
+        if gen = t.gen then user_completion t)
+  end
+
+and user_completion t =
+  catch_up_users t;
+  let finished, running =
+    List.partition (fun j -> j.rem <= eps_instr) t.users
+  in
+  t.users <- running;
+  update_busy t;
+  reschedule_users t;
+  List.iter (fun j -> j.resume (Ok ())) finished
+
+let rec start_next_system t =
+  match Queue.take_opt t.sys_queue with
+  | None ->
+    t.sys_active <- false;
+    t.last_progress <- Engine.now t.engine;
+    update_busy t;
+    reschedule_users t
+  | Some (instr, resume) ->
+    t.sys_active <- true;
+    Engine.schedule_after t.engine (instr /. t.rate) (fun () ->
+        resume (Ok ());
+        start_next_system t)
+
+let system t instr =
+  if instr < 0.0 then invalid_arg "Cpu.system: negative work";
+  Proc.suspend t.engine (fun resume ->
+      catch_up_users t;
+      Queue.push (instr, resume) t.sys_queue;
+      if not t.sys_active then begin
+        (* Freeze user progress and start serving the system queue. *)
+        t.gen <- t.gen + 1;
+        start_next_system t
+      end;
+      update_busy t)
+
+let user t instr =
+  if instr < 0.0 then invalid_arg "Cpu.user: negative work";
+  if instr = 0.0 then ()
+  else
+    Proc.suspend t.engine (fun resume ->
+        catch_up_users t;
+        t.users <- { rem = instr; resume } :: t.users;
+        update_busy t;
+        reschedule_users t)
+
+let utilization t =
+  Stats.Time_weighted.average t.busy ~now:(Engine.now t.engine)
+
+let reset_stats t =
+  update_busy t;
+  Stats.Time_weighted.reset t.busy ~now:(Engine.now t.engine);
+  update_busy t
+
+let active_users t = List.length t.users

@@ -1,0 +1,47 @@
+open Simcore
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  min_time : float;
+  max_time : float;
+  mutable free_at : float;
+  ios : Stats.Counter.t;
+  mutable busy_time : float;
+  mutable stats_since : float;
+}
+
+let create engine ~rng ~min_time ~max_time =
+  if min_time < 0.0 || max_time < min_time then
+    invalid_arg "Disk.create: bad service time range";
+  {
+    engine;
+    rng;
+    min_time;
+    max_time;
+    free_at = Engine.now engine;
+    ios = Stats.Counter.create ();
+    busy_time = 0.0;
+    stats_since = Engine.now engine;
+  }
+
+let io t =
+  let now = Engine.now t.engine in
+  let service = Rng.uniform t.rng ~lo:t.min_time ~hi:t.max_time in
+  let start = Float.max now t.free_at in
+  let finish = start +. service in
+  t.free_at <- finish;
+  t.busy_time <- t.busy_time +. service;
+  Stats.Counter.incr t.ios;
+  Proc.hold t.engine (finish -. now)
+
+let io_count t = Stats.Counter.value t.ios
+
+let utilization t =
+  let span = Engine.now t.engine -. t.stats_since in
+  if span <= 0.0 then 0.0 else Float.min 1.0 (t.busy_time /. span)
+
+let reset_stats t =
+  t.stats_since <- Engine.now t.engine;
+  t.busy_time <- Float.max 0.0 (t.free_at -. t.stats_since);
+  Stats.Counter.reset t.ios

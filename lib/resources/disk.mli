@@ -1,0 +1,18 @@
+(** Single disk with a FIFO request queue.
+
+    Access times are drawn uniformly between a minimum and a maximum
+    (Table 1: 10-30 ms).  Because every requester blocks for its own
+    I/O, the FIFO queue is modelled exactly by a "free at" timestamp. *)
+
+type t
+
+val create :
+  Simcore.Engine.t -> rng:Simcore.Rng.t -> min_time:float -> max_time:float -> t
+
+val io : t -> unit
+(** Perform one I/O: wait for the queue, then for a uniformly
+    distributed service time.  Blocks the calling fiber. *)
+
+val io_count : t -> int
+val utilization : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,19 @@
+open Simcore
+
+type t = { rng : Rng.t; disks : Disk.t array }
+
+let create engine ~rng ~disks ~min_time ~max_time =
+  if disks <= 0 then invalid_arg "Disk_array.create: need at least one disk";
+  let make _ = Disk.create engine ~rng:(Rng.split rng) ~min_time ~max_time in
+  { rng = Rng.split rng; disks = Array.init disks make }
+
+let io t = Disk.io (Rng.pick t.rng t.disks)
+
+let io_count t =
+  Array.fold_left (fun acc d -> acc + Disk.io_count d) 0 t.disks
+
+let utilization t =
+  let s = Array.fold_left (fun acc d -> acc +. Disk.utilization d) 0.0 t.disks in
+  s /. float_of_int (Array.length t.disks)
+
+let reset_stats t = Array.iter Disk.reset_stats t.disks

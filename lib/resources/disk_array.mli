@@ -1,0 +1,23 @@
+(** The server's bank of disks: "the disk for each request is chosen
+    uniformly from among all of the server's disks" (Section 4.1). *)
+
+type t
+
+val create :
+  Simcore.Engine.t ->
+  rng:Simcore.Rng.t ->
+  disks:int ->
+  min_time:float ->
+  max_time:float ->
+  t
+
+val io : t -> unit
+(** One I/O on a uniformly chosen disk; blocks the calling fiber. *)
+
+val io_count : t -> int
+(** Total I/Os across all disks. *)
+
+val utilization : t -> float
+(** Mean utilization across the disks. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,18 @@
+(** Local area network model: a single FIFO server with a fixed
+    bandwidth (Section 4.1).  Protocol-processing CPU costs are charged
+    separately by the messaging layer (see {!Oodb_core}); this module
+    models only the on-the-wire time and the serialization of
+    transmissions. *)
+
+type t
+
+val create : Simcore.Engine.t -> bandwidth_mbits:float -> t
+
+val transfer : t -> bytes:int -> unit
+(** Occupy the network for [bytes] (queueing FIFO behind earlier
+    transfers); blocks the calling fiber. *)
+
+val messages : t -> int
+val bytes_sent : t -> int
+val utilization : t -> float
+val reset_stats : t -> unit

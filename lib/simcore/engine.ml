@@ -1,0 +1,53 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable processed : int;
+  queue : event Heap.t;
+}
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { clock = 0.0; seq = 0; processed = 0; queue = Heap.create ~cmp:cmp_event () }
+
+let now t = t.clock
+
+let schedule_at t time action =
+  if time < t.clock -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
+         t.clock);
+  let time = if time < t.clock then t.clock else time in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time; seq = t.seq; action }
+
+let schedule_after t dt action =
+  if dt < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock +. dt) action
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.action ();
+    true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some ev when ev.time <= limit -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < limit then t.clock <- limit
+
+let pending t = Heap.size t.queue
+let events_processed t = t.processed

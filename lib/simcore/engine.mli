@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine: a virtual clock plus an ordered
+    queue of pending events.
+
+    This is the substrate that replaces DeNet [Livn88] in the paper's
+    model.  Events scheduled for the same instant fire in FIFO order
+    (insertion order), which keeps runs deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time, in seconds. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** [schedule_after t dt f] runs [f] at time [now t +. dt].
+    [dt] must be >= 0. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs [f] at absolute [time] (>= [now t]). *)
+
+val run : t -> unit
+(** Process events until the queue is empty. *)
+
+val run_until : t -> float -> unit
+(** Process all events with timestamp <= the limit, then set the clock
+    to the limit.  Events scheduled beyond the limit remain queued. *)
+
+val pending : t -> int
+(** Number of events currently queued. *)
+
+val events_processed : t -> int
+(** Total events executed since creation (a cheap progress measure). *)

@@ -1,0 +1,30 @@
+(** Array-based binary min-heap.
+
+    Used by {!Engine} as the pending-event queue, but generic over the
+    element type: the ordering is fixed at creation time by [cmp].
+    Elements that compare equal are popped in an unspecified order, so
+    callers that need a stable order (as the simulation engine does) must
+    encode a tie-breaker in the element itself. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first).
+    [capacity] is an initial size hint; the heap grows as needed. *)
+
+val size : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. O(log n). *)
+
+val clear : 'a t -> unit
+(** Drop all elements (capacity is retained). *)

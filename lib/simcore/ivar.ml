@@ -1,0 +1,24 @@
+type 'a state = Empty of 'a Proc.resumer list | Full of 'a
+
+type 'a t = { engine : Engine.t; mutable state : 'a state }
+
+let create engine = { engine; state = Empty [] }
+
+let fill t v =
+  match t.state with
+  | Full _ -> invalid_arg "Ivar.fill: already full"
+  | Empty waiters ->
+    t.state <- Full v;
+    List.iter (fun resume -> resume (Ok v)) (List.rev waiters)
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+    Proc.suspend t.engine (fun resume ->
+        match t.state with
+        | Full _ -> assert false
+        | Empty ws -> t.state <- Empty (resume :: ws))
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+let peek t = match t.state with Full v -> Some v | Empty _ -> None

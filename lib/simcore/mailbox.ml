@@ -1,0 +1,20 @@
+type 'a t = {
+  engine : Engine.t;
+  messages : 'a Queue.t;
+  receivers : 'a Proc.resumer Queue.t;
+}
+
+let create engine =
+  { engine; messages = Queue.create (); receivers = Queue.create () }
+
+let send t msg =
+  if Queue.is_empty t.receivers then Queue.push msg t.messages
+  else
+    let resume = Queue.pop t.receivers in
+    resume (Ok msg)
+
+let recv t =
+  if not (Queue.is_empty t.messages) then Queue.pop t.messages
+  else Proc.suspend t.engine (fun resume -> Queue.push resume t.receivers)
+
+let length t = Queue.length t.messages

@@ -1,0 +1,57 @@
+type 'a resumer = ('a, exn) result -> unit
+
+exception Cancelled
+
+type _ Effect.t +=
+  | Suspend : ((('a, exn) result -> unit) -> unit) -> 'a Effect.t
+
+(* Each fiber runs under one deep handler; Suspend captures the
+   continuation and hands a once-only, engine-deferred resumer to the
+   registration function supplied by the suspending code. *)
+
+let handler engine =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> ());
+    exnc =
+      (fun e ->
+        match e with
+        | Cancelled -> () (* a cancelled fiber that did not catch it just dies *)
+        | _ -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              let fired = ref false in
+              let resume (r : (a, exn) result) =
+                if !fired then
+                  invalid_arg "Proc: resumer invoked more than once";
+                fired := true;
+                Engine.schedule_after engine 0.0 (fun () ->
+                    match r with
+                    | Ok v -> continue k v
+                    | Error e -> discontinue k e)
+              in
+              register resume)
+        | _ -> None);
+  }
+
+let spawn engine f =
+  Engine.schedule_after engine 0.0 (fun () ->
+      Effect.Deep.match_with f () (handler engine))
+
+let suspend (_engine : Engine.t) register =
+  Effect.perform (Suspend register)
+
+let hold engine dt =
+  if dt < 0.0 then invalid_arg "Proc.hold: negative delay";
+  if dt = 0.0 then ()
+  else
+    suspend engine (fun resume ->
+        Engine.schedule_after engine dt (fun () -> resume (Ok ())))
+
+let yield engine =
+  suspend engine (fun resume ->
+      Engine.schedule_after engine 0.0 (fun () -> resume (Ok ())))

@@ -1,0 +1,47 @@
+(** Process-oriented simulation on top of {!Engine}, using OCaml 5
+    effect handlers.
+
+    A process ("fiber") is an ordinary OCaml function that may block on
+    simulated time ({!hold}) or on synchronization objects ({!Ivar},
+    {!Mailbox}, or a raw {!suspend}).  This recreates the programming
+    model of DeNet, in which the paper's simulator was written: client
+    and server activities are written as straight-line code that holds
+    resources and blocks on locks.
+
+    Concurrency discipline: the simulation is single-threaded; a fiber
+    runs without preemption until it blocks, so all state updates between
+    two blocking points are atomic.  Resumptions requested by a resumer
+    are deferred through the engine (at the current simulated time), so
+    waking a fiber never re-enters the waker's critical section. *)
+
+type 'a resumer = ('a, exn) result -> unit
+(** Completion callback for a suspended fiber.  Calling it with [Ok v]
+    resumes the fiber with value [v]; [Error e] raises [e] inside the
+    fiber (used to abort transactions blocked in lock queues).  A
+    resumer must be invoked exactly once; a second call raises
+    [Invalid_argument]. *)
+
+exception Cancelled
+(** Raised inside a fiber whose pending wait was cancelled (for example
+    a transaction chosen as a deadlock victim).  Protocol code catches
+    it at the transaction top level. *)
+
+val spawn : Engine.t -> (unit -> unit) -> unit
+(** [spawn engine f] starts fiber [f] at the current simulated time (it
+    begins running when the engine processes its start event).  An
+    exception escaping [f] other than a normal return is re-raised on
+    the engine loop, aborting the simulation: fibers are expected to
+    handle their own domain errors. *)
+
+val suspend : Engine.t -> ('a resumer -> unit) -> 'a
+(** [suspend engine register] blocks the calling fiber.  [register] is
+    called immediately with the fiber's resumer, which it must stash
+    somewhere (a wait queue, a pending-callback table, ...).  Must be
+    called from within a fiber. *)
+
+val hold : Engine.t -> float -> unit
+(** Block the calling fiber for [dt] seconds of simulated time. *)
+
+val yield : Engine.t -> unit
+(** Block until all other events scheduled for the current instant have
+    run. *)

@@ -1,0 +1,94 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+(* Non-negative 62-bit int from the top bits. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v > (max_int - bound) + 1 then go () else v
+  in
+  go ()
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits scaled into [0, bound). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int r /. 9007199254740992.0 *. bound
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let bool t ~p = float t 1.0 < p
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let sample_without_replacement t ~k ~n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  if k = 0 then [||]
+  else if 2 * k >= n then begin
+    (* Dense case: partial Fisher-Yates over the full index range. *)
+    let all = Array.init n (fun i -> i) in
+    for i = 0 to k - 1 do
+      let j = i + int t (n - i) in
+      let tmp = all.(i) in
+      all.(i) <- all.(j);
+      all.(j) <- tmp
+    done;
+    Array.sub all 0 k
+  end
+  else begin
+    (* Sparse case: rejection with a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,48 @@
+(** Deterministic, seedable pseudo-random number generator.
+
+    Implementation: splitmix64, which is fast, has a 64-bit state, and
+    passes BigCrush.  Every simulation entity that needs randomness gets
+    its own [t] (derived with {!split}), so runs are reproducible and
+    insensitive to the order in which entities draw numbers. *)
+
+type t
+
+val create : seed:int -> t
+(** A generator seeded from [seed] (any int, including 0). *)
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's. *)
+
+val copy : t -> t
+(** A snapshot of the generator state. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform integer in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform float in [\[lo, hi)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val bool : t -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int array
+(** [sample_without_replacement t ~k ~n] is [k] distinct integers drawn
+    uniformly from [\[0, n)], in random order.  Requires [k <= n]. *)

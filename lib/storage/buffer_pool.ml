@@ -1,0 +1,38 @@
+type page = Ids.page
+
+type outcome = Hit | Miss of (page * bool) option
+
+type frame = { mutable dirty : bool }
+
+type t = { frames : (page, frame) Lru.t }
+
+let create ~capacity = { frames = Lru.create ~capacity }
+
+let resident t p = Lru.mem t.frames p
+
+let access t p =
+  match Lru.find t.frames p with
+  | Some _ -> Hit
+  | None ->
+    let evicted = Lru.add t.frames p { dirty = false } in
+    Miss (Option.map (fun (victim, frame) -> (victim, frame.dirty)) evicted)
+
+let mark_dirty t p =
+  match Lru.peek t.frames p with
+  | Some frame -> frame.dirty <- true
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+
+let clean t p =
+  match Lru.peek t.frames p with
+  | Some frame -> frame.dirty <- false
+  | None -> ()
+
+let is_dirty t p =
+  match Lru.peek t.frames p with Some frame -> frame.dirty | None -> false
+
+let drop t p = ignore (Lru.remove t.frames p)
+let size t = Lru.size t.frames
+
+let dirty_count t =
+  Lru.fold t.frames ~init:0 ~f:(fun acc _ frame ->
+      if frame.dirty then acc + 1 else acc)

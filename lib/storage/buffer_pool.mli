@@ -1,0 +1,33 @@
+(** Server buffer pool policy: LRU residency plus dirty-page tracking.
+
+    This module is pure policy — it decides hits, misses, and evictions
+    but performs no I/O.  The server kernel drives the actual disk reads
+    and write-backs so that their costs land on the simulated resources
+    (see {!Oodb_core}). *)
+
+type page = Ids.page
+
+type outcome =
+  | Hit
+  | Miss of (page * bool) option
+      (** Page was absent; it has now been inserted.  The payload is the
+          evicted victim, if the pool was full: [(victim, was_dirty)].
+          A dirty victim must be written back by the caller. *)
+
+type t
+
+val create : capacity:int -> t
+val resident : t -> page -> bool
+
+val access : t -> page -> outcome
+(** Reference a page, loading it on a miss (caller pays the disk read)
+    and reporting the eviction victim to write back if dirty. *)
+
+val mark_dirty : t -> page -> unit
+(** Requires the page to be resident. *)
+
+val clean : t -> page -> unit
+val is_dirty : t -> page -> bool
+val drop : t -> page -> unit
+val size : t -> int
+val dirty_count : t -> int

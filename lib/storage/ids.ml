@@ -1,0 +1,27 @@
+type page = int
+
+module Oid = struct
+  type t = { page : page; slot : int }
+
+  let make ~page ~slot =
+    if page < 0 || slot < 0 then invalid_arg "Oid.make: negative component";
+    { page; slot }
+
+  let compare a b =
+    let c = compare a.page b.page in
+    if c <> 0 then c else compare a.slot b.slot
+
+  let equal a b = a.page = b.page && a.slot = b.slot
+  let hash a = (a.page * 8191) + a.slot
+  let pp ppf a = Format.fprintf ppf "%d.%d" a.page a.slot
+  let to_int ~objects_per_page a = (a.page * objects_per_page) + a.slot
+
+  let of_int ~objects_per_page i =
+    { page = i / objects_per_page; slot = i mod objects_per_page }
+end
+
+module Oid_set = Set.Make (Oid)
+module Oid_map = Map.Make (Oid)
+module Page_set = Set.Make (Int)
+module Page_map = Map.Make (Int)
+module Int_set = Set.Make (Int)

@@ -1,0 +1,33 @@
+(** Identifiers for the physical and logical data granules.
+
+    The database is an array of fixed-size pages; each page holds
+    [objects_per_page] fixed-size objects (Section 3: objects smaller
+    than a page; large objects are handled page-at-a-time and are out of
+    scope, as in the paper).  An object is addressed physically by its
+    page and slot. *)
+
+type page = int
+(** Page number in [\[0, database_size)]. *)
+
+module Oid : sig
+  type t = { page : page; slot : int }
+
+  val make : page:page -> slot:int -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  val to_int : objects_per_page:int -> t -> int
+  (** Dense encoding: [page * objects_per_page + slot]. *)
+
+  val of_int : objects_per_page:int -> int -> t
+end
+
+module Oid_set : Set.S with type elt = Oid.t
+module Oid_map : Map.S with type key = Oid.t
+module Page_set : Set.S with type elt = page
+module Page_map : Map.S with type key = page
+
+module Int_set : Set.S with type elt = int
+(** Slot sets within a page. *)

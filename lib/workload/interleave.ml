@@ -1,0 +1,22 @@
+open Storage
+
+let remap ~hot_pages_per_client ~objects_per_page ~num_clients oid =
+  if objects_per_page mod 2 <> 0 then
+    invalid_arg "Interleave.remap: objects_per_page must be even";
+  let { Ids.Oid.page; slot } = oid in
+  let hot_area = hot_pages_per_client * num_clients in
+  if page >= hot_area then oid
+  else begin
+    let client = page / hot_pages_per_client in
+    if client = num_clients - 1 && num_clients mod 2 = 1 then oid
+    else begin
+      let pair_base = client land lnot 1 (* even member of the pair *) in
+      let top_half = client land 1 = 0 in
+      let j = page - (client * hot_pages_per_client) in
+      let flat = (j * objects_per_page) + slot in
+      let half = objects_per_page / 2 in
+      let new_page = (pair_base * hot_pages_per_client) + (flat / half) in
+      let new_slot = (flat mod half) + if top_half then 0 else half in
+      Ids.Oid.make ~page:new_page ~slot:new_slot
+    end
+  end

@@ -1,0 +1,23 @@
+(** Object remapping for the Interleaved PRIVATE workload (Section 5.5).
+
+    The hot regions of client pairs (0,1), (2,3), ... are combined: the
+    hot objects of the even client move to the top half of each page of
+    the combined region, and those of the odd client to the bottom half.
+    The result is an extreme false-sharing workload — each page of a
+    combined region carries hot objects of exactly two clients — while
+    every client still accesses the {e same objects} as in PRIVATE. *)
+
+open Storage
+
+val remap :
+  hot_pages_per_client:int ->
+  objects_per_page:int ->
+  num_clients:int ->
+  Ids.Oid.t ->
+  Ids.Oid.t
+(** Relocate an object.  Objects outside the private hot area (i.e. in
+    the shared cold region) are returned unchanged.  Client [i]'s hot
+    region is assumed to be pages
+    [i * hot_pages_per_client .. (i+1) * hot_pages_per_client - 1].
+    [objects_per_page] must be even; with an odd [num_clients] the last
+    client keeps its original layout (it has no partner). *)

@@ -1,0 +1,107 @@
+type name = Hotcold | Uniform | Hicon | Private_ | Interleaved_private
+
+let all = [ Hotcold; Uniform; Hicon; Private_; Interleaved_private ]
+
+let name_to_string = function
+  | Hotcold -> "HOTCOLD"
+  | Uniform -> "UNIFORM"
+  | Hicon -> "HICON"
+  | Private_ -> "PRIVATE"
+  | Interleaved_private -> "INTERLEAVED-PRIVATE"
+
+let name_of_string s =
+  match String.uppercase_ascii s with
+  | "HOTCOLD" -> Some Hotcold
+  | "UNIFORM" -> Some Uniform
+  | "HICON" -> Some Hicon
+  | "PRIVATE" -> Some Private_
+  | "INTERLEAVED-PRIVATE" | "INTERLEAVED_PRIVATE" | "INTERLEAVED" ->
+    Some Interleaved_private
+  | _ -> None
+
+type locality = Low | High
+
+let locality_range = function
+  | Low -> { Wparams.lo = 1; hi = 7 }
+  | High -> { Wparams.lo = 8; hi = 16 }
+
+let default_trans_size = function Low -> 30 | High -> 10
+
+let whole_db ~db_pages = { Wparams.first = 0; last = db_pages - 1 }
+
+let hot_region_of ~db_pages ~num_clients which client =
+  match which with
+  | Uniform -> None
+  | Hicon ->
+    (* One shared skewed region: db/5 pages (250 of 1250). *)
+    Some { Wparams.first = 0; last = (db_pages / 5) - 1 }
+  | Hotcold ->
+    let span = db_pages / 25 (* 50 of 1250 *) in
+    Some { Wparams.first = client * span; last = ((client + 1) * span) - 1 }
+  | Private_ | Interleaved_private ->
+    let span = db_pages / 50 (* 25 of 1250 *) in
+    ignore num_clients;
+    Some { Wparams.first = client * span; last = ((client + 1) * span) - 1 }
+
+let make ?trans_size ?page_locality ?(access_pattern = Wparams.Unclustered)
+    ?(per_object_read_instr = 10_000.0) ?(think_time = 0.0) which ~db_pages
+    ~objects_per_page ~num_clients ~locality ~write_prob =
+  let is_private =
+    match which with Private_ | Interleaved_private -> true | _ -> false
+  in
+  let trans_size =
+    match trans_size with
+    | Some n -> n
+    | None ->
+      if is_private && locality = Low then 13
+        (* paper footnote: 30-page transactions do not fit PRIVATE's
+           25-page hot regions; they used transSize=13, locality ~8 *)
+      else default_trans_size locality
+  in
+  let page_locality =
+    match page_locality with
+    | Some r -> r
+    | None ->
+      if is_private && locality = Low then { Wparams.lo = 4; hi = 12 }
+      else locality_range locality
+  in
+  let clients =
+    Array.init num_clients (fun client ->
+        let hot_region = hot_region_of ~db_pages ~num_clients which client in
+        let cold_region =
+          if is_private then
+            (* Shared, read-only second half of the database. *)
+            { Wparams.first = db_pages / 2; last = db_pages - 1 }
+          else whole_db ~db_pages
+        in
+        {
+          Wparams.hot_region;
+          cold_region;
+          hot_access_prob = (match which with Uniform -> 0.0 | _ -> 0.8);
+          hot_write_prob = write_prob;
+          cold_write_prob = (if is_private then 0.0 else write_prob);
+        })
+  in
+  let remap =
+    match which with
+    | Interleaved_private ->
+      let hot_pages_per_client = db_pages / 50 in
+      Some
+        (Interleave.remap ~hot_pages_per_client ~objects_per_page ~num_clients)
+    | _ -> None
+  in
+  let params =
+    {
+      Wparams.name = name_to_string which;
+      trans_size;
+      page_locality;
+      access_pattern;
+      per_object_read_instr;
+      per_object_write_instr = 2.0 *. per_object_read_instr;
+      think_time;
+      clients;
+      remap;
+    }
+  in
+  Wparams.validate params ~db_pages ~objects_per_page;
+  params

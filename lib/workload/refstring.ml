@@ -1,0 +1,98 @@
+open Storage
+open Simcore
+
+type op = { oid : Ids.Oid.t; write : bool }
+type t = op array
+
+(* Draw [n] distinct pages, each independently routed to the hot or cold
+   region; duplicates are rejected and redrawn.  If one region becomes
+   exhausted the draw falls through to the other, so generation always
+   terminates when Wparams.validate accepted the workload. *)
+let draw_pages rng (c : Wparams.per_client) n =
+  let chosen = Hashtbl.create (2 * n) in
+  let pick_in (r : Wparams.region) =
+    Rng.int_in rng ~lo:r.first ~hi:r.last
+  in
+  let region_full (r : Wparams.region) =
+    let size = Wparams.region_size r in
+    let inside = Hashtbl.fold (fun p () acc ->
+        if Wparams.in_region r p then acc + 1 else acc) chosen 0 in
+    inside >= size
+  in
+  let out = ref [] in
+  let count = ref 0 in
+  while !count < n do
+    let want_hot =
+      match c.hot_region with
+      | None -> false
+      | Some hr ->
+        if region_full hr then false
+        else if region_full c.cold_region then true
+        else Rng.bool rng ~p:c.hot_access_prob
+    in
+    let p =
+      match (want_hot, c.hot_region) with
+      | true, Some hr -> pick_in hr
+      | true, None -> assert false
+      | false, _ -> pick_in c.cold_region
+    in
+    if not (Hashtbl.mem chosen p) then begin
+      Hashtbl.add chosen p ();
+      out := p :: !out;
+      incr count
+    end
+  done;
+  List.rev !out
+
+let write_prob_for (c : Wparams.per_client) page =
+  match c.hot_region with
+  | Some hr when Wparams.in_region hr page -> c.hot_write_prob
+  | Some _ | None -> c.cold_write_prob
+
+let generate ~rng ~params ~client ~objects_per_page =
+  let c = params.Wparams.clients.(client) in
+  let pages = draw_pages rng c params.trans_size in
+  let per_page_ops =
+    List.map
+      (fun page ->
+        let k =
+          Rng.int_in rng ~lo:params.page_locality.lo
+            ~hi:(min params.page_locality.hi objects_per_page)
+        in
+        let slots = Rng.sample_without_replacement rng ~k ~n:objects_per_page in
+        let wp = write_prob_for c page in
+        Array.map
+          (fun slot ->
+            { oid = Ids.Oid.make ~page ~slot; write = Rng.bool rng ~p:wp })
+          slots)
+      pages
+  in
+  let ops =
+    match params.access_pattern with
+    | Clustered -> Array.concat per_page_ops
+    | Unclustered ->
+      let all = Array.concat per_page_ops in
+      Rng.shuffle rng all;
+      all
+  in
+  match params.remap with
+  | None -> ops
+  | Some f -> Array.map (fun op -> { op with oid = f op.oid }) ops
+
+let pages t =
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  Array.iter
+    (fun op ->
+      let p = op.oid.Ids.Oid.page in
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.add seen p ();
+        out := p :: !out
+      end)
+    t;
+  List.rev !out
+
+let object_count t = Array.length t
+
+let write_count t =
+  Array.fold_left (fun acc op -> if op.write then acc + 1 else acc) 0 t

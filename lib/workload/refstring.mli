@@ -1,0 +1,36 @@
+(** Transaction reference-string generation.
+
+    "Client transactions themselves are each modeled as a string of
+    object references (i.e., object reads and writes).  When a client
+    transaction aborts, it is resubmitted with the same object reference
+    string." (Section 4.1) — so a transaction is generated once as an
+    immutable array of operations and replayed verbatim on restart. *)
+
+open Storage
+
+type op = {
+  oid : Ids.Oid.t;
+  write : bool;
+      (** a write is a read access that leads to an update of the same
+          object (Section 4.2: update probability applies to reads) *)
+}
+
+type t = op array
+
+val generate :
+  rng:Simcore.Rng.t ->
+  params:Wparams.t ->
+  client:int ->
+  objects_per_page:int ->
+  t
+(** Draw one transaction for [client]: [trans_size] distinct pages
+    (hot with probability [hot_access_prob], without replacement),
+    a uniform [page_locality] number of distinct objects on each, a
+    per-object update flag, ordered per the access pattern, and finally
+    run through [remap] if the workload relocates objects. *)
+
+val pages : t -> Ids.page list
+(** Distinct pages referenced, in first-reference order. *)
+
+val object_count : t -> int
+val write_count : t -> int

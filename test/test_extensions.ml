@@ -1,0 +1,215 @@
+(* Tests of the Section 6 extension models: redo-at-server commit
+   processing, the write-token alternative to merging, grouped-object
+   transfer for OS, and the size-change/overflow model. *)
+
+open Oodb_core
+open Storage
+
+let oid page slot = Ids.Oid.make ~page ~slot
+let op ?(write = false) o = { Workload.Refstring.oid = o; write }
+let read_op p s = op (oid p s)
+let write_op p s = op ~write:true (oid p s)
+
+let mk_sys ?(clients = 2) ?(cfg = Config.default) algo =
+  let cfg = { cfg with Config.num_clients = clients } in
+  let params =
+    Workload.Presets.make Workload.Presets.Uniform ~db_pages:cfg.Config.db_pages
+      ~objects_per_page:cfg.Config.objects_per_page ~num_clients:clients
+      ~locality:Workload.Presets.Low ~write_prob:0.0
+  in
+  Model.create ~cfg ~algo ~params ~seed:11
+
+let run_staggered sys txns =
+  let remaining = ref (List.length txns) in
+  List.iter
+    (fun (delay, client, ops) ->
+      Simcore.Engine.schedule_after sys.Model.engine delay (fun () ->
+          Client.run_one sys ~client (Array.of_list ops) (fun () ->
+              decr remaining)))
+    txns;
+  Simcore.Engine.run_until sys.Model.engine 60.0;
+  Alcotest.(check int) "all transactions committed" 0 !remaining
+
+(* --- Redo-at-server -------------------------------------------------------- *)
+
+let test_redo_commits_without_page_shipping () =
+  let cfg = { Config.default with Config.commit_mode = Config.Redo_at_server } in
+  let sys = mk_sys ~cfg Algo.PS_AA in
+  run_staggered sys
+    [ (0.0, 0, [ read_op 5 0; write_op 5 0; read_op 5 1; write_op 5 1 ]) ];
+  (* One commit-data message (the log), much smaller than a page. *)
+  Alcotest.(check int) "one log message" 1
+    (Metrics.messages_of sys.Model.metrics Metrics.M_commit_data);
+  Alcotest.(check bool) "log smaller than a page payload" true
+    (Metrics.bytes sys.Model.metrics
+    < 10 * Config.page_msg_bytes Config.default)
+
+let test_redo_cheaper_bytes_than_ship () =
+  let run mode =
+    let cfg = { Config.default with Config.commit_mode = mode } in
+    let sys = mk_sys ~cfg Algo.PS in
+    run_staggered sys
+      [ (0.0, 0, [ read_op 5 0; write_op 5 0; read_op 6 0; write_op 6 0 ]) ];
+    Metrics.bytes sys.Model.metrics
+  in
+  Alcotest.(check bool) "redo ships fewer bytes" true
+    (run Config.Redo_at_server < run Config.Ship_pages)
+
+let test_redo_no_merges () =
+  let cfg = { Config.default with Config.commit_mode = Config.Redo_at_server } in
+  let sys = mk_sys ~cfg Algo.PS_OO in
+  let browse c = List.init 20 (fun i -> read_op (100 + (60 * c) + i) 0) in
+  run_staggered sys
+    [
+      (0.0, 0, read_op 5 0 :: write_op 5 0 :: browse 0);
+      (0.01, 1, read_op 5 9 :: write_op 5 9 :: browse 1);
+    ];
+  Alcotest.(check int) "no page merges under redo" 0
+    (Metrics.merges sys.Model.metrics)
+
+(* --- Write token ------------------------------------------------------------ *)
+
+let test_token_serializes_page_updaters () =
+  let cfg = { Config.default with Config.update_mode = Config.Write_token } in
+  let sys = mk_sys ~cfg Algo.PS_OO in
+  let browse c = List.init 20 (fun i -> read_op (100 + (60 * c) + i) 0) in
+  run_staggered sys
+    [
+      (0.0, 0, read_op 5 0 :: write_op 5 0 :: browse 0);
+      (0.01, 1, read_op 5 9 :: write_op 5 9 :: browse 1);
+    ];
+  Alcotest.(check int) "no merges under write token" 0
+    (Metrics.merges sys.Model.metrics);
+  Alcotest.(check bool) "second writer waited for the token" true
+    (Metrics.token_waits sys.Model.metrics >= 1)
+
+let test_token_bounce_between_transactions () =
+  let cfg = { Config.default with Config.update_mode = Config.Write_token } in
+  let sys = mk_sys ~cfg Algo.PS_OO in
+  (* Sequential transactions at different clients updating the same
+     page: the token transfer is conflict-free but bounces the page. *)
+  run_staggered sys
+    [
+      (0.0, 0, [ read_op 5 0; write_op 5 0 ]);
+      (10.0, 1, [ read_op 5 9; write_op 5 9 ]);
+    ];
+  Alcotest.(check bool) "token bounced" true
+    (Metrics.token_bounces sys.Model.metrics >= 1);
+  Alcotest.(check int) "no waiting (owner idle)" 0
+    (Metrics.token_waits sys.Model.metrics)
+
+let test_token_full_run_invariants () =
+  (* A contended full run under the token discipline must stay live and
+     keep the kernel invariants (they are asserted inside the kernel). *)
+  let cfg = { Config.default with Config.update_mode = Config.Write_token } in
+  let params =
+    Workload.Presets.make Workload.Presets.Hotcold ~db_pages:cfg.Config.db_pages
+      ~objects_per_page:cfg.Config.objects_per_page
+      ~num_clients:cfg.Config.num_clients ~locality:Workload.Presets.Low
+      ~write_prob:0.2
+  in
+  let r = Runner.run ~warmup:5.0 ~measure:20.0 ~cfg ~algo:Algo.PS_OO ~params () in
+  Alcotest.(check bool) "commits under token mode" true (r.Runner.commits > 30);
+  Alcotest.(check int) "never merges" 0 r.Runner.merges
+
+(* --- Grouped-object server --------------------------------------------------- *)
+
+let test_group_fetch_caches_neighbours () =
+  let cfg = { Config.default with Config.os_group_size = 20 } in
+  let sys = mk_sys ~cfg Algo.OS in
+  run_staggered sys [ (0.0, 0, [ read_op 5 3 ]) ];
+  (* The whole page-worth of objects arrived with one fetch. *)
+  let c0 = sys.Model.clients.(0) in
+  let cached =
+    List.length
+      (List.filter (fun s -> Lru.mem c0.Model.ocache (oid 5 s))
+         (List.init 20 Fun.id))
+  in
+  Alcotest.(check int) "group members cached" 20 cached;
+  Alcotest.(check int) "one read request" 1
+    (Metrics.messages_of sys.Model.metrics Metrics.M_read_req)
+
+let test_group_fetch_skips_locked () =
+  let cfg = { Config.default with Config.os_group_size = 20 } in
+  let sys = mk_sys ~cfg Algo.OS in
+  let browse = List.init 30 (fun i -> read_op (100 + i) 0) in
+  run_staggered sys
+    [
+      (0.0, 1, read_op 5 0 :: write_op 5 0 :: browse);
+      (* holds X(5.0) *)
+      (0.05, 0, [ read_op 5 3 ]);
+    ];
+  (* Client 0's group fetch of page 5 must not have received the
+     write-locked object 5.0 (it was not purged at client 1 either). *)
+  Alcotest.(check bool) "group fetch ran" true
+    (Lru.mem sys.Model.clients.(0).Model.ocache (oid 5 3))
+
+let test_group_reduces_messages () =
+  let run g =
+    let cfg = { Config.default with Config.os_group_size = g } in
+    let params =
+      Workload.Presets.make Workload.Presets.Hotcold
+        ~db_pages:cfg.Config.db_pages
+        ~objects_per_page:cfg.Config.objects_per_page
+        ~num_clients:cfg.Config.num_clients ~locality:Workload.Presets.High
+        ~write_prob:0.0
+    in
+    let r = Runner.run ~warmup:5.0 ~measure:20.0 ~cfg ~algo:Algo.OS ~params () in
+    r.Runner.msgs_per_commit
+  in
+  Alcotest.(check bool) "grouping saves messages" true (run 20 < run 1 /. 2.0)
+
+(* --- Overflow model ----------------------------------------------------------- *)
+
+let test_overflow_counts () =
+  let cfg =
+    { Config.default with Config.size_change_prob = 1.0; overflow_prob = 1.0 }
+  in
+  let sys = mk_sys ~cfg Algo.PS in
+  run_staggered sys
+    [ (0.0, 0, [ read_op 5 0; write_op 5 0; read_op 5 1; write_op 5 1 ]) ];
+  (* Every installed update overflowed. *)
+  Alcotest.(check int) "two overflows" 2 (Metrics.overflows sys.Model.metrics)
+
+let test_no_overflow_by_default () =
+  let sys = mk_sys Algo.PS in
+  run_staggered sys [ (0.0, 0, [ read_op 5 0; write_op 5 0 ]) ];
+  Alcotest.(check int) "no overflows" 0 (Metrics.overflows sys.Model.metrics)
+
+let test_config_validation () =
+  List.iter
+    (fun cfg ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           Config.validate cfg;
+           false
+         with Invalid_argument _ -> true))
+    [
+      { Config.default with Config.os_group_size = 0 };
+      { Config.default with Config.os_group_size = 21 };
+      { Config.default with Config.size_change_prob = 1.5 };
+      { Config.default with Config.overflow_prob = -0.1 };
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "redo: commits without page shipping" `Quick
+      test_redo_commits_without_page_shipping;
+    Alcotest.test_case "redo: fewer bytes than ship-pages" `Quick
+      test_redo_cheaper_bytes_than_ship;
+    Alcotest.test_case "redo: no merges" `Quick test_redo_no_merges;
+    Alcotest.test_case "token: serializes page updaters" `Quick
+      test_token_serializes_page_updaters;
+    Alcotest.test_case "token: bounces between transactions" `Quick
+      test_token_bounce_between_transactions;
+    Alcotest.test_case "token: full run invariants" `Slow
+      test_token_full_run_invariants;
+    Alcotest.test_case "group: fetch caches neighbours" `Quick
+      test_group_fetch_caches_neighbours;
+    Alcotest.test_case "group: fetch skips locked" `Quick
+      test_group_fetch_skips_locked;
+    Alcotest.test_case "group: reduces messages" `Slow test_group_reduces_messages;
+    Alcotest.test_case "overflow: counts" `Quick test_overflow_counts;
+    Alcotest.test_case "overflow: off by default" `Quick test_no_overflow_by_default;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+  ]

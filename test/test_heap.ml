@@ -1,0 +1,87 @@
+open Simcore
+
+let pop_all h =
+  let rec go acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let test_empty () =
+  let h = Heap.create ~cmp:compare () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_ordering () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (pop_all h)
+
+let test_duplicates () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 2; 2; 1; 1; 3 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2; 3 ] (pop_all h)
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:compare () in
+  Heap.push h 4;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Heap.pop h);
+  Heap.push h 1;
+  Heap.push h 3;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Heap.pop h)
+
+let test_clear () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.push h 42;
+  Alcotest.(check (option int)) "usable after clear" (Some 42) (Heap.pop h)
+
+let test_custom_cmp () =
+  (* Max-heap via reversed comparison. *)
+  let h = Heap.create ~cmp:(fun a b -> compare b a) () in
+  List.iter (Heap.push h) [ 5; 1; 9; 3 ];
+  Alcotest.(check (list int)) "descending" [ 9; 5; 3; 1 ] (pop_all h)
+
+let prop_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iter (Heap.push h) xs;
+      pop_all h = List.sort compare xs)
+
+let prop_size =
+  QCheck.Test.make ~name:"heap size tracks pushes/pops" ~count:200
+    QCheck.(list small_nat)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iteri
+        (fun i x ->
+          Heap.push h x;
+          assert (Heap.size h = i + 1))
+        xs;
+      List.for_all
+        (fun _ ->
+          let before = Heap.size h in
+          ignore (Heap.pop h);
+          Heap.size h = before - 1)
+        xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "custom comparison" `Quick test_custom_cmp;
+    QCheck_alcotest.to_alcotest prop_sorted;
+    QCheck_alcotest.to_alcotest prop_size;
+  ]

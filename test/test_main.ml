@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "oodb"
+    [
+      ("heap", Test_heap.suite);
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("engine", Test_engine.suite);
+      ("proc", Test_proc.suite);
+      ("resources", Test_resources.suite);
+      ("storage", Test_storage.suite);
+      ("locking", Test_locking.suite);
+      ("workload", Test_workload.suite);
+      ("core-units", Test_core_units.suite);
+      ("kernel-units", Test_kernel_units.suite);
+      ("protocols", Test_protocols.suite);
+      ("extensions", Test_extensions.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("runner", Test_runner.suite);
+    ]

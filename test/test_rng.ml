@@ -1,0 +1,159 @@
+open Simcore
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:9 in
+  let child = Rng.split parent in
+  let xs = List.init 32 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_copy () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_int_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.fail "out of range"
+  done
+
+let test_int_in_bounds () =
+  let r = Rng.create ~seed:8 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in r ~lo:5 ~hi:9 in
+    if v < 5 || v > 9 then Alcotest.fail "out of range"
+  done
+
+let test_int_coverage () =
+  let r = Rng.create ~seed:11 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 6) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let r = Rng.create ~seed:12 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "out of range"
+  done
+
+let test_uniform_mean () =
+  let r = Rng.create ~seed:13 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.uniform r ~lo:10.0 ~hi:30.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 20" true (abs_float (mean -. 20.0) < 0.3)
+
+let test_exponential_mean () =
+  let r = Rng.create ~seed:14 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 4" true (abs_float (mean -. 4.0) < 0.2)
+
+let test_bool_prob () =
+  let r = Rng.create ~seed:15 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool r ~p:0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p near 0.3" true (abs_float (frac -. 0.3) < 0.02)
+
+let test_bool_extremes () =
+  let r = Rng.create ~seed:16 in
+  for _ = 1 to 100 do
+    if Rng.bool r ~p:0.0 then Alcotest.fail "p=0 returned true"
+  done;
+  for _ = 1 to 100 do
+    if not (Rng.bool r ~p:1.0) then Alcotest.fail "p=1 returned false"
+  done
+
+let test_shuffle_permutation () =
+  let r = Rng.create ~seed:17 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let r = Rng.create ~seed:18 in
+  (* Both the dense (2k >= n) and sparse paths. *)
+  List.iter
+    (fun (k, n) ->
+      let s = Rng.sample_without_replacement r ~k ~n in
+      Alcotest.(check int) "count" k (Array.length s);
+      let uniq = List.sort_uniq compare (Array.to_list s) in
+      Alcotest.(check int) "distinct" k (List.length uniq);
+      Array.iter (fun v -> if v < 0 || v >= n then Alcotest.fail "range") s)
+    [ (5, 8); (8, 8); (3, 1000); (0, 10) ]
+
+let test_invalid_args () =
+  let r = Rng.create ~seed:19 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in r ~lo:3 ~hi:2));
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Rng.sample_without_replacement r ~k:4 ~n:3))
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample_without_replacement distinct in range"
+    ~count:200
+    QCheck.(pair (int_range 0 40) (int_range 1 60))
+    (fun (k, n) ->
+      QCheck.assume (k <= n);
+      let r = Rng.create ~seed:(k + (n * 100)) in
+      let s = Rng.sample_without_replacement r ~k ~n in
+      Array.length s = k
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k
+      && Array.for_all (fun v -> v >= 0 && v < n) s)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int coverage" `Quick test_int_coverage;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "bool probability" `Quick test_bool_prob;
+    Alcotest.test_case "bool extremes" `Quick test_bool_extremes;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick
+      test_sample_without_replacement;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    QCheck_alcotest.to_alcotest prop_sample_distinct;
+  ]

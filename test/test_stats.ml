@@ -1,0 +1,132 @@
+open Simcore
+
+let feps = 1e-9
+
+let check_float msg expected actual =
+  Alcotest.(check (float feps)) msg expected actual
+
+let test_welford_basic () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.Welford.count w);
+  check_float "mean" 5.0 (Stats.Welford.mean w);
+  Alcotest.(check (float 1e-6)) "variance" (32.0 /. 7.0) (Stats.Welford.variance w);
+  check_float "min" 2.0 (Stats.Welford.min w);
+  check_float "max" 9.0 (Stats.Welford.max w);
+  check_float "sum" 40.0 (Stats.Welford.sum w)
+
+let test_welford_empty () =
+  let w = Stats.Welford.create () in
+  check_float "mean empty" 0.0 (Stats.Welford.mean w);
+  check_float "variance empty" 0.0 (Stats.Welford.variance w);
+  Alcotest.(check bool) "min inf" true (Stats.Welford.min w = infinity)
+
+let test_welford_single () =
+  let w = Stats.Welford.create () in
+  Stats.Welford.add w 3.5;
+  check_float "mean" 3.5 (Stats.Welford.mean w);
+  check_float "variance single" 0.0 (Stats.Welford.variance w)
+
+let test_welford_reset () =
+  let w = Stats.Welford.create () in
+  Stats.Welford.add w 10.0;
+  Stats.Welford.reset w;
+  Alcotest.(check int) "count after reset" 0 (Stats.Welford.count w);
+  Stats.Welford.add w 2.0;
+  check_float "mean after reset" 2.0 (Stats.Welford.mean w)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.value c)
+
+let test_time_weighted () =
+  let tw = Stats.Time_weighted.create ~now:0.0 in
+  Stats.Time_weighted.update tw ~now:0.0 1.0;
+  Stats.Time_weighted.update tw ~now:4.0 0.0;
+  (* busy 4s of 8s *)
+  check_float "utilization 0.5" 0.5 (Stats.Time_weighted.average tw ~now:8.0)
+
+let test_time_weighted_levels () =
+  let tw = Stats.Time_weighted.create ~now:0.0 in
+  Stats.Time_weighted.update tw ~now:0.0 2.0;
+  Stats.Time_weighted.update tw ~now:5.0 4.0;
+  (* 2*5 + 4*5 = 30 over 10 *)
+  check_float "avg multi-level" 3.0 (Stats.Time_weighted.average tw ~now:10.0)
+
+let test_time_weighted_reset () =
+  let tw = Stats.Time_weighted.create ~now:0.0 in
+  Stats.Time_weighted.update tw ~now:0.0 1.0;
+  Stats.Time_weighted.reset tw ~now:10.0;
+  (* signal stays 1.0 after reset *)
+  check_float "after reset" 1.0 (Stats.Time_weighted.average tw ~now:12.0)
+
+let test_t90 () =
+  Alcotest.(check (float 0.001)) "df=1" 6.314 (Stats.t90 1);
+  Alcotest.(check (float 0.001)) "df=10" 1.812 (Stats.t90 10);
+  Alcotest.(check (float 0.001)) "df large" 1.645 (Stats.t90 500);
+  Alcotest.(check bool) "df=0 infinite" true (Stats.t90 0 = infinity)
+
+let test_batch_means () =
+  let b = Stats.Batch_means.create ~batch_size:10 in
+  (* 100 observations of a constant: CI must be 0-width. *)
+  for _ = 1 to 100 do
+    Stats.Batch_means.add b 5.0
+  done;
+  Alcotest.(check int) "batches" 10 (Stats.Batch_means.num_batches b);
+  check_float "mean" 5.0 (Stats.Batch_means.mean b);
+  check_float "ci" 0.0 (Stats.Batch_means.ci90_half_width b)
+
+let test_batch_means_partial () =
+  let b = Stats.Batch_means.create ~batch_size:10 in
+  List.iter (Stats.Batch_means.add b) [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check int) "no complete batch" 0 (Stats.Batch_means.num_batches b);
+  check_float "falls back to raw mean" 2.0 (Stats.Batch_means.mean b);
+  Alcotest.(check bool) "ci undefined" true
+    (Stats.Batch_means.ci90_half_width b = infinity)
+
+let test_batch_means_ci_shrinks () =
+  (* Alternating values: more batches -> tighter CI. *)
+  let ci n =
+    let b = Stats.Batch_means.create ~batch_size:4 in
+    for i = 1 to n do
+      Stats.Batch_means.add b (if i mod 2 = 0 then 1.0 else 3.0)
+    done;
+    Stats.Batch_means.ci90_half_width b
+  in
+  Alcotest.(check bool) "shrinks with data" true (ci 400 <= ci 40)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"welford matches naive mean/variance" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 60) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let w = Stats.Welford.create () in
+      List.iter (Stats.Welford.add w) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. (n -. 1.0)
+      in
+      abs_float (Stats.Welford.mean w -. mean) < 1e-6
+      && abs_float (Stats.Welford.variance w -. var) < 1e-4)
+
+let suite =
+  [
+    Alcotest.test_case "welford basic" `Quick test_welford_basic;
+    Alcotest.test_case "welford empty" `Quick test_welford_empty;
+    Alcotest.test_case "welford single" `Quick test_welford_single;
+    Alcotest.test_case "welford reset" `Quick test_welford_reset;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "time-weighted 0/1" `Quick test_time_weighted;
+    Alcotest.test_case "time-weighted levels" `Quick test_time_weighted_levels;
+    Alcotest.test_case "time-weighted reset" `Quick test_time_weighted_reset;
+    Alcotest.test_case "t90 table" `Quick test_t90;
+    Alcotest.test_case "batch means constant" `Quick test_batch_means;
+    Alcotest.test_case "batch means partial" `Quick test_batch_means_partial;
+    Alcotest.test_case "batch means CI shrinks" `Quick test_batch_means_ci_shrinks;
+    QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+  ]

@@ -1,0 +1,197 @@
+open Storage
+
+(* --- Ids --------------------------------------------------------------- *)
+
+let test_oid_roundtrip () =
+  let o = Ids.Oid.make ~page:7 ~slot:13 in
+  let i = Ids.Oid.to_int ~objects_per_page:20 o in
+  Alcotest.(check int) "encoding" 153 i;
+  let o' = Ids.Oid.of_int ~objects_per_page:20 i in
+  Alcotest.(check bool) "roundtrip" true (Ids.Oid.equal o o')
+
+let test_oid_compare () =
+  let a = Ids.Oid.make ~page:1 ~slot:5 in
+  let b = Ids.Oid.make ~page:2 ~slot:0 in
+  let c = Ids.Oid.make ~page:1 ~slot:6 in
+  Alcotest.(check bool) "page dominates" true (Ids.Oid.compare a b < 0);
+  Alcotest.(check bool) "slot breaks ties" true (Ids.Oid.compare a c < 0);
+  Alcotest.(check bool) "equal" true (Ids.Oid.compare a a = 0)
+
+let test_oid_invalid () =
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Ids.Oid.make ~page:(-1) ~slot:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- LRU --------------------------------------------------------------- *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check (option (pair int string))) "evict none" None (Lru.add c 1 "a");
+  Alcotest.(check (option (pair int string))) "evict none" None (Lru.add c 2 "b");
+  Alcotest.(check (option string)) "find" (Some "a") (Lru.find c 1);
+  Alcotest.(check int) "size" 2 (Lru.size c)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.add c 1 "a");
+  ignore (Lru.add c 2 "b");
+  (* 1 is LRU; adding 3 evicts it *)
+  (match Lru.add c 3 "c" with
+  | Some (k, v) ->
+    Alcotest.(check int) "victim key" 1 k;
+    Alcotest.(check string) "victim value" "a" v
+  | None -> Alcotest.fail "expected eviction");
+  Alcotest.(check bool) "victim gone" false (Lru.mem c 1)
+
+let test_lru_touch_changes_victim () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.add c 1 "a");
+  ignore (Lru.add c 2 "b");
+  ignore (Lru.find c 1);
+  (* touch 1: now 2 is LRU *)
+  (match Lru.add c 3 "c" with
+  | Some (k, _) -> Alcotest.(check int) "victim is 2" 2 k
+  | None -> Alcotest.fail "expected eviction")
+
+let test_lru_peek_no_touch () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.add c 1 "a");
+  ignore (Lru.add c 2 "b");
+  ignore (Lru.peek c 1);
+  (* peek must NOT protect 1 *)
+  (match Lru.add c 3 "c" with
+  | Some (k, _) -> Alcotest.(check int) "victim still 1" 1 k
+  | None -> Alcotest.fail "expected eviction")
+
+let test_lru_replace_existing () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.add c 1 "a");
+  ignore (Lru.add c 1 "a2");
+  Alcotest.(check int) "no growth" 1 (Lru.size c);
+  Alcotest.(check (option string)) "replaced" (Some "a2") (Lru.peek c 1)
+
+let test_lru_remove () =
+  let c = Lru.create ~capacity:3 in
+  ignore (Lru.add c 1 "a");
+  ignore (Lru.add c 2 "b");
+  Alcotest.(check (option string)) "removed value" (Some "a") (Lru.remove c 1);
+  Alcotest.(check (option string)) "absent" None (Lru.remove c 1);
+  Alcotest.(check int) "size" 1 (Lru.size c);
+  (* removal must not corrupt the recency list *)
+  ignore (Lru.add c 3 "c");
+  ignore (Lru.add c 4 "d");
+  (match Lru.add c 5 "e" with
+  | Some (k, _) -> Alcotest.(check int) "victim is 2" 2 k
+  | None -> Alcotest.fail "expected eviction")
+
+let test_lru_to_list_order () =
+  let c = Lru.create ~capacity:3 in
+  ignore (Lru.add c 1 "a");
+  ignore (Lru.add c 2 "b");
+  ignore (Lru.add c 3 "c");
+  ignore (Lru.find c 1);
+  Alcotest.(check (list int)) "MRU first" [ 1; 3; 2 ]
+    (List.map fst (Lru.to_list c))
+
+let test_lru_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  ignore (Lru.add c 1 "a");
+  (match Lru.add c 2 "b" with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "expected eviction of 1");
+  Alcotest.(check bool) "2 present" true (Lru.mem c 2)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"lru never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 10) (list (int_range 0 30)))
+    (fun (cap, keys) ->
+      let c = Lru.create ~capacity:cap in
+      List.for_all
+        (fun k ->
+          ignore (Lru.add c k k);
+          Lru.size c <= cap)
+        keys)
+
+let prop_lru_eviction_is_lru =
+  QCheck.Test.make ~name:"lru evicts the least recently used key" ~count:200
+    QCheck.(pair (int_range 1 8) (list (int_range 0 20)))
+    (fun (cap, keys) ->
+      let c = Lru.create ~capacity:cap in
+      (* Track recency with a reference list (MRU at head). *)
+      let recency = ref [] in
+      List.for_all
+        (fun k ->
+          ignore (Lru.add c k k);
+          recency := k :: List.filter (fun x -> x <> k) !recency;
+          (* After each step the cache holds exactly the reference
+             model's [cap] most recent keys. *)
+          let expect = List.filteri (fun i _ -> i < cap) !recency in
+          recency := expect;
+          List.for_all (Lru.mem c) expect && Lru.size c = List.length expect)
+        keys)
+
+(* --- Buffer pool -------------------------------------------------------- *)
+
+let test_pool_hit_miss () =
+  let p = Buffer_pool.create ~capacity:2 in
+  (match Buffer_pool.access p 1 with
+  | Buffer_pool.Miss None -> ()
+  | _ -> Alcotest.fail "expected cold miss");
+  (match Buffer_pool.access p 1 with
+  | Buffer_pool.Hit -> ()
+  | _ -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "resident" true (Buffer_pool.resident p 1)
+
+let test_pool_eviction_dirty () =
+  let p = Buffer_pool.create ~capacity:2 in
+  ignore (Buffer_pool.access p 1);
+  ignore (Buffer_pool.access p 2);
+  Buffer_pool.mark_dirty p 1;
+  ignore (Buffer_pool.access p 2);
+  (* touch 2 so 1 is LRU *)
+  (match Buffer_pool.access p 3 with
+  | Buffer_pool.Miss (Some (1, true)) -> ()
+  | Buffer_pool.Miss (Some (v, d)) ->
+    Alcotest.failf "wrong victim %d dirty=%b" v d
+  | _ -> Alcotest.fail "expected eviction");
+  Alcotest.(check bool) "victim gone" false (Buffer_pool.resident p 1)
+
+let test_pool_clean () =
+  let p = Buffer_pool.create ~capacity:2 in
+  ignore (Buffer_pool.access p 1);
+  Buffer_pool.mark_dirty p 1;
+  Alcotest.(check bool) "dirty" true (Buffer_pool.is_dirty p 1);
+  Buffer_pool.clean p 1;
+  Alcotest.(check bool) "clean" false (Buffer_pool.is_dirty p 1);
+  Alcotest.(check int) "dirty count" 0 (Buffer_pool.dirty_count p)
+
+let test_pool_mark_dirty_absent () =
+  let p = Buffer_pool.create ~capacity:2 in
+  Alcotest.(check bool) "absent mark rejected" true
+    (try
+       Buffer_pool.mark_dirty p 9;
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "oid roundtrip" `Quick test_oid_roundtrip;
+    Alcotest.test_case "oid compare" `Quick test_oid_compare;
+    Alcotest.test_case "oid invalid" `Quick test_oid_invalid;
+    Alcotest.test_case "lru basic" `Quick test_lru_basic;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru touch changes victim" `Quick test_lru_touch_changes_victim;
+    Alcotest.test_case "lru peek does not touch" `Quick test_lru_peek_no_touch;
+    Alcotest.test_case "lru replace existing" `Quick test_lru_replace_existing;
+    Alcotest.test_case "lru remove" `Quick test_lru_remove;
+    Alcotest.test_case "lru to_list order" `Quick test_lru_to_list_order;
+    Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+    QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity;
+    QCheck_alcotest.to_alcotest prop_lru_eviction_is_lru;
+    Alcotest.test_case "pool hit/miss" `Quick test_pool_hit_miss;
+    Alcotest.test_case "pool dirty eviction" `Quick test_pool_eviction_dirty;
+    Alcotest.test_case "pool clean" `Quick test_pool_clean;
+    Alcotest.test_case "pool mark_dirty absent" `Quick test_pool_mark_dirty_absent;
+  ]

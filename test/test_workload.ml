@@ -1,0 +1,301 @@
+open Workload
+open Storage
+
+let cfg_db = 1250
+let opp = 20
+
+let mk_params ?(which = Presets.Hotcold) ?(locality = Presets.Low)
+    ?(write_prob = 0.2) ?(clients = 10) () =
+  Presets.make which ~db_pages:cfg_db ~objects_per_page:opp
+    ~num_clients:clients ~locality ~write_prob
+
+let gen ?(seed = 1) ?(client = 0) params =
+  Refstring.generate ~rng:(Simcore.Rng.create ~seed) ~params ~client
+    ~objects_per_page:opp
+
+(* --- Refstring ----------------------------------------------------------- *)
+
+let test_distinct_pages () =
+  let params = mk_params () in
+  let t = gen params in
+  let pages = Refstring.pages t in
+  Alcotest.(check int) "trans_size pages" params.Wparams.trans_size
+    (List.length pages);
+  Alcotest.(check int) "distinct" (List.length pages)
+    (List.length (List.sort_uniq compare pages))
+
+let test_locality_range () =
+  let params = mk_params () in
+  let t = gen params in
+  let by_page = Hashtbl.create 32 in
+  Array.iter
+    (fun (op : Refstring.op) ->
+      let p = op.oid.Ids.Oid.page in
+      Hashtbl.replace by_page p (1 + Option.value ~default:0 (Hashtbl.find_opt by_page p)))
+    t;
+  Hashtbl.iter
+    (fun _ k ->
+      if k < params.Wparams.page_locality.Wparams.lo
+         || k > params.Wparams.page_locality.Wparams.hi
+      then Alcotest.failf "page with %d objects outside locality range" k)
+    by_page
+
+let test_objects_distinct () =
+  let params = mk_params () in
+  let t = gen params in
+  let oids = Array.to_list (Array.map (fun (op : Refstring.op) -> op.oid) t) in
+  Alcotest.(check int) "no duplicate objects" (List.length oids)
+    (List.length (List.sort_uniq Ids.Oid.compare oids))
+
+let test_write_probability_extremes () =
+  let p0 = mk_params ~write_prob:0.0 () in
+  let t0 = gen p0 in
+  Alcotest.(check int) "no writes at wp=0" 0 (Refstring.write_count t0);
+  let p1 = mk_params ~write_prob:1.0 () in
+  let t1 = gen p1 in
+  Alcotest.(check int) "all writes at wp=1" (Refstring.object_count t1)
+    (Refstring.write_count t1)
+
+let test_clustered_pattern () =
+  let params = { (mk_params ()) with Wparams.access_pattern = Wparams.Clustered } in
+  let t = gen params in
+  (* In a clustered string, each page's references are contiguous. *)
+  let seen_done = Hashtbl.create 32 in
+  let current = ref (-1) in
+  Array.iter
+    (fun (op : Refstring.op) ->
+      let p = op.oid.Ids.Oid.page in
+      if p <> !current then begin
+        if Hashtbl.mem seen_done p then Alcotest.fail "page revisited";
+        if !current >= 0 then Hashtbl.replace seen_done !current ();
+        current := p
+      end)
+    t
+
+let test_hot_cold_split () =
+  let params = mk_params ~write_prob:0.0 () in
+  (* client 3's hot region is pages 150..199 *)
+  let hot = ref 0 and total = ref 0 in
+  for seed = 1 to 40 do
+    let t = gen ~seed ~client:3 params in
+    Array.iter
+      (fun (op : Refstring.op) ->
+        incr total;
+        let p = op.oid.Ids.Oid.page in
+        if p >= 150 && p <= 199 then incr hot)
+      t
+  done;
+  let frac = float_of_int !hot /. float_of_int !total in
+  (* 80% of page picks are hot; cold picks can also land in the hot
+     range (cold = whole DB), so expect a bit above 0.8. *)
+  Alcotest.(check bool) "hot fraction near 0.8" true (frac > 0.7 && frac < 0.95)
+
+let test_determinism () =
+  let params = mk_params () in
+  let a = gen ~seed:9 params and b = gen ~seed:9 params in
+  Alcotest.(check bool) "same seed same string" true (a = b);
+  let c = gen ~seed:10 params in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_private_cold_read_only () =
+  let params = mk_params ~which:Presets.Private_ ~locality:Presets.High
+      ~write_prob:1.0 () in
+  for seed = 1 to 20 do
+    let t = gen ~seed params in
+    Array.iter
+      (fun (op : Refstring.op) ->
+        if op.write && op.oid.Ids.Oid.page >= cfg_db / 2 then
+          Alcotest.fail "write in the read-only cold region")
+      t
+  done
+
+let test_private_hot_disjoint () =
+  let params = mk_params ~which:Presets.Private_ ~locality:Presets.High () in
+  (* Hot regions of different clients never overlap. *)
+  Array.iteri
+    (fun i (c : Wparams.per_client) ->
+      Array.iteri
+        (fun j (c' : Wparams.per_client) ->
+          if i < j then
+            match (c.hot_region, c'.hot_region) with
+            | Some a, Some b ->
+              if not (a.Wparams.last < b.Wparams.first || b.Wparams.last < a.Wparams.first)
+              then Alcotest.fail "hot regions overlap"
+            | _ -> Alcotest.fail "missing hot region")
+        params.Wparams.clients)
+    params.Wparams.clients
+
+let test_avg_objects_per_txn () =
+  (* Both locality settings average ~120 objects per transaction. *)
+  List.iter
+    (fun locality ->
+      let params = mk_params ~locality () in
+      let total = ref 0 in
+      let n = 60 in
+      for seed = 1 to n do
+        total := !total + Refstring.object_count (gen ~seed params)
+      done;
+      let avg = float_of_int !total /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "avg near 120 (got %.1f)" avg)
+        true
+        (avg > 105.0 && avg < 135.0))
+    [ Presets.Low; Presets.High ]
+
+(* --- Interleave ---------------------------------------------------------- *)
+
+let remap = Interleave.remap ~hot_pages_per_client:25 ~objects_per_page:20 ~num_clients:10
+
+let test_interleave_cold_unchanged () =
+  let o = Ids.Oid.make ~page:700 ~slot:3 in
+  Alcotest.(check bool) "cold identity" true (Ids.Oid.equal o (remap o))
+
+let test_interleave_combined_region () =
+  (* Client 0 (pages 0-24) and client 1 (pages 25-49) combine into 0-49;
+     client 0 gets slots 0-9, client 1 slots 10-19. *)
+  for page = 0 to 24 do
+    for slot = 0 to 19 do
+      let m = remap (Ids.Oid.make ~page ~slot) in
+      if m.Ids.Oid.page < 0 || m.Ids.Oid.page > 49 then
+        Alcotest.fail "left combined region";
+      if m.Ids.Oid.slot > 9 then Alcotest.fail "client 0 must map to top half"
+    done
+  done;
+  for page = 25 to 49 do
+    for slot = 0 to 19 do
+      let m = remap (Ids.Oid.make ~page ~slot) in
+      if m.Ids.Oid.page < 0 || m.Ids.Oid.page > 49 then
+        Alcotest.fail "left combined region";
+      if m.Ids.Oid.slot < 10 then Alcotest.fail "client 1 must map to bottom half"
+    done
+  done
+
+let test_interleave_injective () =
+  let seen = Hashtbl.create 1024 in
+  for page = 0 to 249 do
+    for slot = 0 to 19 do
+      let m = remap (Ids.Oid.make ~page ~slot) in
+      if Hashtbl.mem seen m then Alcotest.fail "remap not injective";
+      Hashtbl.add seen m ()
+    done
+  done;
+  Alcotest.(check int) "bijection onto hot area" (250 * 20) (Hashtbl.length seen)
+
+let test_interleave_doubles_pages () =
+  (* One original page spreads over exactly two combined pages. *)
+  let pages =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun slot -> [ (remap (Ids.Oid.make ~page:3 ~slot)).Ids.Oid.page ])
+         (List.init 20 Fun.id))
+  in
+  Alcotest.(check int) "two pages" 2 (List.length pages)
+
+let prop_interleave_in_range =
+  QCheck.Test.make ~name:"interleave stays within the paired hot area" ~count:500
+    QCheck.(pair (int_range 0 249) (int_range 0 19))
+    (fun (page, slot) ->
+      let m = remap (Ids.Oid.make ~page ~slot) in
+      let pair_base = page / 25 land lnot 1 * 25 in
+      m.Ids.Oid.page >= pair_base
+      && m.Ids.Oid.page < pair_base + 50
+      && m.Ids.Oid.slot >= 0 && m.Ids.Oid.slot < 20)
+
+(* --- Presets / validation ------------------------------------------------ *)
+
+let test_validate_rejects_bad_region () =
+  let params = mk_params () in
+  let bad =
+    { params with
+      Wparams.clients =
+        Array.map
+          (fun c -> { c with Wparams.cold_region = { Wparams.first = 0; last = 2000 } })
+          params.Wparams.clients }
+  in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Wparams.validate bad ~db_pages:cfg_db ~objects_per_page:opp;
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate_rejects_big_locality () =
+  let params = mk_params () in
+  let bad = { params with Wparams.page_locality = { Wparams.lo = 1; hi = 30 } } in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Wparams.validate bad ~db_pages:cfg_db ~objects_per_page:opp;
+       false
+     with Invalid_argument _ -> true)
+
+let test_preset_regions () =
+  let p = mk_params ~which:Presets.Hicon () in
+  (match p.Wparams.clients.(0).Wparams.hot_region with
+  | Some r ->
+    Alcotest.(check int) "HICON hot size" 250 (Wparams.region_size r)
+  | None -> Alcotest.fail "HICON needs a hot region");
+  let u = mk_params ~which:Presets.Uniform () in
+  Alcotest.(check bool) "UNIFORM has no hot region" true
+    (u.Wparams.clients.(0).Wparams.hot_region = None)
+
+let test_preset_scaling () =
+  (* Scaled x9 database keeps region proportions. *)
+  let p =
+    Presets.make Presets.Hotcold ~db_pages:(cfg_db * 9) ~objects_per_page:opp
+      ~num_clients:10 ~locality:Presets.Low ~write_prob:0.1
+  in
+  match p.Wparams.clients.(2).Wparams.hot_region with
+  | Some r -> Alcotest.(check int) "hot scales x9" 450 (Wparams.region_size r)
+  | None -> Alcotest.fail "expected hot region"
+
+let test_name_roundtrip () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "roundtrip" true
+        (Presets.name_of_string (Presets.name_to_string w) = Some w))
+    Presets.all
+
+let prop_refstring_within_db =
+  QCheck.Test.make ~name:"refstring objects stay within the database" ~count:100
+    QCheck.(pair (int_range 0 9) (int_range 0 10000))
+    (fun (client, seed) ->
+      let params = mk_params ~which:Presets.Interleaved_private
+          ~locality:Presets.High () in
+      let t = gen ~seed ~client params in
+      Array.for_all
+        (fun (op : Refstring.op) ->
+          op.oid.Ids.Oid.page >= 0 && op.oid.Ids.Oid.page < cfg_db
+          && op.oid.Ids.Oid.slot >= 0 && op.oid.Ids.Oid.slot < opp)
+        t)
+
+let suite =
+  [
+    Alcotest.test_case "distinct pages" `Quick test_distinct_pages;
+    Alcotest.test_case "locality range" `Quick test_locality_range;
+    Alcotest.test_case "objects distinct" `Quick test_objects_distinct;
+    Alcotest.test_case "write probability extremes" `Quick
+      test_write_probability_extremes;
+    Alcotest.test_case "clustered pattern" `Quick test_clustered_pattern;
+    Alcotest.test_case "hot/cold split" `Quick test_hot_cold_split;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "PRIVATE cold is read-only" `Quick
+      test_private_cold_read_only;
+    Alcotest.test_case "PRIVATE hot regions disjoint" `Quick
+      test_private_hot_disjoint;
+    Alcotest.test_case "average objects per txn" `Quick test_avg_objects_per_txn;
+    Alcotest.test_case "interleave: cold unchanged" `Quick
+      test_interleave_cold_unchanged;
+    Alcotest.test_case "interleave: combined region halves" `Quick
+      test_interleave_combined_region;
+    Alcotest.test_case "interleave: injective" `Quick test_interleave_injective;
+    Alcotest.test_case "interleave: doubles pages" `Quick
+      test_interleave_doubles_pages;
+    QCheck_alcotest.to_alcotest prop_interleave_in_range;
+    Alcotest.test_case "validate rejects bad region" `Quick
+      test_validate_rejects_bad_region;
+    Alcotest.test_case "validate rejects big locality" `Quick
+      test_validate_rejects_big_locality;
+    Alcotest.test_case "preset regions" `Quick test_preset_regions;
+    Alcotest.test_case "preset scaling" `Quick test_preset_scaling;
+    Alcotest.test_case "preset name roundtrip" `Quick test_name_roundtrip;
+    QCheck_alcotest.to_alcotest prop_refstring_within_db;
+  ]
