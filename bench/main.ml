@@ -4,7 +4,10 @@
 
    - The REPRODUCTION part runs the full (write probability x algorithm)
      sweep behind each figure and prints the throughput tables the paper
-     plots.  `BENCH_TIME_SCALE` (default 1.0) scales the simulated
+     plots.  Sweeps are described as harness jobs and fanned out over a
+     domain pool: `BENCH_JOBS` (default: cores - 1) sets the worker
+     count, and results are byte-identical for any setting.
+     `BENCH_TIME_SCALE` (default 1.0) scales the simulated
      warm-up/measurement windows: set 0.1 for a quick smoke pass.
      `BENCH_FIGS="fig3 fig4"` restricts the set.
    - The TIMING part (skipped when `BENCH_SKIP_TIMING` is set) uses
@@ -24,6 +27,13 @@ let figure_filter =
   match Sys.getenv_opt "BENCH_FIGS" with
   | None | Some "" -> None
   | Some s -> Some (String.split_on_char ' ' s)
+
+let njobs =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> Harness.Pool.default_jobs ())
+  | None -> Harness.Pool.default_jobs ()
+
+let pool_run jobs = Harness.Pool.run ~jobs:njobs jobs
 
 let wanted id =
   match figure_filter with None -> true | Some ids -> List.mem id ids
@@ -81,7 +91,7 @@ let run_figures () =
         let note = expectation spec.id in
         if note <> "" then Format.printf "(%s)@." note;
         let t0 = Unix.gettimeofday () in
-        let series = Experiments.run_spec ~time_scale spec in
+        let series = Harness.Sweep.run_spec ~time_scale ~jobs:njobs spec in
         Format.printf "%a@." Report.pp_series series;
         Format.printf "[%s took %.1fs wall]@.@." spec.id
           (Unix.gettimeofday () -. t0);
@@ -149,7 +159,7 @@ let run_sensitivity () =
     (fun table ->
       Format.printf "%a@." Sensitivity.pp_rows table;
       Format.print_flush ())
-    (Sensitivity.all ~time_scale ());
+    (Sensitivity.all ~time_scale ~run:pool_run ());
   Format.printf "[sensitivity took %.1fs wall]@.@." (Unix.gettimeofday () -. t0)
 
 let run_ablations () =
@@ -159,13 +169,16 @@ let run_ablations () =
     (fun table ->
       Format.printf "%a@." Extensions.Ablations.pp_rows table;
       Format.print_flush ())
-    (Extensions.Ablations.all ~time_scale ());
+    (Extensions.Ablations.all ~time_scale ~run:pool_run ());
   Format.printf "[ablations took %.1fs wall]@.@." (Unix.gettimeofday () -. t0)
 
 let () =
   Format.printf
     "Fine-Grained Sharing in a Page Server OODBMS - reproduction benches@.";
-  Format.printf "time scale %.2f (BENCH_TIME_SCALE to change)@.@." time_scale;
+  Format.printf
+    "time scale %.2f (BENCH_TIME_SCALE to change), %d worker domain(s) \
+     (BENCH_JOBS to change)@.@."
+    time_scale njobs;
   print_tables ();
   run_figures ();
   if Sys.getenv_opt "BENCH_SKIP_SENSITIVITY" = None then run_sensitivity ();

@@ -1,43 +1,85 @@
 (* Regenerate the paper's figures.  Each figure id (fig3..fig14) runs the
-   full (write probability x algorithm) sweep and prints the throughput
-   table; fig5 is analytic; "table1"/"table2" print the parameter
-   tables.  CSV output per figure is written when --csv-dir is given. *)
+   full (write probability x algorithm) sweep — fanned out over a domain
+   pool (--jobs) — and prints the throughput table; fig5 is analytic;
+   "table1"/"table2" print the parameter tables.  CSV output per figure
+   is written when --csv-dir is given. *)
 
 open Cmdliner
 open Oodb_core
 
-let run_figure ?(time_scale = 1.0) ~csv_dir ~detail id =
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write_csv ~dir ~id series =
+  let path = Filename.concat dir (id ^ ".csv") in
+  match open_out path with
+  | exception Sys_error msg ->
+    Format.eprintf "error: cannot write CSV file %s (%s)@." path msg;
+    false
+  | oc ->
+    output_string oc (Report.series_to_csv series);
+    close_out oc;
+    Format.printf "wrote %s@." path;
+    true
+
+let run_figure ?(time_scale = 1.0) ~njobs ~csv_dir ~detail id =
   match id with
-  | "table1" -> Format.printf "%a@." Config.pp Config.default
-  | "table2" -> Format.printf "%a@." Report.pp_workload_table Config.default
-  | "fig5" -> Format.printf "%a@." Report.pp_figure5 (Experiments.figure5 ())
+  | "table1" ->
+    Format.printf "%a@." Config.pp Config.default;
+    true
+  | "table2" ->
+    Format.printf "%a@." Report.pp_workload_table Config.default;
+    true
+  | "fig5" ->
+    Format.printf "%a@." Report.pp_figure5 (Experiments.figure5 ());
+    true
   | id -> (
     match Experiments.find id with
-    | None -> Format.printf "unknown experiment id %S@." id
+    | None ->
+      Format.printf "unknown experiment id %S@." id;
+      false
     | Some spec ->
       let progress line = Format.printf "  %s@.%!" line in
-      let series = Experiments.run_spec ~time_scale ~progress spec in
+      let series =
+        Harness.Sweep.run_spec ~time_scale ~jobs:njobs ~progress spec
+      in
       Format.printf "%a@." Report.pp_series series;
       if detail then Format.printf "%a@." Report.pp_series_detail series;
-      Option.iter
-        (fun dir ->
-          let path = Filename.concat dir (id ^ ".csv") in
-          let oc = open_out path in
-          output_string oc (Report.series_to_csv series);
-          close_out oc;
-          Format.printf "wrote %s@." path)
-        csv_dir)
+      (match csv_dir with
+      | None -> true
+      | Some dir -> write_csv ~dir ~id series))
 
 let all_ids =
   [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
     "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14" ]
 
-let run ids time_scale csv_dir detail =
+let run ids time_scale njobs csv_dir detail =
   let ids = if ids = [] then all_ids else ids in
-  Option.iter
-    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
-    csv_dir;
-  List.iter (run_figure ~time_scale ~csv_dir ~detail) ids
+  match
+    Option.iter
+      (fun dir ->
+        try mkdir_p dir
+        with Sys_error msg ->
+          raise
+            (Sys_error
+               (Printf.sprintf "cannot create CSV directory %s (%s)" dir msg)))
+      csv_dir
+  with
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | () ->
+    let ok =
+      List.fold_left
+        (fun ok id -> run_figure ~time_scale ~njobs ~csv_dir ~detail id && ok)
+        true ids
+    in
+    if ok then 0 else 1
 
 let ids_t =
   Arg.(
@@ -51,11 +93,24 @@ let time_scale_t =
     & info [ "time-scale" ]
         ~doc:"Multiply warm-up and measurement windows (0.25 = quick look)")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains running simulation cells in parallel (default: \
+           cores - 1).  Results are byte-identical for any N; $(b,--jobs 1) \
+           is the sequential path.")
+
 let csv_dir_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "csv-dir" ] ~doc:"Also write one CSV per figure into this directory")
+    & info [ "csv-dir" ]
+        ~doc:
+          "Also write one CSV per figure into this directory (created \
+           recursively if missing)")
 
 let detail_t =
   Arg.(value & flag & info [ "detail" ] ~doc:"Print per-cell auxiliary metrics")
@@ -64,6 +119,6 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"regenerate the tables and figures of the SIGMOD'94 paper")
-    Term.(const run $ ids_t $ time_scale_t $ csv_dir_t $ detail_t)
+    Term.(const run $ ids_t $ time_scale_t $ jobs_t $ csv_dir_t $ detail_t)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,9 @@
-(* Command-line interface for running a single simulation configuration:
-   pick a protocol, a workload, a locality setting and a write
-   probability, and get the full metric report. *)
+(* Command-line interface for running one simulation configuration —
+   or a small sweep of them: pick a protocol, a workload, a locality
+   setting and one or more write probabilities, and get the full metric
+   report per point.  Multiple points run in parallel over a domain
+   pool (--jobs); every point is described as a harness Job, so its
+   random stream depends only on the description, not on scheduling. *)
 
 open Cmdliner
 open Oodb_core
@@ -43,21 +46,34 @@ let locality_conv =
         Format.pp_print_string ppf
           (match l with Workload.Presets.Low -> "low" | Workload.Presets.High -> "high") )
 
-let run algo workload locality write_prob clients db_scale seed warmup measure
-    verbose trace =
+let run algo workload locality write_probs clients db_scale seed njobs warmup
+    measure verbose trace =
   if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
+  let write_probs = if write_probs = [] then [ 0.1 ] else write_probs in
   let cfg =
     Config.scaled
       { Config.default with num_clients = clients }
       ~factor:db_scale
   in
-  let params =
-    Workload.Presets.make workload ~db_pages:cfg.Config.db_pages
-      ~objects_per_page:cfg.Config.objects_per_page
-      ~num_clients:cfg.Config.num_clients ~locality ~write_prob
+  let jobs =
+    List.map
+      (fun write_prob ->
+        let params =
+          Workload.Presets.make workload ~db_pages:cfg.Config.db_pages
+            ~objects_per_page:cfg.Config.objects_per_page
+            ~num_clients:cfg.Config.num_clients ~locality ~write_prob
+        in
+        Job.make ~base_seed:seed ~sweep:"oodbsim"
+          ~label:(Printf.sprintf "wp=%.3f" write_prob)
+          ~cfg ~algo ~params ~warmup ~measure ())
+      write_probs
   in
-  let r = Runner.run ~seed ~warmup ~measure ~cfg ~algo ~params () in
-  Format.printf "%a@." Runner.pp_result r;
+  let results = Harness.Pool.run ~jobs:njobs jobs in
+  List.iter2
+    (fun (j : Job.t) r ->
+      if List.length jobs > 1 then Format.printf "--- %s ---@." j.Job.label;
+      Format.printf "%a@." Runner.pp_result r)
+    jobs results;
   if verbose then begin
     Format.printf "@.system parameters:@.%a@." Config.pp cfg;
     Format.printf "@.workloads at this configuration:@.%a@."
@@ -81,8 +97,11 @@ let locality_t =
 
 let wp_t =
   Arg.(
-    value & opt float 0.1
-    & info [ "p"; "write-prob" ] ~doc:"Per-object write probability")
+    value & opt_all float []
+    & info [ "p"; "write-prob" ]
+        ~doc:
+          "Per-object write probability (repeatable for a sweep; default \
+           0.1)")
 
 let clients_t =
   Arg.(value & opt int 10 & info [ "c"; "clients" ] ~doc:"Client workstations")
@@ -90,7 +109,15 @@ let clients_t =
 let scale_t =
   Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Database/buffer scale factor")
 
-let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains when sweeping several write probabilities")
 
 let warmup_t =
   Arg.(value & opt float 30.0 & info [ "warmup" ] ~doc:"Warm-up (sim seconds)")
@@ -116,6 +143,6 @@ let cmd =
     (Cmd.info "oodbsim" ~doc)
     Term.(
       const run $ algo_t $ workload_t $ locality_t $ wp_t $ clients_t $ scale_t
-      $ seed_t $ warmup_t $ measure_t $ verbose_t $ trace_t)
+      $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t)
 
 let () = exit (Cmd.eval cmd)

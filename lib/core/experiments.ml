@@ -75,28 +75,63 @@ let params_of spec ~write_prob =
     ~db_pages:cfg.Config.db_pages ~objects_per_page:cfg.Config.objects_per_page
     ~num_clients:cfg.Config.num_clients ~locality:spec.locality ~write_prob
 
-let run_spec ?(seed = 42) ?(time_scale = 1.0) ?(progress = fun _ -> ()) spec =
+(* Jobs are listed write-probability-major, algorithm-minor;
+   [series_of_results] relies on that order to reassemble points. *)
+let jobs_of_spec ?(seed = 42) ?(time_scale = 1.0) spec =
   let cfg = cfg_of spec in
   let warmup = spec.warmup *. time_scale in
   let measure = spec.measure *. time_scale in
+  List.concat_map
+    (fun write_prob ->
+      let params = params_of spec ~write_prob in
+      List.map
+        (fun algo ->
+          Job.make ~base_seed:seed ~sweep:spec.id
+            ~label:
+              (Printf.sprintf "wp=%.2f %-5s" write_prob (Algo.to_string algo))
+            ~cfg ~algo ~params ~warmup ~measure ())
+        Algo.all)
+    spec.write_probs
+
+let series_of_results spec results =
+  let algos = List.length Algo.all in
+  let rec chunk = function
+    | [] -> []
+    | rs ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> invalid_arg "Experiments.series_of_results: missing results"
+        | r :: rest ->
+          let chunk, rest = take (n - 1) rest in
+          (r :: chunk, rest)
+      in
+      let point, rest = take algos rs in
+      point :: chunk rest
+  in
+  let chunks = chunk results in
+  if List.length chunks <> List.length spec.write_probs then
+    invalid_arg "Experiments.series_of_results: result/write_prob mismatch";
   let points =
-    List.map
-      (fun write_prob ->
-        let params = params_of spec ~write_prob in
-        let results =
-          List.map
-            (fun algo ->
-              let r = Runner.run ~seed ~warmup ~measure ~cfg ~algo ~params () in
-              progress
-                (Printf.sprintf "%s wp=%.2f %-5s: %.2f tps" spec.id write_prob
-                   (Algo.to_string algo) r.Runner.throughput);
-              (algo, r))
-            Algo.all
-        in
-        { write_prob; results })
-      spec.write_probs
+    List.map2
+      (fun write_prob rs -> { write_prob; results = List.combine Algo.all rs })
+      spec.write_probs chunks
   in
   { spec; points }
+
+let progress_line (j : Job.t) (r : Runner.result) =
+  Printf.sprintf "%s %s: %.2f tps" j.Job.sweep j.Job.label r.Runner.throughput
+
+let run_spec ?seed ?time_scale ?(progress = fun _ -> ()) spec =
+  let jobs = jobs_of_spec ?seed ?time_scale spec in
+  let results =
+    List.map
+      (fun j ->
+        let r = Job.run j in
+        progress (progress_line j r);
+        r)
+      jobs
+  in
+  series_of_results spec results
 
 let figure5 () =
   let wps = [ 0.0; 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5 ] in

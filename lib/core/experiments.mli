@@ -32,16 +32,29 @@ type point = {
 
 type series = { spec : spec; points : point list }
 
+val jobs_of_spec : ?seed:int -> ?time_scale:float -> spec -> Job.t list
+(** Describe every (write probability, algorithm) cell of the figure
+    as a {!Job.t}, write-probability-major.  [time_scale] multiplies
+    both warm-up and measurement windows (e.g. 0.25 for a quick
+    look).  Each job's RNG seed derives from [seed] and the cell
+    description alone (see {!Job.seed}). *)
+
+val series_of_results : spec -> Runner.result list -> series
+(** Reassemble results — in the order of {!jobs_of_spec} — into the
+    figure's points.  Raises [Invalid_argument] on a length mismatch. *)
+
+val progress_line : Job.t -> Runner.result -> string
+(** One-line completion message for a cell ("fig3 wp=0.05 PS-AA: ... tps"). *)
+
 val run_spec :
   ?seed:int ->
   ?time_scale:float ->
   ?progress:(string -> unit) ->
   spec ->
   series
-(** Run every (write probability, algorithm) cell of the figure.
-    [time_scale] multiplies both warm-up and measurement windows (e.g.
-    0.25 for a quick look); [progress] receives one line per completed
-    cell. *)
+(** Sequential reference driver: {!jobs_of_spec} run one cell at a
+    time; [progress] receives one line per completed cell.  The
+    parallel path is [Harness.Sweep.run_spec]. *)
 
 val cfg_of : spec -> Config.t
 val params_of : spec -> write_prob:float -> Workload.Wparams.t

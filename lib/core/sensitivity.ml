@@ -14,10 +14,11 @@ let pp_rows ppf (title, rows) =
 
 let windows time_scale = (30.0 *. time_scale, 120.0 *. time_scale)
 
-let run ?(time_scale = 1.0) ?(cfg = Config.default) ?trans_size ?page_locality
+(* Describe one sweep cell; nothing runs until an executor is applied. *)
+let job ?(time_scale = 1.0) ?(cfg = Config.default) ?trans_size ?page_locality
     ?(access_pattern = Workload.Wparams.Unclustered)
     ?(which = Workload.Presets.Hotcold) ?(locality = Workload.Presets.Low)
-    ?(write_prob = 0.1) ~algo () =
+    ?(write_prob = 0.1) ~sweep ~label ~algo () =
   let warmup, measure = windows time_scale in
   let params =
     Workload.Presets.make ?trans_size ?page_locality ~access_pattern which
@@ -25,91 +26,100 @@ let run ?(time_scale = 1.0) ?(cfg = Config.default) ?trans_size ?page_locality
       ~objects_per_page:cfg.Config.objects_per_page
       ~num_clients:cfg.Config.num_clients ~locality ~write_prob
   in
-  Runner.run ~warmup ~measure ~cfg ~algo ~params ()
+  Job.make ~sweep ~label ~cfg ~algo ~params ~warmup ~measure ()
 
 let client_scaling ?(time_scale = 1.0) () =
-  let rows =
-    List.concat_map
-      (fun n ->
-        let cfg = { Config.default with Config.num_clients = n } in
-        List.map
-          (fun algo ->
-            {
-              label =
-                Printf.sprintf "%2d clients  %-6s" n (Algo.to_string algo);
-              result = run ~time_scale ~cfg ~algo ();
-            })
-          [ Algo.PS; Algo.PS_AA; Algo.OS ])
-      [ 1; 5; 10; 25 ]
-  in
-  ("sensitivity: number of client workstations (HOTCOLD low, wp=0.1)", rows)
+  {
+    Job.title = "sensitivity: number of client workstations (HOTCOLD low, wp=0.1)";
+    jobs =
+      List.concat_map
+        (fun n ->
+          let cfg = { Config.default with Config.num_clients = n } in
+          List.map
+            (fun algo ->
+              job ~time_scale ~cfg ~algo ~sweep:"sens-clients"
+                ~label:
+                  (Printf.sprintf "%2d clients  %-6s" n (Algo.to_string algo))
+                ())
+            [ Algo.PS; Algo.PS_AA; Algo.OS ])
+        [ 1; 5; 10; 25 ];
+  }
 
 let clustered_access ?(time_scale = 1.0) () =
-  let rows =
-    List.concat_map
-      (fun (pat, pat_name) ->
-        List.map
-          (fun algo ->
-            {
-              label =
-                Printf.sprintf "%-12s %-6s" pat_name (Algo.to_string algo);
-              result = run ~time_scale ~access_pattern:pat ~algo ();
-            })
-          [ Algo.PS; Algo.PS_AA; Algo.OS ])
-      [
-        (Workload.Wparams.Unclustered, "unclustered");
-        (Workload.Wparams.Clustered, "clustered");
-      ]
-  in
-  ("sensitivity: clustered vs unclustered access (HOTCOLD low, wp=0.1)", rows)
+  {
+    Job.title = "sensitivity: clustered vs unclustered access (HOTCOLD low, wp=0.1)";
+    jobs =
+      List.concat_map
+        (fun (pat, pat_name) ->
+          List.map
+            (fun algo ->
+              job ~time_scale ~access_pattern:pat ~algo ~sweep:"sens-cluster"
+                ~label:
+                  (Printf.sprintf "%-12s %-6s" pat_name (Algo.to_string algo))
+                ())
+            [ Algo.PS; Algo.PS_AA; Algo.OS ])
+        [
+          (Workload.Wparams.Unclustered, "unclustered");
+          (Workload.Wparams.Clustered, "clustered");
+        ];
+  }
 
 let slow_network ?(time_scale = 1.0) () =
-  let rows =
-    List.concat_map
-      (fun (mbits, net_name) ->
-        let cfg = { Config.default with Config.network_mbits = mbits } in
-        List.map
-          (fun algo ->
-            {
-              label =
-                Printf.sprintf "%-10s %-6s" net_name (Algo.to_string algo);
-              result = run ~time_scale ~cfg ~algo ();
-            })
-          [ Algo.PS; Algo.PS_AA; Algo.OS ])
-      [ (80.0, "80 Mbit/s"); (8.0, "8 Mbit/s") ]
-  in
-  ("sensitivity: network bandwidth reduced 10x (HOTCOLD low, wp=0.1)", rows)
+  {
+    Job.title = "sensitivity: network bandwidth reduced 10x (HOTCOLD low, wp=0.1)";
+    jobs =
+      List.concat_map
+        (fun (mbits, net_name) ->
+          let cfg = { Config.default with Config.network_mbits = mbits } in
+          List.map
+            (fun algo ->
+              job ~time_scale ~cfg ~algo ~sweep:"sens-network"
+                ~label:
+                  (Printf.sprintf "%-10s %-6s" net_name (Algo.to_string algo))
+                ())
+            [ Algo.PS; Algo.PS_AA; Algo.OS ])
+        [ (80.0, "80 Mbit/s"); (8.0, "8 Mbit/s") ];
+  }
 
 let extreme_locality ?(time_scale = 1.0) () =
-  let rows =
-    List.concat_map
-      (fun which ->
-        List.concat_map
-          (fun wp ->
-            List.map
-              (fun algo ->
-                {
-                  label =
-                    Printf.sprintf "%-8s wp=%.2f %-6s"
-                      (Workload.Presets.name_to_string which)
-                      wp (Algo.to_string algo);
-                  result =
-                    run ~time_scale ~trans_size:120
-                      ~page_locality:{ Workload.Wparams.lo = 1; hi = 1 }
-                      ~which ~write_prob:wp ~algo ();
-                })
-              Algo.all)
-          [ 0.05; 0.2 ])
-      [ Workload.Presets.Hotcold; Workload.Presets.Uniform ]
-  in
-  ( "sensitivity: extreme page locality of 1 (120 pages x 1 object; the \
-     paper's only OS win)",
-    rows )
+  {
+    Job.title =
+      "sensitivity: extreme page locality of 1 (120 pages x 1 object; the \
+       paper's only OS win)";
+    jobs =
+      List.concat_map
+        (fun which ->
+          List.concat_map
+            (fun wp ->
+              List.map
+                (fun algo ->
+                  job ~time_scale ~trans_size:120
+                    ~page_locality:{ Workload.Wparams.lo = 1; hi = 1 }
+                    ~which ~write_prob:wp ~algo ~sweep:"sens-locality1"
+                    ~label:
+                      (Printf.sprintf "%-8s wp=%.2f %-6s"
+                         (Workload.Presets.name_to_string which)
+                         wp (Algo.to_string algo))
+                    ())
+                Algo.all)
+            [ 0.05; 0.2 ])
+        [ Workload.Presets.Hotcold; Workload.Presets.Uniform ];
+  }
 
-let all ?(time_scale = 1.0) () =
+let tables ?(time_scale = 1.0) () =
   [
     client_scaling ~time_scale ();
     clustered_access ~time_scale ();
     slow_network ~time_scale ();
     extreme_locality ~time_scale ();
   ]
+
+let rows_of (tbl : Job.table) results =
+  ( tbl.Job.title,
+    List.map2 (fun (j : Job.t) r -> { label = j.Job.label; result = r })
+      tbl.Job.jobs results )
+
+let all ?(time_scale = 1.0) ?(run = Job.run_all) () =
+  List.map
+    (fun tbl -> rows_of tbl (run tbl.Job.jobs))
+    (tables ~time_scale ())

@@ -3,26 +3,43 @@
     object access pattern (clustered), the network bandwidth, and —
     the one case that changes a conclusion — an extreme page locality
     of one object per page, where the object server becomes
-    competitive.  Each driver returns labelled rows for the bench
-    harness to print. *)
+    competitive.
+
+    Each driver only {e describes} its grid as a {!Job.table}; an
+    executor (sequential {!Job.run_all} or the parallel
+    [Harness.Pool]) turns the jobs into results, and {!rows_of} zips
+    them back into labelled rows for printing. *)
 
 type row = { label : string; result : Runner.result }
 
 val pp_rows : Format.formatter -> string * row list -> unit
 
-val client_scaling : ?time_scale:float -> unit -> string * row list
+val client_scaling : ?time_scale:float -> unit -> Job.table
 (** 1 to 25 client workstations, HOTCOLD low locality, wp 0.1, PS vs
     PS-AA vs OS. *)
 
-val clustered_access : ?time_scale:float -> unit -> string * row list
+val clustered_access : ?time_scale:float -> unit -> Job.table
 (** Clustered vs unclustered object reference patterns. *)
 
-val slow_network : ?time_scale:float -> unit -> string * row list
+val slow_network : ?time_scale:float -> unit -> Job.table
 (** Bandwidth reduced by a factor of ten (8 Mbit/s). *)
 
-val extreme_locality : ?time_scale:float -> unit -> string * row list
+val extreme_locality : ?time_scale:float -> unit -> Job.table
 (** Page locality of exactly one object per page (120-page
     transactions): the paper's only regime where OS wins under HOTCOLD
     and briefly under UNIFORM. *)
 
-val all : ?time_scale:float -> unit -> (string * row list) list
+val tables : ?time_scale:float -> unit -> Job.table list
+(** All four sweeps, as job tables. *)
+
+val rows_of : Job.table -> Runner.result list -> string * row list
+(** Zip a table's jobs with their results (same order) into printable
+    rows. *)
+
+val all :
+  ?time_scale:float ->
+  ?run:(Job.t list -> Runner.result list) ->
+  unit ->
+  (string * row list) list
+(** Describe and execute every sweep.  [run] is the job executor;
+    the default runs sequentially. *)

@@ -16,134 +16,127 @@ let pp_rows ppf (title, rows) =
 
 let windows time_scale = (30.0 *. time_scale, 120.0 *. time_scale)
 
-let run_cell ?(time_scale = 1.0) ~cfg ~algo ~which ~locality ~write_prob () =
+(* Describe one ablation cell; nothing runs until an executor is
+   applied. *)
+let cell ?(time_scale = 1.0) ?think_time ~cfg ~algo ~which ~locality
+    ~write_prob ~sweep ~label () =
   let warmup, measure = windows time_scale in
   let params =
-    Workload.Presets.make which ~db_pages:cfg.Config.db_pages
+    Workload.Presets.make which ?think_time ~db_pages:cfg.Config.db_pages
       ~objects_per_page:cfg.Config.objects_per_page
       ~num_clients:cfg.Config.num_clients ~locality ~write_prob
   in
-  Runner.run ~warmup ~measure ~cfg ~algo ~params ()
+  Job.make ~sweep ~label ~cfg ~algo ~params ~warmup ~measure ()
 
 let commit_mode ?(time_scale = 1.0) () =
-  let rows =
-    List.concat_map
-      (fun (mode, mode_name) ->
-        List.concat_map
-          (fun algo ->
-            List.map
-              (fun wp ->
-                let cfg = { Config.default with Config.commit_mode = mode } in
-                let result =
-                  run_cell ~time_scale ~cfg ~algo
-                    ~which:Workload.Presets.Hotcold
-                    ~locality:Workload.Presets.Low ~write_prob:wp ()
-                in
-                {
-                  label =
-                    Printf.sprintf "%-14s %-6s wp=%.2f" mode_name
-                      (Algo.to_string algo) wp;
-                  result;
-                })
-              [ 0.05; 0.2 ])
-          [ Algo.PS; Algo.PS_AA ])
-      [ (Config.Ship_pages, "ship-pages"); (Config.Redo_at_server, "redo-log") ]
-  in
-  ("ablation: commit processing (merge-at-server vs redo-at-server)", rows)
+  {
+    Job.title = "ablation: commit processing (merge-at-server vs redo-at-server)";
+    jobs =
+      List.concat_map
+        (fun (mode, mode_name) ->
+          List.concat_map
+            (fun algo ->
+              List.map
+                (fun wp ->
+                  let cfg =
+                    { Config.default with Config.commit_mode = mode }
+                  in
+                  cell ~time_scale ~cfg ~algo ~which:Workload.Presets.Hotcold
+                    ~locality:Workload.Presets.Low ~write_prob:wp
+                    ~sweep:"abl-commit"
+                    ~label:
+                      (Printf.sprintf "%-14s %-6s wp=%.2f" mode_name
+                         (Algo.to_string algo) wp)
+                    ())
+                [ 0.05; 0.2 ])
+            [ Algo.PS; Algo.PS_AA ])
+        [ (Config.Ship_pages, "ship-pages"); (Config.Redo_at_server, "redo-log") ];
+  }
 
 let write_token ?(time_scale = 1.0) () =
-  let rows =
-    List.concat_map
-      (fun (mode, mode_name) ->
-        List.concat_map
-          (fun algo ->
-            List.map
-              (fun wp ->
-                let cfg = { Config.default with Config.update_mode = mode } in
-                let result =
-                  run_cell ~time_scale ~cfg ~algo
+  {
+    Job.title = "ablation: concurrent page updates (merge vs write token)";
+    jobs =
+      List.concat_map
+        (fun (mode, mode_name) ->
+          List.concat_map
+            (fun algo ->
+              List.map
+                (fun wp ->
+                  let cfg =
+                    { Config.default with Config.update_mode = mode }
+                  in
+                  cell ~time_scale ~cfg ~algo
                     ~which:Workload.Presets.Interleaved_private
-                    ~locality:Workload.Presets.High ~write_prob:wp ()
-                in
-                {
-                  label =
-                    Printf.sprintf "%-12s %-6s wp=%.2f" mode_name
-                      (Algo.to_string algo) wp;
-                  result;
-                })
-              [ 0.1; 0.3 ])
-          [ Algo.PS_OO; Algo.PS_AA ])
-      [ (Config.Merge, "merge"); (Config.Write_token, "write-token") ]
-  in
-  ("ablation: concurrent page updates (merge vs write token)", rows)
+                    ~locality:Workload.Presets.High ~write_prob:wp
+                    ~sweep:"abl-token"
+                    ~label:
+                      (Printf.sprintf "%-12s %-6s wp=%.2f" mode_name
+                         (Algo.to_string algo) wp)
+                    ())
+                [ 0.1; 0.3 ])
+            [ Algo.PS_OO; Algo.PS_AA ])
+        [ (Config.Merge, "merge"); (Config.Write_token, "write-token") ];
+  }
 
 let group_size ?(time_scale = 1.0) () =
-  let rows =
-    List.concat_map
-      (fun locality ->
-        List.map
-          (fun g ->
-            let cfg = { Config.default with Config.os_group_size = g } in
-            let result =
-              run_cell ~time_scale ~cfg ~algo:Algo.OS
-                ~which:Workload.Presets.Hotcold ~locality ~write_prob:0.05 ()
-            in
-            {
-              label =
-                Printf.sprintf "OS group=%-2d locality=%s" g
-                  (match locality with
-                  | Workload.Presets.Low -> "low"
-                  | Workload.Presets.High -> "high");
-              result;
-            })
-          [ 1; 5; 10; 20 ])
-      [ Workload.Presets.Low; Workload.Presets.High ]
-  in
-  ("ablation: grouped-object server (OS transfer group size)", rows)
+  {
+    Job.title = "ablation: grouped-object server (OS transfer group size)";
+    jobs =
+      List.concat_map
+        (fun locality ->
+          List.map
+            (fun g ->
+              let cfg = { Config.default with Config.os_group_size = g } in
+              cell ~time_scale ~cfg ~algo:Algo.OS
+                ~which:Workload.Presets.Hotcold ~locality ~write_prob:0.05
+                ~sweep:"abl-group"
+                ~label:
+                  (Printf.sprintf "OS group=%-2d locality=%s" g
+                     (match locality with
+                     | Workload.Presets.Low -> "low"
+                     | Workload.Presets.High -> "high"))
+                ())
+            [ 1; 5; 10; 20 ])
+        [ Workload.Presets.Low; Workload.Presets.High ];
+  }
 
 let overflow ?(time_scale = 1.0) () =
-  let rows =
-    List.map
-      (fun scp ->
-        let cfg =
-          {
-            Config.default with
-            Config.size_change_prob = scp;
-            overflow_prob = 0.1;
-          }
-        in
-        let result =
-          run_cell ~time_scale ~cfg ~algo:Algo.PS_AA
+  {
+    Job.title = "ablation: size-changing updates and page overflow";
+    jobs =
+      List.map
+        (fun scp ->
+          let cfg =
+            {
+              Config.default with
+              Config.size_change_prob = scp;
+              overflow_prob = 0.1;
+            }
+          in
+          cell ~time_scale ~cfg ~algo:Algo.PS_AA
             ~which:Workload.Presets.Hotcold ~locality:Workload.Presets.Low
-            ~write_prob:0.2 ()
-        in
-        { label = Printf.sprintf "size-change prob=%.2f" scp; result })
-      [ 0.0; 0.2; 0.5; 1.0 ]
-  in
-  ("ablation: size-changing updates and page overflow", rows)
+            ~write_prob:0.2 ~sweep:"abl-overflow"
+            ~label:(Printf.sprintf "size-change prob=%.2f" scp)
+            ())
+        [ 0.0; 0.2; 0.5; 1.0 ];
+  }
 
 let think_time ?(time_scale = 1.0) () =
-  let warmup, measure = windows time_scale in
-  let rows =
-    List.map
-      (fun think ->
-        let cfg = Config.default in
-        let params =
-          Workload.Presets.make Workload.Presets.Hotcold ~think_time:think
-            ~db_pages:cfg.Config.db_pages
-            ~objects_per_page:cfg.Config.objects_per_page
-            ~num_clients:cfg.Config.num_clients ~locality:Workload.Presets.Low
-            ~write_prob:0.1
-        in
-        let result =
-          Runner.run ~warmup ~measure ~cfg ~algo:Algo.PS_AA ~params ()
-        in
-        { label = Printf.sprintf "think time %.1fs" think; result })
-      [ 0.0; 0.5; 2.0 ]
-  in
-  ("ablation: client think time (closed-system load)", rows)
+  {
+    Job.title = "ablation: client think time (closed-system load)";
+    jobs =
+      List.map
+        (fun think ->
+          cell ~time_scale ~think_time:think ~cfg:Config.default
+            ~algo:Algo.PS_AA ~which:Workload.Presets.Hotcold
+            ~locality:Workload.Presets.Low ~write_prob:0.1 ~sweep:"abl-think"
+            ~label:(Printf.sprintf "think time %.1fs" think)
+            ())
+        [ 0.0; 0.5; 2.0 ];
+  }
 
-let all ?(time_scale = 1.0) () =
+let tables ?(time_scale = 1.0) () =
   [
     commit_mode ~time_scale ();
     write_token ~time_scale ();
@@ -151,3 +144,13 @@ let all ?(time_scale = 1.0) () =
     overflow ~time_scale ();
     think_time ~time_scale ();
   ]
+
+let rows_of (tbl : Job.table) results =
+  ( tbl.Job.title,
+    List.map2 (fun (j : Job.t) r -> { label = j.Job.label; result = r })
+      tbl.Job.jobs results )
+
+let all ?(time_scale = 1.0) ?(run = Job.run_all) () =
+  List.map
+    (fun tbl -> rows_of tbl (run tbl.Job.jobs))
+    (tables ~time_scale ())

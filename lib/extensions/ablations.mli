@@ -1,36 +1,53 @@
 (** Runnable ablations for the paper's Section 6 discussion points and
     for the simulator's own design choices (see DESIGN.md's ablation
-    index).  Each driver runs a small grid of simulations and returns
-    labelled rows; {!pp_rows} renders them as a table. *)
+    index).  Each driver {e describes} a small grid of simulations as a
+    {!Oodb_core.Job.table}; an executor (sequential
+    {!Oodb_core.Job.run_all} or the parallel [Harness.Pool]) produces
+    the results, and {!rows_of} zips them into labelled rows;
+    {!pp_rows} renders them as a table. *)
 
 type row = { label : string; result : Oodb_core.Runner.result }
 
 val pp_rows : Format.formatter -> string * row list -> unit
 (** Print a titled ablation table. *)
 
-val commit_mode : ?time_scale:float -> unit -> string * row list
+val commit_mode : ?time_scale:float -> unit -> Oodb_core.Job.table
 (** Merge-at-server (ship dirty pages) vs redo-at-server (ship log
     records, replay at the server): Section 6.1 predicts redo saves
     client-server data volume but burdens the server with the replay
     work, eroding data-shipping's offload advantage. *)
 
-val write_token : ?time_scale:float -> unit -> string * row list
+val write_token : ?time_scale:float -> unit -> Oodb_core.Job.table
 (** Merging concurrent page updates vs the write-token approach
     ([Moha91]; the paper's stated future work).  Run on Interleaved
     PRIVATE, whose false sharing makes pages bounce. *)
 
-val group_size : ?time_scale:float -> unit -> string * row list
+val group_size : ?time_scale:float -> unit -> Oodb_core.Job.table
 (** Object server with grouped-object transfer (Section 6.2): group
     sizes 1 (pure OS) to 20 (page-sized groups), showing how grouping
     recovers the page server's transfer economy but not its consistency
     economy. *)
 
-val overflow : ?time_scale:float -> unit -> string * row list
+val overflow : ?time_scale:float -> unit -> Oodb_core.Job.table
 (** Size-changing updates and page overflow (Section 6.1): forwarding
     costs as the fraction of growing updates rises. *)
 
-val think_time : ?time_scale:float -> unit -> string * row list
+val think_time : ?time_scale:float -> unit -> Oodb_core.Job.table
 (** Closed-system load sensitivity: client think time between
     transactions. *)
 
-val all : ?time_scale:float -> unit -> (string * row list) list
+val tables : ?time_scale:float -> unit -> Oodb_core.Job.table list
+(** All five ablation grids, as job tables. *)
+
+val rows_of :
+  Oodb_core.Job.table -> Oodb_core.Runner.result list -> string * row list
+(** Zip a table's jobs with their results (same order) into printable
+    rows. *)
+
+val all :
+  ?time_scale:float ->
+  ?run:(Oodb_core.Job.t list -> Oodb_core.Runner.result list) ->
+  unit ->
+  (string * row list) list
+(** Describe and execute every ablation.  [run] is the job executor;
+    the default runs sequentially. *)

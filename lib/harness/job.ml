@@ -1,0 +1,5 @@
+(* Re-export so harness users can say [Harness.Job] for the job
+   vocabulary next to [Harness.Pool] for the execution engine.  The
+   type itself lives in [Oodb_core] because the sweep drivers there
+   describe their grids with it. *)
+include Oodb_core.Job

@@ -1,0 +1,71 @@
+open Oodb_core
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let sequential_map ?progress f items =
+  List.map
+    (fun x ->
+      let y = f x in
+      Option.iter (fun p -> p x y) progress;
+      y)
+    items
+
+let parallel_map ~workers ?progress f items =
+  let items_a = Array.of_list items in
+  let n = Array.length items_a in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let progress_lock = Mutex.create () in
+  let report x y =
+    Option.iter
+      (fun p ->
+        Mutex.lock progress_lock;
+        Fun.protect ~finally:(fun () -> Mutex.unlock progress_lock) (fun () ->
+            p x y))
+      progress
+  in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let x = items_a.(i) in
+        let y = f x in
+        results.(i) <- Some y;
+        report x y;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  (* The calling domain is worker number [workers]; defer any exception
+     until the spawned domains have been joined so none leak. *)
+  let first_exn = ref None in
+  let record_exn f =
+    try f () with e -> if !first_exn = None then first_exn := Some e
+  in
+  record_exn worker;
+  Array.iter (fun d -> record_exn (fun () -> Domain.join d)) domains;
+  match !first_exn with
+  | Some e -> raise e
+  | None ->
+    Array.to_list
+      (Array.map
+         (function
+           | Some y -> y
+           | None -> invalid_arg "Pool.map: missing result")
+         results)
+
+let map ?jobs ?progress f items =
+  let n = List.length items in
+  let workers =
+    let requested = match jobs with Some j -> j | None -> default_jobs () in
+    max 1 (min requested n)
+  in
+  if workers <= 1 then sequential_map ?progress f items
+  else parallel_map ~workers ?progress f items
+
+let run ?jobs ?progress js = map ?jobs ?progress Job.run js
+
+let run_table ?jobs ?progress (tbl : Job.table) =
+  (tbl, run ?jobs ?progress tbl.Job.jobs)

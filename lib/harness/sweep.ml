@@ -1,0 +1,35 @@
+open Oodb_core
+
+let progress_printer ?progress () =
+  Option.map
+    (fun p (j : Job.t) r -> p (Experiments.progress_line j r))
+    progress
+
+let run_spec ?seed ?time_scale ?jobs ?progress spec =
+  let js = Experiments.jobs_of_spec ?seed ?time_scale spec in
+  let results = Pool.run ?jobs ?progress:(progress_printer ?progress ()) js in
+  Experiments.series_of_results spec results
+
+let run_specs ?seed ?time_scale ?jobs ?progress specs =
+  (* One flat job list across every figure, so a wide sweep keeps all
+     workers busy even when individual figures have few cells left. *)
+  let per_spec = List.map (fun s -> (s, Experiments.jobs_of_spec ?seed ?time_scale s)) specs in
+  let results =
+    Pool.run ?jobs
+      ?progress:(progress_printer ?progress ())
+      (List.concat_map snd per_spec)
+  in
+  let rec take n acc rs =
+    if n = 0 then (List.rev acc, rs)
+    else
+      match rs with
+      | [] -> invalid_arg "Sweep.run_specs: missing results"
+      | r :: rs -> take (n - 1) (r :: acc) rs
+  in
+  let rec split results = function
+    | [] -> []
+    | (spec, js) :: rest ->
+      let mine, theirs = take (List.length js) [] results in
+      Experiments.series_of_results spec mine :: split theirs rest
+  in
+  split results per_spec

@@ -1,0 +1,25 @@
+(** Parallel figure sweeps: the pool-backed counterpart of
+    {!Oodb_core.Experiments.run_spec}. *)
+
+val run_spec :
+  ?seed:int ->
+  ?time_scale:float ->
+  ?jobs:int ->
+  ?progress:(string -> unit) ->
+  Oodb_core.Experiments.spec ->
+  Oodb_core.Experiments.series
+(** Describe the figure's cells as jobs and run them on {!Pool} with
+    [jobs] workers ([~jobs:1] reproduces the sequential driver
+    byte-for-byte).  [progress] receives one line per completed cell,
+    in completion order. *)
+
+val run_specs :
+  ?seed:int ->
+  ?time_scale:float ->
+  ?jobs:int ->
+  ?progress:(string -> unit) ->
+  Oodb_core.Experiments.spec list ->
+  Oodb_core.Experiments.series list
+(** Run several figures as one flat job list (better worker
+    utilization across figure boundaries); results come back per
+    figure, in input order. *)

@@ -29,7 +29,21 @@ let schedule_after t dt action =
   if dt < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (t.clock +. dt) action
 
-let step t =
+exception Event_budget_exceeded of string
+
+let check_budget t = function
+  | None -> ()
+  | Some budget ->
+    if t.processed >= budget then
+      raise
+        (Event_budget_exceeded
+           (Printf.sprintf
+              "event budget of %d exhausted: clock %.6f, %d events \
+               processed, %d still pending"
+              budget t.clock t.processed (Heap.size t.queue)))
+
+let step ?max_events t =
+  check_budget t max_events;
   match Heap.pop t.queue with
   | None -> false
   | Some ev ->
@@ -38,13 +52,13 @@ let step t =
     ev.action ();
     true
 
-let run t = while step t do () done
+let run ?max_events t = while step ?max_events t do () done
 
-let run_until t limit =
+let run_until ?max_events t limit =
   let continue = ref true in
   while !continue do
     match Heap.peek t.queue with
-    | Some ev when ev.time <= limit -> ignore (step t)
+    | Some ev when ev.time <= limit -> ignore (step ?max_events t)
     | Some _ | None -> continue := false
   done;
   if t.clock < limit then t.clock <- limit

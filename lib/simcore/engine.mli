@@ -19,12 +19,26 @@ val schedule_after : t -> float -> (unit -> unit) -> unit
 val schedule_at : t -> float -> (unit -> unit) -> unit
 (** [schedule_at t time f] runs [f] at absolute [time] (>= [now t]). *)
 
-val run : t -> unit
-(** Process events until the queue is empty. *)
+exception Event_budget_exceeded of string
+(** Raised by {!step}, {!run} and {!run_until} when the optional
+    [?max_events] budget is exhausted.  The message records the clock,
+    the number of events processed and the queue depth, so a runaway
+    simulation fails with a diagnostic instead of spinning forever. *)
 
-val run_until : t -> float -> unit
+val step : ?max_events:int -> t -> bool
+(** Process the single earliest pending event; [false] when the queue
+    is empty.  [max_events] bounds the total events processed since
+    engine creation. *)
+
+val run : ?max_events:int -> t -> unit
+(** Process events until the queue is empty.  [max_events] bounds the
+    total number of events processed since engine creation (compare
+    {!events_processed}). *)
+
+val run_until : ?max_events:int -> t -> float -> unit
 (** Process all events with timestamp <= the limit, then set the clock
-    to the limit.  Events scheduled beyond the limit remain queued. *)
+    to the limit.  Events scheduled beyond the limit remain queued.
+    [max_events] bounds the total events processed since creation. *)
 
 val pending : t -> int
 (** Number of events currently queued. *)

@@ -19,6 +19,22 @@ let split t =
 
 let copy t = { state = t.state }
 
+let key_seed ~seed ~key =
+  (* Fold the key bytes through the splitmix64 finalizer so that the
+     derived seed is a pure function of (seed, key): independent of any
+     generator state and of the order in which seeds are derived. *)
+  let h = ref (mix64 (Int64.of_int seed)) in
+  String.iter
+    (fun c ->
+      h :=
+        mix64
+          (Int64.add
+             (Int64.logxor !h (Int64.of_int (Char.code c)))
+             golden_gamma))
+    key;
+  (* Non-negative 62-bit int, like [bits]. *)
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
 (* Non-negative 62-bit int from the top bits. *)
 let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

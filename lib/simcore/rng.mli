@@ -16,6 +16,13 @@ val split : t -> t
 val copy : t -> t
 (** A snapshot of the generator state. *)
 
+val key_seed : seed:int -> key:string -> int
+(** [key_seed ~seed ~key] is a non-negative seed derived purely from
+    [seed] and the bytes of [key] (splitmix64 mixing).  Equal inputs
+    give equal outputs regardless of program state, so a simulation
+    job can derive its own independent stream from its description
+    alone — the property that makes parallel sweeps reproducible. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -137,7 +137,10 @@ let fuzz_once ~algo ~cfg ~seed =
     in
     submit (List.combine txns delays)
   done;
-  Engine.run_until sys.Model.engine 300.0;
+  (* The conflict storm should settle in well under a million events; a
+     runaway protocol bug fails loudly via the budget guard instead of
+     hanging the suite. *)
+  Engine.run_until ~max_events:2_000_000 sys.Model.engine 300.0;
   if !remaining <> 0 then
     failwith
       (Printf.sprintf "fuzz: %d transactions never finished (algo %s seed %d)"

@@ -1,0 +1,137 @@
+(* The property that makes the parallel harness safe: a job's random
+   stream is a pure function of its description, so results are
+   byte-identical regardless of worker count, scheduling, or position
+   in the job list. *)
+
+open Oodb_core
+
+let fig3_point () =
+  let spec = Option.get (Experiments.find "fig3") in
+  { spec with Experiments.write_probs = [ 0.1 ] }
+
+(* --- Pool mechanics ------------------------------------------------------ *)
+
+let test_pool_map_ordering () =
+  let items = List.init 57 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let seq = List.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map with %d workers preserves order" jobs)
+        seq
+        (Harness.Pool.map ~jobs f items))
+    [ 1; 2; 4; 16 ]
+
+let test_pool_progress_serialized () =
+  let count = ref 0 in
+  let results =
+    Harness.Pool.map ~jobs:4
+      ~progress:(fun _ _ -> incr count)
+      (fun x -> x + 1)
+      (List.init 40 (fun i -> i))
+  in
+  (* Progress calls run under the pool's mutex, so the unguarded
+     counter must still reach exactly one call per item. *)
+  Alcotest.(check int) "one progress call per item" 40 !count;
+  Alcotest.(check int) "all results present" 40 (List.length results)
+
+let test_pool_propagates_exception () =
+  Alcotest.check_raises "worker failure reaches the caller"
+    (Failure "boom 7")
+    (fun () ->
+      ignore
+        (Harness.Pool.map ~jobs:4
+           (fun x ->
+             if x = 7 then failwith (Printf.sprintf "boom %d" x) else x)
+           (List.init 16 (fun i -> i))
+          : int list))
+
+(* --- Job seeding --------------------------------------------------------- *)
+
+let test_seeds_stable_under_reordering () =
+  let jobs = Experiments.jobs_of_spec (Option.get (Experiments.find "fig3")) in
+  let seeds = List.map Job.seed jobs in
+  let seeds_rev = List.map Job.seed (List.rev jobs) in
+  Alcotest.(check (list int))
+    "seed depends on the job description, not its position" seeds
+    (List.rev seeds_rev);
+  let distinct = List.sort_uniq compare seeds in
+  Alcotest.(check int) "every cell gets its own stream" (List.length seeds)
+    (List.length distinct)
+
+let test_seeds_differ_across_sweeps () =
+  let fig3 = Experiments.jobs_of_spec (Option.get (Experiments.find "fig3")) in
+  let fig6 = Experiments.jobs_of_spec (Option.get (Experiments.find "fig6")) in
+  let all = List.map Job.seed fig3 @ List.map Job.seed fig6 in
+  Alcotest.(check int) "no collisions across sweeps" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_base_seed_changes_streams () =
+  let spec = fig3_point () in
+  let s42 = List.map Job.seed (Experiments.jobs_of_spec ~seed:42 spec) in
+  let s7 = List.map Job.seed (Experiments.jobs_of_spec ~seed:7 spec) in
+  Alcotest.(check bool) "base seed feeds derivation" true (s42 <> s7)
+
+(* --- End-to-end determinism ---------------------------------------------- *)
+
+let series_points (s : Experiments.series) = s.Experiments.points
+
+let test_parallel_matches_sequential () =
+  let spec = fig3_point () in
+  let seq = Harness.Sweep.run_spec ~time_scale:0.1 ~jobs:1 spec in
+  let par = Harness.Sweep.run_spec ~time_scale:0.1 ~jobs:4 spec in
+  Alcotest.(check bool)
+    "--jobs 1 and --jobs 4 give identical Runner.result records" true
+    (series_points seq = series_points par)
+
+let test_sequential_driver_matches_pool () =
+  let spec = fig3_point () in
+  let reference = Experiments.run_spec ~time_scale:0.1 spec in
+  let pooled = Harness.Sweep.run_spec ~time_scale:0.1 ~jobs:4 spec in
+  Alcotest.(check bool)
+    "Experiments.run_spec and the pool agree" true
+    (series_points reference = series_points pooled)
+
+(* --- Engine event budget -------------------------------------------------- *)
+
+let test_event_budget () =
+  let e = Simcore.Engine.create () in
+  (* A self-rescheduling event: without a budget this runs forever. *)
+  let rec tick () = Simcore.Engine.schedule_after e 0.001 tick in
+  tick ();
+  Alcotest.(check bool) "budget guard fires with a diagnostic" true
+    (try
+       Simcore.Engine.run_until ~max_events:100 e 1e9;
+       false
+     with Simcore.Engine.Event_budget_exceeded msg ->
+       (* The diagnostic names the budget and the queue state. *)
+       let mem needle =
+         let open String in
+         let nl = length needle and hl = length msg in
+         let rec at i = i + nl <= hl && (sub msg i nl = needle || at (i + 1)) in
+         at 0
+       in
+       mem "100" && mem "pending");
+  Alcotest.(check int) "processed exactly the budget" 100
+    (Simcore.Engine.events_processed e)
+
+let suite =
+  [
+    Alcotest.test_case "pool: map ordering" `Quick test_pool_map_ordering;
+    Alcotest.test_case "pool: progress serialized" `Quick
+      test_pool_progress_serialized;
+    Alcotest.test_case "pool: exception propagates" `Quick
+      test_pool_propagates_exception;
+    Alcotest.test_case "job seeds stable under reordering" `Quick
+      test_seeds_stable_under_reordering;
+    Alcotest.test_case "job seeds unique across sweeps" `Quick
+      test_seeds_differ_across_sweeps;
+    Alcotest.test_case "base seed changes streams" `Quick
+      test_base_seed_changes_streams;
+    Alcotest.test_case "fig3 point: jobs=1 == jobs=4" `Slow
+      test_parallel_matches_sequential;
+    Alcotest.test_case "sequential driver == pool" `Slow
+      test_sequential_driver_matches_pool;
+    Alcotest.test_case "engine event budget" `Quick test_event_budget;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("fuzz", Test_fuzz.suite);
       ("runner", Test_runner.suite);
+      ("harness", Test_harness.suite);
     ]
