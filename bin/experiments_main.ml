@@ -15,14 +15,14 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.is_directory dir -> ()
   end
 
-let write_csv ~dir ~id series =
+let write_csv ~dir ~id csv =
   let path = Filename.concat dir (id ^ ".csv") in
   match open_out path with
   | exception Sys_error msg ->
     Format.eprintf "error: cannot write CSV file %s (%s)@." path msg;
     false
   | oc ->
-    output_string oc (Report.series_to_csv series);
+    output_string oc csv;
     close_out oc;
     Format.printf "wrote %s@." path;
     true
@@ -38,6 +38,18 @@ let run_figure ?(time_scale = 1.0) ~njobs ~csv_dir ~detail id =
   | "fig5" ->
     Format.printf "%a@." Report.pp_figure5 (Experiments.figure5 ());
     true
+  | "faultsweep" ->
+    let progress j r =
+      Format.printf "  %s@.%!" (Experiments.progress_line j r)
+    in
+    let jobs = Experiments.fault_jobs ~time_scale () in
+    let results = Harness.Pool.run ~jobs:njobs ~progress jobs in
+    let series = Experiments.fault_series_of_results results in
+    Format.printf "%a@." Report.pp_fault_series series;
+    (match csv_dir with
+    | None -> true
+    | Some dir ->
+      write_csv ~dir ~id:"faultsweep" (Report.fault_series_to_csv series))
   | id -> (
     match Experiments.find id with
     | None ->
@@ -52,11 +64,11 @@ let run_figure ?(time_scale = 1.0) ~njobs ~csv_dir ~detail id =
       if detail then Format.printf "%a@." Report.pp_series_detail series;
       (match csv_dir with
       | None -> true
-      | Some dir -> write_csv ~dir ~id series))
+      | Some dir -> write_csv ~dir ~id (Report.series_to_csv series)))
 
 let all_ids =
   [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
-    "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14" ]
+    "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "faultsweep" ]
 
 let run ids time_scale njobs csv_dir detail =
   let ids = if ids = [] then all_ids else ids in
@@ -85,7 +97,9 @@ let ids_t =
   Arg.(
     value & pos_all string []
     & info [] ~docv:"ID"
-        ~doc:"Experiment ids (fig3..fig14, table1, table2); all when omitted")
+        ~doc:
+          "Experiment ids (fig3..fig14, table1, table2, faultsweep); all \
+           when omitted")
 
 let time_scale_t =
   Arg.(

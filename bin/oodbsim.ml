@@ -47,12 +47,24 @@ let locality_conv =
           (match l with Workload.Presets.Low -> "low" | Workload.Presets.High -> "high") )
 
 let run algo workload locality write_probs clients db_scale seed njobs warmup
-    measure verbose trace =
+    measure verbose trace crash_rate restart_delay msg_loss msg_dup disk_stall
+    max_events =
   if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
   let write_probs = if write_probs = [] then [ 0.1 ] else write_probs in
+  let faults =
+    {
+      Faults.off with
+      Faults.crash_rate;
+      restart_delay;
+      msg_loss_prob = msg_loss;
+      msg_dup_prob = msg_dup;
+      disk_stall_prob = disk_stall;
+    }
+  in
+  Faults.validate faults;
   let cfg =
     Config.scaled
-      { Config.default with num_clients = clients }
+      { Config.default with num_clients = clients; faults }
       ~factor:db_scale
   in
   let jobs =
@@ -63,7 +75,7 @@ let run algo workload locality write_probs clients db_scale seed njobs warmup
             ~objects_per_page:cfg.Config.objects_per_page
             ~num_clients:cfg.Config.num_clients ~locality ~write_prob
         in
-        Job.make ~base_seed:seed ~sweep:"oodbsim"
+        Job.make ~base_seed:seed ?max_events ~sweep:"oodbsim"
           ~label:(Printf.sprintf "wp=%.3f" write_prob)
           ~cfg ~algo ~params ~warmup ~measure ())
       write_probs
@@ -134,6 +146,50 @@ let trace_t =
     value & flag
     & info [ "trace" ] ~doc:"Stream kernel events (commits, de-escalations, callbacks) to stderr")
 
+let crash_rate_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "crash-rate" ]
+        ~doc:
+          "Mean client crashes per simulated second per client \
+           (exponential inter-crash times; 0 = never)")
+
+let restart_delay_t =
+  Arg.(
+    value
+    & opt float Faults.off.Faults.restart_delay
+    & info [ "restart-delay" ]
+        ~doc:"Client downtime before a cold restart (sim seconds)")
+
+let msg_loss_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "msg-loss" ]
+        ~doc:
+          "Probability a message transmission is lost (retransmitted \
+           after a timeout with exponential backoff)")
+
+let msg_dup_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "msg-dup" ]
+        ~doc:"Probability a delivered message is duplicated")
+
+let disk_stall_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "disk-stall" ]
+        ~doc:"Probability a disk I/O stalls transiently before service")
+
+let max_events_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:
+          "Abort the run after N engine events (liveness bound for \
+           fault-storm fuzzing in CI)")
+
 let cmd =
   let doc =
     "simulate a page/object-server OODBMS under fine-grained sharing \
@@ -143,6 +199,8 @@ let cmd =
     (Cmd.info "oodbsim" ~doc)
     Term.(
       const run $ algo_t $ workload_t $ locality_t $ wp_t $ clients_t $ scale_t
-      $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t)
+      $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t
+      $ crash_rate_t $ restart_delay_t $ msg_loss_t $ msg_dup_t $ disk_stall_t
+      $ max_events_t)
 
 let () = exit (Cmd.eval cmd)

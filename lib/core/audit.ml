@@ -1,0 +1,188 @@
+open Model
+open Storage
+open Simcore
+
+exception Violation of string
+
+let oid_str o = Format.asprintf "%a" Ids.Oid.pp o
+
+let dump_state sys =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "  clients:";
+  Array.iter
+    (fun c ->
+      add " %d:%s%s" c.cid
+        (if c.up then "up" else "DOWN")
+        (match c.running with
+        | Some t -> Printf.sprintf "(txn %d)" t.tid
+        | None -> ""))
+    sys.clients;
+  add "\n  waits-for:";
+  List.iter
+    (fun (txn, blockers, info) ->
+      add " %d->[%s]%s" txn
+        (String.concat "," (List.map string_of_int blockers))
+        (if info = "" then "" else "(" ^ info ^ ")"))
+    (Locking.Waits_for.dump sys.server.wfg);
+  add "\n  page-lock queues:";
+  List.iter
+    (fun (txn, desc) -> add " %d@%s" txn desc)
+    (Locking.Lock_table.dump_waiting sys.server.plocks string_of_int);
+  add "\n  object-lock queues:";
+  List.iter
+    (fun (txn, desc) -> add " %d@%s" txn desc)
+    (Locking.Lock_table.dump_waiting sys.server.olocks oid_str);
+  Buffer.contents b
+
+let violation sys ~context fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Violation
+           (Printf.sprintf "audit violation [%s] at t=%.6f: %s\n%s" context
+              (Engine.now sys.engine) msg (dump_state sys))))
+    fmt
+
+(* Invariant 1: every lock-table holder and waiter is an active
+   transaction.  A crashed client's transactions are ended during crash
+   reclamation, so this also proves no dead client holds locks. *)
+let check_lock_liveness sys ~context =
+  let wfg = sys.server.wfg in
+  let check_txn what show item txn =
+    if not (Locking.Waits_for.is_active wfg txn) then
+      violation sys ~context "%s %s by ended transaction %d" what (show item)
+        txn
+  in
+  Locking.Lock_table.iter_holders sys.server.plocks (fun p h ->
+      check_txn "page lock held" string_of_int p h);
+  Locking.Lock_table.iter_holders sys.server.olocks (fun o h ->
+      check_txn "object lock held" oid_str o h);
+  Locking.Lock_table.iter_waiters sys.server.plocks (fun p w ->
+      check_txn "page-lock wait queued" string_of_int p w);
+  Locking.Lock_table.iter_waiters sys.server.olocks (fun o w ->
+      check_txn "object-lock wait queued" oid_str o w)
+
+(* Invariant 2: granularity compatibility — a page write lock excludes
+   object write locks on the same page by other transactions. *)
+let check_lock_compat sys ~context =
+  Locking.Lock_table.iter_holders sys.server.plocks (fun p h ->
+      if Model.page_has_foreign_obj_lock sys p ~tid:h then
+        violation sys ~context
+          "page %d write-locked by txn %d while a foreign object lock exists"
+          p h)
+
+(* Invariant 3: callback coverage — every copy cached at an up client is
+   registered (>= 1 reference; a second in-flight reference is legal).
+   Without this the server would skip the client during callbacks and
+   the stale copy could serve a later read. *)
+let check_copy_coverage ?only sys ~context =
+  Array.iter
+    (fun c ->
+      if c.up && (match only with Some cid -> cid = c.cid | None -> true) then
+        if Algo.page_grain_copies sys.algo then
+          Lru.iter c.cache (fun p _ ->
+              if
+                not
+                  (Locking.Copy_table.holds sys.server.pcopies p ~client:c.cid)
+              then
+                violation sys ~context
+                  "client %d caches page %d without a copy registration" c.cid
+                  p)
+        else if sys.algo = Algo.OS then
+          Lru.iter c.ocache (fun o _ ->
+              if
+                not
+                  (Locking.Copy_table.holds sys.server.ocopies o ~client:c.cid)
+              then
+                violation sys ~context
+                  "client %d caches object %s without a copy registration"
+                  c.cid (oid_str o))
+        else
+          (* PS-OO: object-grain registrations for the available slots
+             of each cached page. *)
+          Lru.iter c.cache (fun p entry ->
+              for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+                if not (Ids.Int_set.mem slot entry.unavailable) then
+                  let o = Ids.Oid.make ~page:p ~slot in
+                  if
+                    not
+                      (Locking.Copy_table.holds sys.server.ocopies o
+                         ~client:c.cid)
+                  then
+                    violation sys ~context
+                      "client %d caches available object %s without a copy \
+                       registration"
+                      c.cid (oid_str o)
+              done))
+    sys.clients
+
+(* Invariant 4: a crashed client was fully reclaimed — cold caches, no
+   transaction, no copy-table presence (it must not be a callback
+   target: its cache is gone, so a callback would wait forever or,
+   worse, "succeed" against nothing). *)
+let check_crashed_clients sys ~context =
+  Array.iter
+    (fun c ->
+      if not c.up then begin
+        (match c.running with
+        | Some t ->
+          violation sys ~context "crashed client %d still runs txn %d" c.cid
+            t.tid
+        | None -> ());
+        if Lru.size c.cache > 0 || Lru.size c.ocache > 0 then
+          violation sys ~context
+            "crashed client %d retains %d pages / %d objects in cache" c.cid
+            (Lru.size c.cache) (Lru.size c.ocache);
+        let pc =
+          Locking.Copy_table.client_copies sys.server.pcopies ~client:c.cid
+        in
+        let oc =
+          Locking.Copy_table.client_copies sys.server.ocopies ~client:c.cid
+        in
+        if pc > 0 || oc > 0 then
+          violation sys ~context
+            "crashed client %d still registered for %d pages / %d objects"
+            c.cid pc oc
+      end)
+    sys.clients
+
+(* Invariant 5: deadlock detection runs at every edge addition, so no
+   cycle survives between events. *)
+let check_acyclic sys ~context =
+  match Locking.Waits_for.any_cycle sys.server.wfg with
+  | None -> ()
+  | Some cycle ->
+    violation sys ~context "waits-for cycle left unbroken: [%s]"
+      (String.concat " -> " (List.map string_of_int cycle))
+
+(* Invariant 6: write isolation — no object sits in the updated set of
+   two live transactions. *)
+let check_update_disjoint sys ~context =
+  let owner = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      match c.running with
+      | Some t when c.up ->
+        Ids.Oid_set.iter
+          (fun o ->
+            match Hashtbl.find_opt owner o with
+            | Some other ->
+              violation sys ~context
+                "object %s updated by both txn %d and txn %d"
+                (oid_str o) other t.tid
+            | None -> Hashtbl.replace owner o t.tid)
+          t.updated
+      | Some _ | None -> ())
+    sys.clients
+
+let check ?(context = "") ?coverage_of sys =
+  check_lock_liveness sys ~context;
+  check_lock_compat sys ~context;
+  check_copy_coverage ?only:coverage_of sys ~context;
+  check_crashed_clients sys ~context;
+  check_acyclic sys ~context;
+  check_update_disjoint sys ~context
+
+let install sys =
+  Faults.set_hook sys.faults (fun context -> check ~context sys)

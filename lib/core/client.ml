@@ -5,6 +5,13 @@ open Model
 let local_lock_charge sys c =
   Resources.Cpu.system c.ccpu sys.cfg.Config.lock_inst
 
+(* Zombie guard: a fiber that resumed from a non-cancellable suspension
+   (CPU, disk, network) after its client crashed must not touch caches,
+   locks, or metrics — the crash handler already reclaimed its state.
+   Checked after every suspension that is followed by a state change. *)
+let check_live sys txn =
+  if not (Model.txn_live sys txn) then raise Client_crashed
+
 (* How many times a read retries when its target keeps becoming
    unavailable between server reply and local install; each retry
    blocks at the server behind the new writer, so in practice one or
@@ -31,6 +38,7 @@ let rec fetch_page sys c txn oid ~tries =
   | Srv.R_aborted -> raise Txn_aborted
   | Srv.R_objs _ -> assert false
   | Srv.R_page { unavailable; version } ->
+    check_live sys txn;
     (match Cache_ops.install_page sys c txn oid.Ids.Oid.page ~unavailable ~version with
     | Some (victim, dirty, fetch_version) ->
       (* Under redo-at-server the log carries the updates, so dirty
@@ -53,6 +61,7 @@ let read_access sys c txn oid =
       | Srv.R_aborted -> raise Txn_aborted
       | Srv.R_page _ -> assert false
       | Srv.R_objs group ->
+        check_live sys txn;
         List.iter
           (fun o ->
             match Cache_ops.install_object sys c o with
@@ -150,11 +159,14 @@ let write_access sys c txn oid =
     match Srv.write_rpc sys txn oid with
     | Srv.W_aborted -> raise Txn_aborted
     | Srv.W_page ->
+      check_live sys txn;
       txn.wpages <- Ids.Page_set.add oid.Ids.Oid.page txn.wpages;
       (* Under PS-AA the server acquired the object lock on the way to
          escalating; mirror it so release covers both. *)
       if sys.algo = Algo.PS_AA then txn.wobjs <- Ids.Oid_set.add oid txn.wobjs
-    | Srv.W_obj -> txn.wobjs <- Ids.Oid_set.add oid txn.wobjs
+    | Srv.W_obj ->
+      check_live sys txn;
+      txn.wobjs <- Ids.Oid_set.add oid txn.wobjs
   end;
   mark_updated sys c txn oid;
   local_lock_charge sys c
@@ -162,6 +174,7 @@ let write_access sys c txn oid =
 (* --- Operations ------------------------------------------------------- *)
 
 let exec_op sys c txn (op : Workload.Refstring.op) =
+  check_live sys txn;
   read_access sys c txn op.oid;
   if op.write then write_access sys c txn op.oid;
   let cost =
@@ -184,6 +197,7 @@ let updated_pages txn =
     txn.updated Ids.Page_set.empty
 
 let commit sys c txn =
+  check_live sys txn;
   (match sys.cfg.Config.commit_mode with
   | Config.Redo_at_server -> Srv.ship_redo_log sys txn
   | Config.Ship_pages ->
@@ -208,6 +222,10 @@ let commit sys c txn =
         | Some _ | None -> ())
       (updated_pages txn));
   Srv.commit_rpc sys txn;
+  (* A crash during the commit round trip aborts the transaction: the
+     server skipped the version bumps, so it must not count as a
+     commit here. *)
+  check_live sys txn;
   (* Updates are durable at the server; retain the pages/objects as
      clean cached copies and let blocked callbacks proceed. *)
   (match sys.algo with
@@ -250,6 +268,7 @@ let make_txn sys ~client ~ops ~first_started =
   {
     tid = fresh_tid sys;
     client;
+    epoch = sys.clients.(client).epoch;
     ops;
     started = now;
     first_started;
@@ -282,39 +301,61 @@ let rec attempt sys c ops ~first_started ~restarts =
     commit sys c txn
   with
   | () ->
-    let response = Engine.now sys.engine -. first_started in
+    let now = Engine.now sys.engine in
+    let response = now -. first_started in
     Trace.txn sys ~tid:txn.tid ~client:c.cid
       (Printf.sprintf "commit (response %.0f ms, %d updates)"
          (1000.0 *. response)
          (Ids.Oid_set.cardinal txn.updated));
     Metrics.note_commit sys.metrics ~response;
-    Stats.Welford.add c.resp_history response
+    Stats.Welford.add c.resp_history response;
+    (* First commit after a cold restart ends the outage window. *)
+    (match c.crashed_at with
+    | Some t0 ->
+      Faults.note_recovery sys.faults ~latency:(now -. t0);
+      c.crashed_at <- None
+    | None -> ());
+    Audit.check sys ~context:"commit" ~coverage_of:c.cid
   | exception Txn_aborted ->
+    (* A deadlock abort that raced with a crash of this client belongs
+       to the crash handler: everything is already reclaimed. *)
+    check_live sys txn;
     Trace.txn sys ~tid:txn.tid ~client:c.cid "abort (deadlock victim)";
     abort_cleanup sys c txn;
+    Audit.check sys ~context:"abort" ~coverage_of:c.cid;
     Proc.hold sys.engine (restart_delay c);
+    (* The client may have crashed during the back-off; the replacement
+       incarnation resubmits, not this fiber. *)
+    check_live sys txn;
     attempt sys c ops ~first_started ~restarts:(restarts + 1)
 
 let run_one sys ~client ops k =
   let c = sys.clients.(client) in
   Proc.spawn sys.engine (fun () ->
-      attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0;
+      (try attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0
+       with Client_crashed -> ());
       k ())
 
-let client_loop sys c =
+let client_loop sys c ~epoch =
   (* Iterative so the fiber stack stays flat across thousands of
-     transactions. *)
-  while sys.live do
-    let ops =
-      Workload.Refstring.generate ~rng:c.crng ~params:sys.params ~client:c.cid
-        ~objects_per_page:sys.cfg.Config.objects_per_page
-    in
-    attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0;
-    let think = sys.params.Workload.Wparams.think_time in
-    if think > 0.0 then Proc.hold sys.engine think else Proc.yield sys.engine
+     transactions.  The loop belongs to one client incarnation: a crash
+     bumps the epoch, so this fiber winds down (wherever it was) and the
+     restart spawns a fresh loop. *)
+  while sys.live && c.up && c.epoch = epoch do
+    try
+      let ops =
+        Workload.Refstring.generate ~rng:c.crng ~params:sys.params
+          ~client:c.cid ~objects_per_page:sys.cfg.Config.objects_per_page
+      in
+      attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0;
+      let think = sys.params.Workload.Wparams.think_time in
+      if think > 0.0 then Proc.hold sys.engine think else Proc.yield sys.engine
+    with Client_crashed -> ()
   done
 
-let start sys =
-  Array.iter
-    (fun c -> Proc.spawn sys.engine (fun () -> client_loop sys c))
-    sys.clients
+let start_one sys cid =
+  let c = sys.clients.(cid) in
+  let epoch = c.epoch in
+  Proc.spawn sys.engine (fun () -> client_loop sys c ~epoch)
+
+let start sys = Array.iter (fun c -> start_one sys c.cid) sys.clients

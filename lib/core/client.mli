@@ -12,6 +12,13 @@
 val start : Model.sys -> unit
 (** Spawn the transaction-source fiber of every client. *)
 
+val start_one : Model.sys -> int -> unit
+(** Spawn the transaction-source fiber of one client, bound to the
+    client's {e current} epoch: used by crash recovery to cold-start a
+    fresh incarnation after the restart delay.  The previous
+    incarnation's fiber, if still unwinding, observes the epoch change
+    and stops resubmitting. *)
+
 val run_one :
   Model.sys -> client:int -> Workload.Refstring.t -> (unit -> unit) -> unit
 (** Run a single, explicitly supplied transaction at [client] (with

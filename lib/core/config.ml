@@ -30,6 +30,7 @@ type t = {
   size_change_prob : float;
   overflow_prob : float;
   forward_inst : float;
+  faults : Faults.profile;
 }
 
 let default =
@@ -62,6 +63,7 @@ let default =
     size_change_prob = 0.0;
     overflow_prob = 0.0;
     forward_inst = 2_000.0;
+    faults = Faults.off;
   }
 
 let scaled t ~factor =
@@ -100,7 +102,8 @@ let validate t =
     "os_group_size";
   check (t.size_change_prob >= 0.0 && t.size_change_prob <= 1.0)
     "size_change_prob";
-  check (t.overflow_prob >= 0.0 && t.overflow_prob <= 1.0) "overflow_prob"
+  check (t.overflow_prob >= 0.0 && t.overflow_prob <= 1.0) "overflow_prob";
+  Faults.validate t.faults
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in
@@ -128,4 +131,21 @@ let pp ppf t =
   f "RegisterCopyInst   %.0f instructions@," t.register_copy_inst;
   f "DiskOverheadInst   %.0f instructions@," t.disk_overhead_inst;
   f "CopyMergeInst      %.0f instructions per object@," t.copy_merge_inst;
+  (* Fault rows appear only when injection is on, so the default table
+     stays byte-identical to the paper's Table 1 rendering. *)
+  if not (Faults.is_off t.faults) then begin
+    let p = t.faults in
+    f "CrashRate          %.4f crashes/s per client@," p.Faults.crash_rate;
+    f "RestartDelay       %.0f ms@," (1000.0 *. p.Faults.restart_delay);
+    f "MsgLossProb        %.4f@," p.Faults.msg_loss_prob;
+    f "MsgDupProb         %.4f@," p.Faults.msg_dup_prob;
+    f "RetransTimeout     %.0f ms (x%.1f backoff, cap %.0f ms)@,"
+      (1000.0 *. p.Faults.retrans_timeout)
+      p.Faults.retrans_backoff
+      (1000.0 *. p.Faults.retrans_max_timeout);
+    f "DiskStallProb      %.4f (%.0f ms, %d retries)@,"
+      p.Faults.disk_stall_prob
+      (1000.0 *. p.Faults.disk_stall_time)
+      p.Faults.disk_stall_retries
+  end;
   f "@]"

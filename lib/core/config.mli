@@ -61,6 +61,9 @@ type t = {
       (** probability a size-changing update overflows its page when
           installed, requiring forwarding *)
   forward_inst : float;  (** server CPU to forward an overflowed object *)
+  faults : Faults.profile;
+      (** fault-injection rates and timing (default {!Faults.off}: no
+          crashes, no message loss/duplication, no disk stalls) *)
 }
 
 val default : t

@@ -1,0 +1,78 @@
+open Storage
+open Simcore
+open Model
+open Locking
+
+let crash_client sys cid =
+  let c = sys.clients.(cid) in
+  if c.up then begin
+    (* Bump the epoch first: every fiber of the old incarnation is
+       suspended right now (this runs in the driver fiber), and the
+       liveness guards it hits on resume must already see the change. *)
+    c.up <- false;
+    c.epoch <- c.epoch + 1;
+    if c.crashed_at = None then
+      c.crashed_at <- Some (Engine.now sys.engine);
+    Faults.note_crash sys.faults;
+    Trace.event sys "client %d crashed" cid;
+    (match c.running with
+    | Some txn ->
+      Faults.note_crash_abort sys.faults;
+      (* The wait must be cancelled before the transaction is ended:
+         cancellation dequeues its pending lock/callback/token request
+         and schedules the fiber's abort resumption. *)
+      Waits_for.cancel_wait sys.server.wfg txn.tid;
+      Srv.release_txn_locks sys txn;
+      c.running <- None
+    | None -> ());
+    (* Callbacks blocked on the dead transaction retry immediately. *)
+    let hooks = c.end_hooks in
+    c.end_hooks <- [];
+    List.iter (fun resume -> resume ()) hooks;
+    (* The buffer pool is volatile: every cached copy is gone.  Raw
+       removal, not Cache_ops.drop_* — those piggyback deregistration
+       messages, but a dead workstation sends nothing; the server purges
+       its registrations unilaterally below. *)
+    List.iter (fun (p, _) -> ignore (Lru.remove c.cache p)) (Lru.to_list c.cache);
+    List.iter
+      (fun (o, _) -> ignore (Lru.remove c.ocache o))
+      (Lru.to_list c.ocache);
+    (* Purging also clears references for copies still in transit, so a
+       pending callback's resend loop terminates instead of re-calling a
+       site that will never install the copy. *)
+    ignore (Copy_table.purge_client sys.server.pcopies ~client:cid);
+    ignore (Copy_table.purge_client sys.server.ocopies ~client:cid);
+    (* Write tokens owned by the site return to the server pool. *)
+    let owned =
+      Hashtbl.fold
+        (fun p (oc, _) acc -> if oc = cid then p :: acc else acc)
+        sys.server.token_owner []
+    in
+    List.iter (Hashtbl.remove sys.server.token_owner) owned;
+    Faults.run_hook sys.faults "client-crash"
+  end
+
+let restart_client sys cid =
+  let c = sys.clients.(cid) in
+  if not c.up then begin
+    c.up <- true;
+    Trace.event sys "client %d restarted (cold cache)" cid;
+    Client.start_one sys cid
+  end
+
+let install sys =
+  let f = sys.faults in
+  if Faults.crash_faults f then
+    Array.iter
+      (fun c ->
+        Proc.spawn sys.engine (fun () ->
+            let restart_delay = (Faults.profile f).Faults.restart_delay in
+            while sys.live do
+              Proc.hold sys.engine (Faults.next_crash_delay f);
+              if sys.live && c.up then begin
+                crash_client sys c.cid;
+                Proc.hold sys.engine restart_delay;
+                if sys.live then restart_client sys c.cid
+              end
+            done))
+      sys.clients

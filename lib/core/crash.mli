@@ -1,0 +1,29 @@
+(** Client crash/restart fault drivers.
+
+    A crash models a workstation failure (Section 2's client-caching
+    hazard): the client's buffer pool is volatile and vanishes, its
+    in-flight transaction aborts, and the server immediately reclaims
+    everything it tracked for the site — callback registrations, locks,
+    waits-for edges, and write-token ownership.  After the configured
+    restart delay the client cold-starts a fresh incarnation (new
+    epoch) with an empty cache and resumes submitting transactions.
+
+    Fibers of the dead incarnation that were suspended on
+    non-cancellable resources unwind lazily via the epoch liveness
+    guards in {!Client} and {!Srv}. *)
+
+val crash_client : Model.sys -> int -> unit
+(** Crash one client now (no-op when already down): reclaim its
+    transaction and server-side state, drop its caches, bump its epoch,
+    and run the fault hook (audit).  Exposed for tests; {!install}
+    drives it from the configured crash rate. *)
+
+val restart_client : Model.sys -> int -> unit
+(** Cold-restart a crashed client (no-op when up): marks it up and
+    spawns a fresh transaction-source fiber for the new epoch. *)
+
+val install : Model.sys -> unit
+(** When the crash rate is positive, spawn one driver fiber per client
+    that crashes it at exponentially distributed intervals and restarts
+    it after the profile's restart delay.  With a zero crash rate this
+    spawns nothing and draws nothing. *)

@@ -118,6 +118,65 @@ let series_of_results spec results =
   in
   { spec; points }
 
+(* --- Fault-rate sweep (robustness experiment) -------------------------- *)
+
+(* Crash/loss/stall rates per the storm profile; 0.0 is the fault-free
+   reference point, which must reproduce the plain fig3 numbers. *)
+let fault_rates = [ 0.0; 0.005; 0.01; 0.02; 0.05 ]
+
+let fault_write_prob = 0.1
+
+type fault_point = { rate : float; fresults : (Algo.t * Runner.result) list }
+type fault_series = { frates : float list; fpoints : fault_point list }
+
+(* The base cell is fig3's wp=0.1 point (HOTCOLD, low locality): enough
+   conflict for crashes to strand interesting state, small enough to
+   sweep quickly. *)
+let fault_base () = Option.get (find "fig3")
+
+let fault_jobs ?(seed = 42) ?(time_scale = 1.0) ?max_events () =
+  let spec = fault_base () in
+  let cfg = cfg_of spec in
+  let params = params_of spec ~write_prob:fault_write_prob in
+  List.concat_map
+    (fun rate ->
+      let cfg = { cfg with Config.faults = Faults.storm ~rate } in
+      List.map
+        (fun algo ->
+          Job.make ~base_seed:seed ?max_events ~sweep:"faultsweep"
+            ~label:
+              (Printf.sprintf "rate=%.3f %-5s" rate (Algo.to_string algo))
+            ~cfg ~algo ~params ~warmup:(spec.warmup *. time_scale)
+            ~measure:(spec.measure *. time_scale) ())
+        Algo.all)
+    fault_rates
+
+let fault_series_of_results results =
+  let algos = List.length Algo.all in
+  let rec chunk = function
+    | [] -> []
+    | rs ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> invalid_arg "Experiments.fault_series_of_results: missing"
+        | r :: rest ->
+          let c, rest = take (n - 1) rest in
+          (r :: c, rest)
+      in
+      let point, rest = take algos rs in
+      point :: chunk rest
+  in
+  let chunks = chunk results in
+  if List.length chunks <> List.length fault_rates then
+    invalid_arg "Experiments.fault_series_of_results: result/rate mismatch";
+  {
+    frates = fault_rates;
+    fpoints =
+      List.map2
+        (fun rate rs -> { rate; fresults = List.combine Algo.all rs })
+        fault_rates chunks;
+  }
+
 let progress_line (j : Job.t) (r : Runner.result) =
   Printf.sprintf "%s %s: %.2f tps" j.Job.sweep j.Job.label r.Runner.throughput
 

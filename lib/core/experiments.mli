@@ -43,6 +43,24 @@ val series_of_results : spec -> Runner.result list -> series
 (** Reassemble results — in the order of {!jobs_of_spec} — into the
     figure's points.  Raises [Invalid_argument] on a length mismatch. *)
 
+(** {2 Fault-rate sweep}
+
+    The robustness experiment: fig3's wp=0.1 cell rerun for every
+    protocol under increasing {!Faults.storm} intensity.  Rate 0.0 is
+    the fault-free reference point and must reproduce the plain fig3
+    numbers byte-for-byte. *)
+
+val fault_rates : float list
+
+type fault_point = { rate : float; fresults : (Algo.t * Runner.result) list }
+type fault_series = { frates : float list; fpoints : fault_point list }
+
+val fault_jobs :
+  ?seed:int -> ?time_scale:float -> ?max_events:int -> unit -> Job.t list
+(** Rate-major, algorithm-minor, like {!jobs_of_spec}. *)
+
+val fault_series_of_results : Runner.result list -> fault_series
+
 val progress_line : Job.t -> Runner.result -> string
 (** One-line completion message for a cell ("fig3 wp=0.05 PS-AA: ... tps"). *)
 

@@ -7,13 +7,14 @@ type t = {
   base_seed : int;
   warmup : float;
   measure : float;
+  max_events : int option;
 }
 
 type table = { title : string; jobs : t list }
 
-let make ?(base_seed = 42) ~sweep ~label ~cfg ~algo ~params ~warmup ~measure
-    () =
-  { sweep; label; cfg; algo; params; base_seed; warmup; measure }
+let make ?(base_seed = 42) ?max_events ~sweep ~label ~cfg ~algo ~params
+    ~warmup ~measure () =
+  { sweep; label; cfg; algo; params; base_seed; warmup; measure; max_events }
 
 let describe j = j.sweep ^ "/" ^ j.label
 
@@ -30,7 +31,7 @@ let key j =
 let seed j = Simcore.Rng.key_seed ~seed:j.base_seed ~key:(key j)
 
 let run j =
-  Runner.run ~seed:(seed j) ~warmup:j.warmup ~measure:j.measure ~cfg:j.cfg
-    ~algo:j.algo ~params:j.params ()
+  Runner.run ~seed:(seed j) ?max_events:j.max_events ~warmup:j.warmup
+    ~measure:j.measure ~cfg:j.cfg ~algo:j.algo ~params:j.params ()
 
 let run_all jobs = List.map run jobs

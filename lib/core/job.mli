@@ -18,6 +18,10 @@ type t = {
   base_seed : int;  (** sweep-level base seed (default 42) *)
   warmup : float;  (** warm-up window, simulated seconds *)
   measure : float;  (** measurement window, simulated seconds *)
+  max_events : int option;
+      (** event-budget bound per window, passed to {!Runner.run}; not
+          part of the seed key (it does not change the experiment, only
+          caps runaway fault storms) *)
 }
 
 type table = { title : string; jobs : t list }
@@ -26,6 +30,7 @@ type table = { title : string; jobs : t list }
 
 val make :
   ?base_seed:int ->
+  ?max_events:int ->
   sweep:string ->
   label:string ->
   cfg:Config.t ->

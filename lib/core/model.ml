@@ -12,6 +12,7 @@ type obj_entry = { mutable odirty : bool }
 type txn = {
   tid : Locking.Lock_types.txn;
   client : int;
+  epoch : int;
   ops : Workload.Refstring.t;
   started : float;
   first_started : float;
@@ -32,6 +33,9 @@ type client = {
   mutable running : txn option;
   mutable end_hooks : (unit -> unit) list;
   resp_history : Stats.Welford.t;
+  mutable up : bool;
+  mutable epoch : int;
+  mutable crashed_at : float option;
 }
 
 type server = {
@@ -59,11 +63,22 @@ type sys = {
   server : server;
   clients : client array;
   metrics : Metrics.t;
+  faults : Faults.t;
   mutable next_tid : int;
   mutable live : bool;
 }
 
 exception Txn_aborted
+
+exception Client_crashed
+(** Raised inside a client fiber when its workstation has crashed: the
+    fiber resumed from a non-cancellable suspension (CPU, disk,
+    network) after the crash and must unwind without touching any
+    state — the crash handler already reclaimed everything. *)
+
+let txn_live sys (txn : txn) =
+  let c = sys.clients.(txn.client) in
+  c.up && c.epoch = txn.epoch
 
 let fresh_tid sys =
   let tid = sys.next_tid in
@@ -133,15 +148,22 @@ let create ~cfg ~algo ~params ~seed =
     invalid_arg "Model.create: workload clients <> config clients";
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
+  (* The fault layer's streams derive from the seed by key, not by
+     [Rng.split]: splitting would advance [rng] and shift every
+     pre-existing stream, breaking byte-identity with fault-free runs. *)
+  let faults =
+    Faults.create ~profile:cfg.Config.faults
+      ~seed:(Rng.key_seed ~seed ~key:"fault-layer")
+  in
   let wfg = Locking.Waits_for.create () in
   let server =
     {
       scpu =
         Resources.Cpu.create engine ~name:"server" ~mips:cfg.Config.server_mips;
       sdisks =
-        Resources.Disk_array.create engine ~rng:(Rng.split rng)
+        Resources.Disk_array.create engine ~rng:(Rng.split rng) ~faults
           ~disks:cfg.Config.server_disks ~min_time:cfg.Config.min_disk_time
-          ~max_time:cfg.Config.max_disk_time;
+          ~max_time:cfg.Config.max_disk_time ();
       sbuffer = Buffer_pool.create ~capacity:(Config.server_buf_pages cfg);
       plocks = Locking.Lock_table.create engine ~waits_for:wfg ~lock_name:"page";
       olocks =
@@ -170,6 +192,9 @@ let create ~cfg ~algo ~params ~seed =
           running = None;
           end_hooks = [];
           resp_history = Stats.Welford.create ();
+          up = true;
+          epoch = 0;
+          crashed_at = None;
         })
   in
   {
@@ -182,6 +207,7 @@ let create ~cfg ~algo ~params ~seed =
     server;
     clients;
     metrics = Metrics.create ();
+    faults;
     next_tid = 1;
     live = true;
   }

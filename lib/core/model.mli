@@ -24,6 +24,9 @@ type obj_entry = { mutable odirty : bool }
 type txn = {
   tid : Locking.Lock_types.txn;  (** unique per incarnation *)
   client : int;
+  epoch : int;
+      (** the client incarnation this transaction belongs to; a crash
+          bumps the client's epoch, orphaning the transaction *)
   ops : Workload.Refstring.t;
   started : float;  (** this incarnation's start *)
   first_started : float;  (** first submission (for response time) *)
@@ -47,6 +50,11 @@ type client = {
           drained when it terminates *)
   resp_history : Stats.Welford.t;
       (** all-time response times, used to size restart delays *)
+  mutable up : bool;  (** false while crashed (awaiting cold restart) *)
+  mutable epoch : int;  (** incarnation counter, bumped at each crash *)
+  mutable crashed_at : float option;
+      (** time of the crash that started the current outage; cleared at
+          the first commit after restart (recovery-latency metric) *)
 }
 
 type server = {
@@ -85,6 +93,7 @@ type sys = {
   server : server;
   clients : client array;
   metrics : Metrics.t;
+  faults : Faults.t;  (** fault-injection state (streams, counters, hook) *)
   mutable next_tid : int;
   mutable live : bool;
       (** cleared at simulation end so client loops stop resubmitting *)
@@ -93,6 +102,17 @@ type sys = {
 exception Txn_aborted
 (** Raised inside a client transaction fiber when the server reports
     that the transaction lost a deadlock. *)
+
+exception Client_crashed
+(** Raised inside a client fiber when its workstation crashed while the
+    fiber was suspended on a non-cancellable resource (CPU, disk,
+    network): the fiber must unwind without touching caches, locks or
+    metrics — the crash handler already reclaimed its state. *)
+
+val txn_live : sys -> txn -> bool
+(** The transaction's client is up and still in the incarnation that
+    started the transaction.  False for "zombie" transactions whose
+    client crashed while one of their fibers was suspended. *)
 
 val fresh_tid : sys -> int
 

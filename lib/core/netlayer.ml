@@ -1,4 +1,5 @@
 open Model
+open Simcore
 
 type endpoint = Client of int | Server
 
@@ -6,12 +7,52 @@ let cpu_of sys = function
   | Client c -> sys.clients.(c).ccpu
   | Server -> sys.server.scpu
 
-let send sys ~cls ~src ~dst ~bytes =
-  let instr = Config.msg_instr sys.cfg ~bytes in
+(* The fault-free path below is kept byte-for-byte identical to the
+   original transport: when message faults are disabled no extra RNG
+   draw, event or metric is introduced. *)
+let send_reliable sys ~cls ~src ~dst ~bytes ~instr =
   Metrics.note_msg sys.metrics cls ~bytes;
   Resources.Cpu.system (cpu_of sys src) instr;
   Resources.Network.transfer sys.net ~bytes;
   Resources.Cpu.system (cpu_of sys dst) instr
+
+(* Lossy transport: each attempt pays sender CPU and wire time; a lost
+   message is detected by the sender's retransmission timer (exponential
+   backoff, capped) and resent.  A delivered message may additionally be
+   duplicated in the network; the duplicate arrives later, burns wire
+   and receiver CPU, and is then recognized by its sequence number and
+   discarded — all protocol messages are idempotent at that point, so no
+   protocol state changes. *)
+let send_faulty sys ~cls ~src ~dst ~bytes ~instr =
+  let f = sys.faults in
+  let p = Faults.profile f in
+  let rec attempt timeout =
+    Metrics.note_msg sys.metrics cls ~bytes;
+    Resources.Cpu.system (cpu_of sys src) instr;
+    Resources.Network.transfer sys.net ~bytes;
+    if Faults.draw_msg_loss f then begin
+      Proc.suspend sys.engine (fun resume ->
+          ignore (Engine.after sys.engine timeout (fun () -> resume (Ok ()))));
+      Faults.note_retransmit f;
+      attempt
+        (Float.min (timeout *. p.Faults.retrans_backoff)
+           p.Faults.retrans_max_timeout)
+    end
+    else begin
+      Resources.Cpu.system (cpu_of sys dst) instr;
+      if Faults.draw_msg_dup f then
+        Proc.spawn sys.engine (fun () ->
+            Resources.Network.transfer sys.net ~bytes;
+            Resources.Cpu.system (cpu_of sys dst) instr)
+    end
+  in
+  attempt p.Faults.retrans_timeout
+
+let send sys ~cls ~src ~dst ~bytes =
+  let instr = Config.msg_instr sys.cfg ~bytes in
+  if Faults.message_faults sys.faults then
+    send_faulty sys ~cls ~src ~dst ~bytes ~instr
+  else send_reliable sys ~cls ~src ~dst ~bytes ~instr
 
 let control sys ~cls ~src ~dst =
   send sys ~cls ~src ~dst ~bytes:(Config.control_bytes sys.cfg)

@@ -4,7 +4,14 @@
     Table 1) at {e both} the sender and the receiver (system priority),
     and occupies the FIFO network for its on-the-wire time (Section
     4.1).  The calling fiber blocks through the whole path, so the
-    arrival time it observes includes CPU and network queueing. *)
+    arrival time it observes includes CPU and network queueing.
+
+    When message faults are enabled ({!Faults.message_faults}), a
+    message may be lost — the sender times out and retransmits with
+    exponential backoff — or duplicated, in which case the stale copy
+    pays wire and receiver-CPU costs before being discarded
+    idempotently.  With faults disabled the transport is byte-for-byte
+    the original reliable path. *)
 
 type endpoint = Client of int | Server
 

@@ -84,6 +84,70 @@ let series_to_csv (s : Experiments.series) =
     s.points;
   Buffer.contents buf
 
+(* --- Fault-rate sweep ---------------------------------------------------- *)
+
+let fault_throughput (p : Experiments.fault_point) algo =
+  match List.assoc_opt algo p.Experiments.fresults with
+  | Some r -> r.Runner.throughput
+  | None -> nan
+
+let pp_fault_series ppf (s : Experiments.fault_series) =
+  Format.fprintf ppf
+    "@[<v>faultsweep: crash/loss/stall storm (HOTCOLD low, wp=0.10)@,";
+  Format.fprintf ppf "throughput (transactions/second)@,";
+  Format.fprintf ppf "%8s" "rate";
+  List.iter (fun a -> Format.fprintf ppf "%9s" (Algo.to_string a)) Algo.all;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (p : Experiments.fault_point) ->
+      Format.fprintf ppf "%8.3f" p.rate;
+      List.iter
+        (fun a -> Format.fprintf ppf "%9.2f" (fault_throughput p a))
+        Algo.all;
+      Format.fprintf ppf "@,")
+    s.fpoints;
+  Format.fprintf ppf "fault detail@,";
+  List.iter
+    (fun (p : Experiments.fault_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Format.fprintf ppf
+            "rate=%.3f %-6s tput=%6.2f commits=%5d aborts=%4d crashes=%3d \
+             crash-aborts=%3d lost=%4d dup=%3d retrans=%4d stalls=%4d \
+             recoveries=%3d rec=%5.0fms@,"
+            p.rate (Algo.to_string a) r.Runner.throughput r.Runner.commits
+            r.Runner.aborts r.Runner.crashes r.Runner.crash_aborts
+            r.Runner.msg_losses r.Runner.msg_dups r.Runner.retransmits
+            r.Runner.disk_stalls r.Runner.recoveries
+            (1000.0 *. r.Runner.recovery_mean))
+        p.fresults)
+    s.fpoints;
+  Format.fprintf ppf "@]"
+
+let fault_series_to_csv (s : Experiments.fault_series) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "rate,algo,throughput,resp_ms,commits,aborts,deadlocks,crashes,\
+     crash_aborts,msg_losses,msg_dups,retransmits,disk_stalls,\
+     faults_injected,recoveries,recovery_ms\n";
+  List.iter
+    (fun (p : Experiments.fault_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%.3f,%s,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f\n"
+               p.rate (Algo.to_string a) r.Runner.throughput
+               (1000.0 *. r.Runner.resp_mean)
+               r.Runner.commits r.Runner.aborts r.Runner.deadlocks
+               r.Runner.crashes r.Runner.crash_aborts r.Runner.msg_losses
+               r.Runner.msg_dups r.Runner.retransmits r.Runner.disk_stalls
+               r.Runner.faults_injected r.Runner.recoveries
+               (1000.0 *. r.Runner.recovery_mean)))
+        p.fresults)
+    s.fpoints;
+  Buffer.contents buf
+
 let pp_figure5 ppf curves =
   Format.fprintf ppf
     "@[<v>fig5: per-page update probability vs per-object write probability@,";

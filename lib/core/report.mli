@@ -12,6 +12,15 @@ val pp_series_detail : Format.formatter -> Experiments.series -> unit
 val series_to_csv : Experiments.series -> string
 (** CSV with header [write_prob,algo,throughput,resp_ms,resp_ci_ms,...]. *)
 
+val pp_fault_series : Format.formatter -> Experiments.fault_series -> unit
+(** Fault-rate sweep: throughput table (one row per storm rate) plus a
+    per-cell fault detail listing (crashes, losses, retransmissions,
+    stalls, recovery latency). *)
+
+val fault_series_to_csv : Experiments.fault_series -> string
+(** CSV with header [rate,algo,throughput,...,recovery_ms] — a separate
+    schema from {!series_to_csv}, which is unchanged. *)
+
 val pp_figure5 : Format.formatter -> (int * (float * float) list) list -> unit
 
 val pp_workload_table : Format.formatter -> Config.t -> unit

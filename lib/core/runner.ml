@@ -30,6 +30,15 @@ type result = {
   overflows : int;
   token_waits : int;
   token_bounces : int;
+  crashes : int;
+  crash_aborts : int;
+  msg_losses : int;
+  msg_dups : int;
+  retransmits : int;
+  disk_stalls : int;
+  faults_injected : int;
+  recoveries : int;
+  recovery_mean : float;
 }
 
 let reset_resource_stats sys =
@@ -38,17 +47,21 @@ let reset_resource_stats sys =
   Resources.Disk_array.reset_stats sys.server.sdisks;
   Resources.Network.reset_stats sys.net
 
-let run ?(seed = 42) ?(warmup = 40.0) ?(measure = 200.0) ~cfg ~algo ~params ()
-    =
+let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
+    ~algo ~params () =
   let sys = Model.create ~cfg ~algo ~params ~seed in
+  Audit.install sys;
   Client.start sys;
-  Engine.run_until sys.engine warmup;
+  Crash.install sys;
+  Engine.run_until ?max_events sys.engine warmup;
   Metrics.reset sys.metrics ~now:warmup;
   reset_resource_stats sys;
+  Faults.reset_counters sys.faults;
   let deadlocks_at_warmup = Locking.Waits_for.deadlocks sys.server.wfg in
   let stop = warmup +. measure in
-  Engine.run_until sys.engine stop;
+  Engine.run_until ?max_events sys.engine stop;
   sys.live <- false;
+  Audit.check sys ~context:"end-of-run";
   let m = sys.metrics in
   let commits = Metrics.commits m in
   let clients_util =
@@ -90,6 +103,15 @@ let run ?(seed = 42) ?(warmup = 40.0) ?(measure = 200.0) ~cfg ~algo ~params ()
     overflows = Metrics.overflows m;
     token_waits = Metrics.token_waits m;
     token_bounces = Metrics.token_bounces m;
+    crashes = Faults.crashes sys.faults;
+    crash_aborts = Faults.crash_aborts sys.faults;
+    msg_losses = Faults.msg_losses sys.faults;
+    msg_dups = Faults.msg_dups sys.faults;
+    retransmits = Faults.retransmits sys.faults;
+    disk_stalls = Faults.disk_stalls sys.faults;
+    faults_injected = Faults.injected sys.faults;
+    recoveries = Faults.recoveries sys.faults;
+    recovery_mean = Faults.recovery_mean sys.faults;
   }
 
 let pp_result ppf r =
@@ -105,4 +127,13 @@ let pp_result ppf r =
     r.msgs_per_commit r.kbytes_per_commit r.disk_ios r.server_cpu_util
     r.client_cpu_util r.disk_util r.net_util r.lock_waits
     (1000.0 *. r.avg_lock_wait) r.callback_blocks r.merges r.deescalations
-    r.page_write_grants r.object_write_grants
+    r.page_write_grants r.object_write_grants;
+  (* Fault metrics appear only when faults fired, so fault-free output
+     stays byte-identical to a build without the fault layer. *)
+  if r.faults_injected > 0 then
+    Format.fprintf ppf
+      "@\n\
+       faults: %d injected (crashes %d, losses %d, dups %d, stalls %d), \
+       crash aborts %d, retransmits %d, recoveries %d (mean %.0f ms)"
+      r.faults_injected r.crashes r.msg_losses r.msg_dups r.disk_stalls
+      r.crash_aborts r.retransmits r.recoveries (1000.0 *. r.recovery_mean)

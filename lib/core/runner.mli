@@ -34,10 +34,20 @@ type result = {
   overflows : int;  (** page overflows (size-changing update model) *)
   token_waits : int;  (** write-token blocking events *)
   token_bounces : int;  (** page bounces on token transfer *)
+  crashes : int;  (** client crashes injected (measurement window) *)
+  crash_aborts : int;  (** in-flight transactions killed by a crash *)
+  msg_losses : int;
+  msg_dups : int;
+  retransmits : int;  (** retransmission timer firings *)
+  disk_stalls : int;
+  faults_injected : int;  (** crashes + losses + dups + stalls *)
+  recoveries : int;  (** first-commit-after-restart events *)
+  recovery_mean : float;  (** mean crash-to-first-commit latency, s *)
 }
 
 val run :
   ?seed:int ->
+  ?max_events:int ->
   ?warmup:float ->
   ?measure:float ->
   cfg:Config.t ->
@@ -46,6 +56,13 @@ val run :
   unit ->
   result
 (** Defaults: [seed = 42], [warmup = 40.0] simulated seconds,
-    [measure = 200.0]. *)
+    [measure = 200.0].  [max_events] bounds each of the two
+    {!Simcore.Engine.run_until} windows (safety valve for fault-storm
+    fuzzing); exceeding it raises
+    {!Simcore.Engine.Event_budget_exceeded}.
+
+    Every run installs the invariant {!Audit} as the fault hook, runs
+    it once more at end of run, and — when the configuration's crash
+    rate is positive — starts the {!Crash} drivers. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -12,6 +12,15 @@ type write_reply = W_page | W_obj | W_aborted
 
 let scharge sys instr = Resources.Cpu.system sys.server.scpu instr
 
+(* Server-side zombie guard.  An RPC executes in the requesting client's
+   fiber; if that client crashes while the fiber is suspended on a
+   server resource, the crash handler has already reclaimed the
+   transaction (locks, copies, waits-for entry).  The resumed fiber must
+   then acquire nothing new — a lock granted to the ended transaction
+   would leak forever.  Checked after suspension points that precede a
+   grant or a registration. *)
+let txn_dead sys txn = not (Model.txn_live sys txn)
+
 (* One physical I/O: initiation CPU then the disk itself. *)
 let disk_io sys =
   scharge sys sys.cfg.Config.disk_overhead_inst;
@@ -28,6 +37,20 @@ let buffer_page sys p ~read_from_disk =
     | Some (_victim, true) -> disk_io sys (* write back dirty victim *)
     | Some (_, false) | None -> ());
     if read_from_disk then disk_io sys
+
+(* Release from the lock tables' own per-transaction maps, not the
+   client's mirror: a deadlock victim may hold locks the server granted
+   moments before the abort reply, which the client never recorded.
+   Idempotent, so it is safe both as normal termination and as the
+   cleanup path for a transaction whose locks crash recovery already
+   reclaimed. *)
+let release_txn_locks sys txn =
+  List.iter
+    (fun o -> unindex_obj_lock sys.server o)
+    (Lock_table.locks_of sys.server.olocks ~txn:txn.tid);
+  Lock_table.release_all sys.server.olocks ~txn:txn.tid;
+  Lock_table.release_all sys.server.plocks ~txn:txn.tid;
+  Waits_for.end_txn sys.server.wfg txn.tid
 
 (* Blocking lock-table request with wait-time accounting. *)
 let locked_acquire sys table item ~txn ~kind =
@@ -263,15 +286,21 @@ let acquire_token sys txn p =
         buffer_page sys p ~read_from_disk:false;
         Netlayer.page_data sys ~cls:Metrics.M_dirty_data ~src:Netlayer.Server
           ~dst:(Netlayer.Client txn.client);
-        (* The bounce refreshed the new owner's copy. *)
-        (match Lru.peek sys.clients.(txn.client).cache p with
-        | Some entry -> entry.fetch_version <- page_version sys p
-        | None -> ());
-        Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
-        Lock_types.Granted)
+        if txn_dead sys txn then Lock_types.Aborted
+        else begin
+          (* The bounce refreshed the new owner's copy. *)
+          (match Lru.peek sys.clients.(txn.client).cache p with
+          | Some entry -> entry.fetch_version <- page_version sys p
+          | None -> ());
+          Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
+          Lock_types.Granted
+        end)
     | Some _ | None ->
-      Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
-      Lock_types.Granted
+      if txn_dead sys txn then Lock_types.Aborted
+      else begin
+        Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
+        Lock_types.Granted
+      end
   in
   if sys.cfg.Config.update_mode = Config.Merge then Lock_types.Granted
   else go ()
@@ -283,7 +312,9 @@ let reply_abort_read sys txn =
     ~dst:(Netlayer.Client txn.client);
   R_aborted
 
-let reply_page sys txn p =
+(* Registration must not happen for a crashed requester: the copy table
+   would name a site whose cache no longer exists. *)
+let reply_page_live sys txn p =
   let unavailable =
     match sys.algo with
     | Algo.PS -> Ids.Int_set.empty
@@ -291,32 +322,44 @@ let reply_page sys txn p =
     | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
       foreign_locked_slots sys p ~tid:txn.tid
   in
-  (match sys.algo with
-  | Algo.PS | Algo.PS_OA | Algo.PS_AA ->
-    scharge sys sys.cfg.Config.register_copy_inst;
-    Copy_table.register sys.server.pcopies p ~client:txn.client
-  | Algo.PS_OO ->
-    (* Object-grain copy tracking: register every available object the
-       page copy confers, before the reply leaves the server, so a
-       writer that wins its lock while the copy is in transit still
-       calls this client back. *)
-    scharge sys sys.cfg.Config.register_copy_inst;
-    for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
-      if not (Ids.Int_set.mem slot unavailable) then
-        Copy_table.register sys.server.ocopies (Ids.Oid.make ~page:p ~slot)
-          ~client:txn.client
-    done
-  | Algo.OS -> assert false);
-  let version = page_version sys p in
-  Netlayer.page_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
-    ~dst:(Netlayer.Client txn.client);
-  R_page { unavailable; version }
+  scharge sys sys.cfg.Config.register_copy_inst;
+  (* The registration charge suspends the server fiber, so the
+     requester can crash (and be purged) during it — re-check before
+     registering, or the copy table would name a site whose cache no
+     longer exists. *)
+  if txn_dead sys txn then reply_abort_read sys txn
+  else begin
+    (match sys.algo with
+    | Algo.PS | Algo.PS_OA | Algo.PS_AA ->
+      Copy_table.register sys.server.pcopies p ~client:txn.client
+    | Algo.PS_OO ->
+      (* Object-grain copy tracking: register every available object the
+         page copy confers, before the reply leaves the server, so a
+         writer that wins its lock while the copy is in transit still
+         calls this client back. *)
+      for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+        if not (Ids.Int_set.mem slot unavailable) then
+          Copy_table.register sys.server.ocopies (Ids.Oid.make ~page:p ~slot)
+            ~client:txn.client
+      done
+    | Algo.OS -> assert false);
+    let version = page_version sys p in
+    Netlayer.page_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+      ~dst:(Netlayer.Client txn.client);
+    R_page { unavailable; version }
+  end
+
+let reply_page sys txn p =
+  if txn_dead sys txn then reply_abort_read sys txn
+  else reply_page_live sys txn p
 
 let read_rpc sys txn oid =
   let p = oid.Ids.Oid.page in
   Netlayer.control sys ~cls:Metrics.M_read_req
     ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server;
   scharge sys sys.cfg.Config.lock_inst;
+  if txn_dead sys txn then reply_abort_read sys txn
+  else
   match sys.algo with
   | Algo.PS -> (
     match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Probe with
@@ -329,8 +372,11 @@ let read_rpc sys txn oid =
       locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
     with
     | Lock_types.Aborted -> reply_abort_read sys txn
+    | Lock_types.Granted when txn_dead sys txn -> reply_abort_read sys txn
     | Lock_types.Granted ->
       buffer_page sys p ~read_from_disk:true;
+      if txn_dead sys txn then reply_abort_read sys txn
+      else
       (* With os_group_size > 1 the server ships the whole static group
          around the requested object (a grouped-object server, Section
          6.2), skipping members write-locked elsewhere. *)
@@ -353,12 +399,18 @@ let read_rpc sys txn oid =
         end
       in
       scharge sys sys.cfg.Config.register_copy_inst;
-      List.iter
-        (fun o -> Copy_table.register sys.server.ocopies o ~client:txn.client)
-        group;
-      Netlayer.objs_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
-        ~dst:(Netlayer.Client txn.client) ~count:(List.length group);
-      R_objs group)
+      (* The charge suspends; re-check before registering (see
+         [reply_page]). *)
+      if txn_dead sys txn then reply_abort_read sys txn
+      else begin
+        List.iter
+          (fun o ->
+            Copy_table.register sys.server.ocopies o ~client:txn.client)
+          group;
+        Netlayer.objs_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+          ~dst:(Netlayer.Client txn.client) ~count:(List.length group);
+        R_objs group
+      end)
   | Algo.PS_OO | Algo.PS_OA -> (
     match
       locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
@@ -410,32 +462,46 @@ let write_rpc sys txn oid =
     ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server;
   scharge sys sys.cfg.Config.lock_inst;
   let reply = reply_write sys txn Metrics.M_write_reply in
+  (* A write grant that lands after the requester crashed would leak the
+     lock forever: the crash already released the transaction's locks,
+     and nothing will release this one.  Undo and report an abort. *)
+  let reply_dead () =
+    release_txn_locks sys txn;
+    reply W_aborted
+  in
+  if txn_dead sys txn then reply W_aborted
+  else
   match sys.algo with
   | Algo.PS -> (
     match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Lock with
     | Lock_types.Aborted -> reply W_aborted
+    | Lock_types.Granted when txn_dead sys txn -> reply_dead ()
     | Lock_types.Granted -> (
       let targets =
         Copy_table.holders_except sys.server.pcopies p ~client:txn.client
       in
       match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Purge_page p) ~targets with
       | `Aborted -> reply W_aborted
+      | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_page_write_grant sys.metrics;
         reply W_page))
   | Algo.OS -> (
     if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if txn_dead sys txn then reply_dead ()
     else
       let targets =
         Copy_table.holders_except sys.server.ocopies oid ~client:txn.client
       in
       match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Purge_obj oid) ~targets with
       | `Aborted -> reply W_aborted
+      | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
         reply W_obj)
   | Algo.PS_OO -> (
     if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if txn_dead sys txn then reply_dead ()
     else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
     else
       let targets =
@@ -443,11 +509,13 @@ let write_rpc sys txn oid =
       in
       match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Mark_obj oid) ~targets with
       | `Aborted -> reply W_aborted
+      | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
         reply W_obj)
   | Algo.PS_OA -> (
     if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if txn_dead sys txn then reply_dead ()
     else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
     else
       let targets =
@@ -455,6 +523,7 @@ let write_rpc sys txn oid =
       in
       match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets with
       | `Aborted -> reply W_aborted
+      | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
         reply W_obj)
@@ -462,17 +531,22 @@ let write_rpc sys txn oid =
     match deescalate_loop sys txn p with
     | Lock_types.Aborted -> reply W_aborted
     | Lock_types.Granted ->
-    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    if txn_dead sys txn then reply_dead ()
+    else if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if txn_dead sys txn then reply_dead ()
     else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
     else begin
       match deescalate_loop sys txn p with
       | Lock_types.Aborted -> reply W_aborted
       | Lock_types.Granted ->
+      if txn_dead sys txn then reply_dead ()
+      else
       let targets =
         Copy_table.holders_except sys.server.pcopies p ~client:txn.client
       in
       match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets with
       | `Aborted -> reply W_aborted
+      | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks results ->
         let all_purged =
           List.for_all
@@ -578,17 +652,6 @@ let ship_redo_log sys txn =
     maybe_overflow sys ~objects:n
   end
 
-(* Release from the lock tables' own per-transaction maps, not the
-   client's mirror: a deadlock victim may hold locks the server granted
-   moments before the abort reply, which the client never recorded. *)
-let release_txn_locks sys txn =
-  List.iter
-    (fun o -> unindex_obj_lock sys.server o)
-    (Lock_table.locks_of sys.server.olocks ~txn:txn.tid);
-  Lock_table.release_all sys.server.olocks ~txn:txn.tid;
-  Lock_table.release_all sys.server.plocks ~txn:txn.tid;
-  Waits_for.end_txn sys.server.wfg txn.tid
-
 let bump_versions sys txn =
   let counts = Hashtbl.create 16 in
   Ids.Oid_set.iter
@@ -603,7 +666,11 @@ let commit_rpc sys txn =
   Netlayer.control sys ~cls:Metrics.M_commit ~src:(Netlayer.Client txn.client)
     ~dst:Netlayer.Server;
   scharge sys sys.cfg.Config.lock_inst;
-  bump_versions sys txn;
+  (* A transaction whose client crashed mid-commit does not commit: its
+     updates are discarded (no version bumps).  Its locks are still
+     released — crash reclamation usually already did, in which case
+     this is a no-op. *)
+  if not (txn_dead sys txn) then bump_versions sys txn;
   release_txn_locks sys txn;
   Netlayer.control sys ~cls:Metrics.M_commit_reply ~src:Netlayer.Server
     ~dst:(Netlayer.Client txn.client)

@@ -64,6 +64,13 @@ val acquire_token : Model.sys -> Model.txn -> Ids.page -> Locking.Lock_types.gra
     through the server when taking the token from an idle owner.
     Exposed for tests; called internally by {!write_rpc}. *)
 
+val release_txn_locks : Model.sys -> Model.txn -> unit
+(** Instantly release every server lock of the transaction (both
+    granularities, with object-lock index maintenance) and end it in
+    the waits-for graph.  Idempotent.  Used by {!commit_rpc} and
+    {!abort_rpc}, and directly by crash recovery, which reclaims a
+    crashed client's transaction without a network round trip. *)
+
 val commit_rpc : Model.sys -> Model.txn -> unit
 (** Release the transaction's server locks and acknowledge. *)
 

@@ -136,6 +136,26 @@ let think_time ?(time_scale = 1.0) () =
         [ 0.0; 0.5; 2.0 ];
   }
 
+let faults ?(time_scale = 1.0) () =
+  {
+    Job.title = "ablation: fault storm (crash/loss/stall) vs fault-free";
+    jobs =
+      List.concat_map
+        (fun (profile, pname) ->
+          List.map
+            (fun algo ->
+              let cfg = { Config.default with Config.faults = profile } in
+              cell ~time_scale ~cfg ~algo ~which:Workload.Presets.Hotcold
+                ~locality:Workload.Presets.Low ~write_prob:0.1
+                ~sweep:"abl-faults"
+                ~label:
+                  (Printf.sprintf "%-11s %-6s wp=0.10" pname
+                     (Algo.to_string algo))
+                ())
+            Algo.all)
+        [ (Faults.off, "fault-free"); (Faults.storm ~rate:0.02, "storm-0.02") ];
+  }
+
 let tables ?(time_scale = 1.0) () =
   [
     commit_mode ~time_scale ();
@@ -143,6 +163,7 @@ let tables ?(time_scale = 1.0) () =
     group_size ~time_scale ();
     overflow ~time_scale ();
     think_time ~time_scale ();
+    faults ~time_scale ();
   ]
 
 let rows_of (tbl : Job.table) results =

@@ -36,8 +36,13 @@ val think_time : ?time_scale:float -> unit -> Oodb_core.Job.table
 (** Closed-system load sensitivity: client think time between
     transactions. *)
 
+val faults : ?time_scale:float -> unit -> Oodb_core.Job.table
+(** Fault-free vs a {!Faults.storm} at rate 0.02 for every protocol:
+    how gracefully each sharing protocol degrades when clients crash,
+    messages drop/duplicate and disks stall. *)
+
 val tables : ?time_scale:float -> unit -> Oodb_core.Job.table list
-(** All five ablation grids, as job tables. *)
+(** All six ablation grids, as job tables. *)
 
 val rows_of :
   Oodb_core.Job.table -> Oodb_core.Runner.result list -> string * row list

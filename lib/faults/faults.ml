@@ -1,0 +1,155 @@
+open Simcore
+
+type profile = {
+  crash_rate : float;
+  restart_delay : float;
+  msg_loss_prob : float;
+  msg_dup_prob : float;
+  retrans_timeout : float;
+  retrans_backoff : float;
+  retrans_max_timeout : float;
+  disk_stall_prob : float;
+  disk_stall_time : float;
+  disk_stall_retries : int;
+}
+
+let off =
+  {
+    crash_rate = 0.0;
+    restart_delay = 1.0;
+    msg_loss_prob = 0.0;
+    msg_dup_prob = 0.0;
+    retrans_timeout = 0.02;
+    retrans_backoff = 2.0;
+    retrans_max_timeout = 0.5;
+    disk_stall_prob = 0.0;
+    disk_stall_time = 0.02;
+    disk_stall_retries = 3;
+  }
+
+let storm ~rate =
+  {
+    off with
+    crash_rate = rate;
+    msg_loss_prob = rate;
+    msg_dup_prob = rate /. 2.0;
+    disk_stall_prob = rate;
+  }
+
+let validate p =
+  let check b what = if not b then invalid_arg ("Faults: bad " ^ what) in
+  check (p.crash_rate >= 0.0) "crash_rate";
+  check (p.restart_delay >= 0.0) "restart_delay";
+  check (p.msg_loss_prob >= 0.0 && p.msg_loss_prob < 1.0) "msg_loss_prob";
+  check (p.msg_dup_prob >= 0.0 && p.msg_dup_prob <= 1.0) "msg_dup_prob";
+  check (p.retrans_timeout > 0.0) "retrans_timeout";
+  check (p.retrans_backoff >= 1.0) "retrans_backoff";
+  check (p.retrans_max_timeout >= p.retrans_timeout) "retrans_max_timeout";
+  check (p.disk_stall_prob >= 0.0 && p.disk_stall_prob < 1.0)
+    "disk_stall_prob";
+  check (p.disk_stall_time >= 0.0) "disk_stall_time";
+  check (p.disk_stall_retries >= 0) "disk_stall_retries"
+
+let is_off p =
+  p.crash_rate = 0.0 && p.msg_loss_prob = 0.0 && p.msg_dup_prob = 0.0
+  && p.disk_stall_prob = 0.0
+
+type t = {
+  profile : profile;
+  crash_rng : Rng.t;
+  msg_rng : Rng.t;
+  disk_rng : Rng.t;
+  mutable hook : (string -> unit) option;
+  mutable crashes : int;
+  mutable crash_aborts : int;
+  mutable msg_losses : int;
+  mutable msg_dups : int;
+  mutable retransmits : int;
+  mutable disk_stalls : int;
+  recovery : Stats.Welford.t;
+}
+
+let create ~profile ~seed =
+  validate profile;
+  let stream key = Rng.create ~seed:(Rng.key_seed ~seed ~key) in
+  {
+    profile;
+    crash_rng = stream "faults/crash";
+    msg_rng = stream "faults/msg";
+    disk_rng = stream "faults/disk";
+    hook = None;
+    crashes = 0;
+    crash_aborts = 0;
+    msg_losses = 0;
+    msg_dups = 0;
+    retransmits = 0;
+    disk_stalls = 0;
+    recovery = Stats.Welford.create ();
+  }
+
+let profile t = t.profile
+let enabled t = not (is_off t.profile)
+let crash_faults t = t.profile.crash_rate > 0.0
+
+let message_faults t =
+  t.profile.msg_loss_prob > 0.0 || t.profile.msg_dup_prob > 0.0
+
+let disk_faults t = t.profile.disk_stall_prob > 0.0
+let set_hook t f = t.hook <- Some f
+let run_hook t context = match t.hook with Some f -> f context | None -> ()
+
+let next_crash_delay t =
+  if t.profile.crash_rate <= 0.0 then
+    invalid_arg "Faults.next_crash_delay: crash_rate is zero";
+  Rng.exponential t.crash_rng ~mean:(1.0 /. t.profile.crash_rate)
+
+let draw_msg_loss t =
+  t.profile.msg_loss_prob > 0.0
+  && Rng.bool t.msg_rng ~p:t.profile.msg_loss_prob
+  && begin
+       t.msg_losses <- t.msg_losses + 1;
+       run_hook t "message-loss";
+       true
+     end
+
+let draw_msg_dup t =
+  t.profile.msg_dup_prob > 0.0
+  && Rng.bool t.msg_rng ~p:t.profile.msg_dup_prob
+  && begin
+       t.msg_dups <- t.msg_dups + 1;
+       run_hook t "message-duplicate";
+       true
+     end
+
+let draw_disk_stall t =
+  t.profile.disk_stall_prob > 0.0
+  && Rng.bool t.disk_rng ~p:t.profile.disk_stall_prob
+  && begin
+       t.disk_stalls <- t.disk_stalls + 1;
+       run_hook t "disk-stall";
+       true
+     end
+
+let note_crash t = t.crashes <- t.crashes + 1
+let note_crash_abort t = t.crash_aborts <- t.crash_aborts + 1
+let note_retransmit t = t.retransmits <- t.retransmits + 1
+let note_recovery t ~latency = Stats.Welford.add t.recovery latency
+
+let reset_counters t =
+  t.crashes <- 0;
+  t.crash_aborts <- 0;
+  t.msg_losses <- 0;
+  t.msg_dups <- 0;
+  t.retransmits <- 0;
+  t.disk_stalls <- 0;
+  Stats.Welford.reset t.recovery
+
+let crashes t = t.crashes
+let crash_aborts t = t.crash_aborts
+let msg_losses t = t.msg_losses
+let msg_dups t = t.msg_dups
+let retransmits t = t.retransmits
+let disk_stalls t = t.disk_stalls
+let injected t = t.crashes + t.msg_losses + t.msg_dups + t.disk_stalls
+let recoveries t = Stats.Welford.count t.recovery
+let recovery_mean t = Stats.Welford.mean t.recovery

@@ -1,0 +1,117 @@
+(** Deterministic fault injection.
+
+    Three fault classes stress the sharing protocols beyond the paper's
+    operating envelope (which assumes immortal clients, a lossless FIFO
+    network, and perfect disks):
+
+    - {e client crash/restart}: exponential inter-crash times per
+      client; on crash the client loses its buffer pool and in-flight
+      transaction, and the server reclaims its callbacks, locks and
+      copy-table registrations (the orchestration lives in
+      [Oodb_core.Crash]);
+    - {e message loss and duplication}: a lost message is retransmitted
+      after a timeout with exponential backoff; a duplicate costs the
+      receiver protocol CPU and is discarded idempotently
+      ([Oodb_core.Netlayer]);
+    - {e transient disk stalls} with bounded retry ([Resources.Disk]).
+
+    Every draw comes from streams derived with {!Simcore.Rng.key_seed},
+    so a fault schedule is a pure function of the profile and the run's
+    seed — fully reproducible, independent of worker scheduling.  All
+    rates default to zero ({!off}); with the profile off, no stream is
+    ever consulted and no event is scheduled, so the fault layer is
+    byte-for-byte invisible to existing experiments. *)
+
+type profile = {
+  crash_rate : float;
+      (** mean crashes per second per client (exponential); 0 = never *)
+  restart_delay : float;  (** downtime before a cold restart, seconds *)
+  msg_loss_prob : float;  (** probability a message transmission is lost *)
+  msg_dup_prob : float;  (** probability a delivered message is duplicated *)
+  retrans_timeout : float;  (** initial retransmission timeout, seconds *)
+  retrans_backoff : float;  (** timeout multiplier per retransmission (>= 1) *)
+  retrans_max_timeout : float;  (** backoff cap, seconds *)
+  disk_stall_prob : float;  (** probability an I/O stalls before service *)
+  disk_stall_time : float;  (** duration of one stall, seconds *)
+  disk_stall_retries : int;  (** bound on consecutive stalls of one I/O *)
+}
+
+val off : profile
+(** All rates zero (no faults); timeout/delay parameters at sane
+    defaults so a profile can be built with [{ off with ... }]. *)
+
+val storm : rate:float -> profile
+(** A convenience profile exercising all three fault classes at once:
+    crash, loss and stall probability [rate], duplication [rate /. 2]. *)
+
+val validate : profile -> unit
+(** Raises [Invalid_argument] on out-of-range settings. *)
+
+val is_off : profile -> bool
+
+type t
+(** Instantiated fault state for one simulation run: the per-class
+    random streams, the injection counters, and the audit hook. *)
+
+val create : profile:profile -> seed:int -> t
+(** The per-class streams derive from [seed] via {!Simcore.Rng.key_seed}
+    with distinct keys, so they are independent of each other and of
+    every other stream in the simulation. *)
+
+val profile : t -> profile
+val enabled : t -> bool
+val crash_faults : t -> bool
+val message_faults : t -> bool
+val disk_faults : t -> bool
+
+val set_hook : t -> (string -> unit) -> unit
+(** Register the audit hook, invoked with a context string after every
+    injected fault (loss/duplicate/stall at draw time; crash after the
+    server has reclaimed the crashed client's state). *)
+
+val run_hook : t -> string -> unit
+(** Invoke the hook explicitly (the crash orchestrator calls this once
+    reclamation is complete). *)
+
+(** {2 Draws}
+
+    Each draw consults the class's stream; draws that inject a fault
+    bump the matching counter.  Loss/duplicate/stall draws also fire
+    the audit hook. *)
+
+val next_crash_delay : t -> float
+(** Next exponential inter-crash delay ([1 /. crash_rate] mean).
+    Must not be called when [crash_rate = 0]. *)
+
+val draw_msg_loss : t -> bool
+val draw_msg_dup : t -> bool
+val draw_disk_stall : t -> bool
+
+(** {2 Bookkeeping} *)
+
+val note_crash : t -> unit
+val note_crash_abort : t -> unit
+(** A crash killed an in-flight transaction. *)
+
+val note_retransmit : t -> unit
+val note_recovery : t -> latency:float -> unit
+(** Crash-to-first-commit latency of a recovered client. *)
+
+val reset_counters : t -> unit
+(** Clear counters and recovery statistics (end of warm-up).  Streams
+    and the hook are untouched. *)
+
+val crashes : t -> int
+val crash_aborts : t -> int
+val msg_losses : t -> int
+val msg_dups : t -> int
+val retransmits : t -> int
+val disk_stalls : t -> int
+
+val injected : t -> int
+(** Total faults injected: crashes + losses + duplicates + stalls
+    (retransmissions are consequences, not faults). *)
+
+val recoveries : t -> int
+val recovery_mean : t -> float
+(** Mean crash-to-first-commit latency; 0 when no client recovered. *)

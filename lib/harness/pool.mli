@@ -14,14 +14,32 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1] (at least 1): leave one
     core for the coordinating domain. *)
 
+type failure = {
+  index : int;  (** position of the failed item in the input list *)
+  description : string;  (** [describe item] — which cell failed *)
+  error : exn;  (** what it failed with *)
+}
+
+exception Sweep_failed of failure list
+(** Raised by {!map}/{!run} after {e all} items have been attempted,
+    carrying every failure in input order.  A registered printer
+    renders the list, so an uncaught sweep failure names each failed
+    cell instead of only the first exception encountered. *)
+
 val map :
-  ?jobs:int -> ?progress:('a -> 'b -> unit) -> ('a -> 'b) -> 'a list -> 'b list
+  ?jobs:int ->
+  ?describe:('a -> string) ->
+  ?progress:('a -> 'b -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map ~jobs f items] applies [f] to every item across [jobs]
     workers (default {!default_jobs}) and returns the results in input
     order.  [progress] is called once per completed item, serialized
     across workers but in completion order.  If any application
-    raises, the first exception is re-raised after all workers have
-    been joined. *)
+    raises, the remaining items still run to completion and
+    {!Sweep_failed} is raised after all workers have been joined, with
+    each failure attributed via [describe] (default: ["item <index>"]). *)
 
 val run :
   ?jobs:int ->

@@ -53,3 +53,24 @@ let holders_except t item ~client =
   List.filter (fun c -> c <> client) (holders t item)
 
 let copies t = t.total
+
+let client_copies t ~client =
+  Hashtbl.fold
+    (fun _item sites acc -> if sites.(client) > 0 then acc + 1 else acc)
+    t.table 0
+
+let purge_client t ~client =
+  (* Collect first: zeroing a column can empty a row, and removing rows
+     while iterating the table is undefined. *)
+  let hits = ref [] in
+  Hashtbl.iter
+    (fun item sites -> if sites.(client) > 0 then hits := item :: !hits)
+    t.table;
+  List.iter
+    (fun item ->
+      let sites = Hashtbl.find t.table item in
+      sites.(client) <- 0;
+      t.total <- t.total - 1;
+      if Array.for_all (fun c -> c = 0) sites then Hashtbl.remove t.table item)
+    !hits;
+  List.length !hits

@@ -36,3 +36,12 @@ val holders_except : 'item t -> 'item -> client:int -> int list
 
 val copies : 'item t -> int
 (** Number of (item, site) pairs with at least one reference. *)
+
+val client_copies : 'item t -> client:int -> int
+(** Items for which the site holds at least one reference (audit). *)
+
+val purge_client : 'item t -> client:int -> int
+(** Drop {e all} of one site's registrations — including references for
+    copies still in transit — and return how many items were affected.
+    Used when the site crashes: its volatile cache is gone, so it must
+    stop being a callback target immediately. *)

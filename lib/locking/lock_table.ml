@@ -212,6 +212,17 @@ let waiter_count t =
 
 let waits t = t.blocked_total
 
+let iter_holders t f =
+  Hashtbl.iter
+    (fun item e ->
+      match e.lock_holder with Some h -> f item h | None -> ())
+    t.entries
+
+let iter_waiters t f =
+  Hashtbl.iter
+    (fun item e -> List.iter (fun w -> f item w.w_txn) e.queue)
+    t.entries
+
 let dump_waiting t show =
   Hashtbl.fold
     (fun item e acc ->

@@ -51,6 +51,12 @@ val force_grant : 'item t -> 'item -> txn:txn -> unit
     registers object locks it already implicitly holds.  Raises
     [Invalid_argument] when another transaction holds the lock. *)
 
+val iter_holders : 'item t -> ('item -> txn -> unit) -> unit
+(** Visit every (item, write-lock holder) pair (audit). *)
+
+val iter_waiters : 'item t -> ('item -> txn -> unit) -> unit
+(** Visit every (item, queued transaction) pair (audit). *)
+
 val lock_count : 'item t -> int
 val waiter_count : 'item t -> int
 val waits : 'item t -> int

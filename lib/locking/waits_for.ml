@@ -91,6 +91,16 @@ let check_deadlock t ~from =
 
 let deadlocks t = t.deadlock_count
 let waiting_count t = Hashtbl.length t.waits
+let is_active t txn = Hashtbl.mem t.starts txn
+
+(* Audit helper: search for a cycle from every waiting transaction.
+   [find_cycle] only explores paths returning to its origin, so one
+   search per waiter covers all cycles. *)
+let any_cycle t =
+  Hashtbl.fold
+    (fun txn _ acc ->
+      match acc with Some _ -> acc | None -> find_cycle t ~from:txn)
+    t.waits None
 
 let dump t =
   Hashtbl.fold (fun txn w acc -> (txn, w.blockers, w.info) :: acc) t.waits []

@@ -40,6 +40,21 @@ val clear_wait : t -> txn -> unit
 
 val is_waiting : t -> txn -> bool
 
+val is_active : t -> txn -> bool
+(** The transaction has begun and not yet ended — the audit's notion of
+    a legitimate lock owner. *)
+
+val cancel_wait : t -> txn -> unit
+(** Resolve a pending wait by invoking its [cancel] thunk (dequeue and
+    resume with [Aborted]); a no-op when the transaction is not
+    waiting.  Used to break deadlock cycles, and by crash recovery to
+    unblock a crashed client's transaction wherever it is queued. *)
+
+val any_cycle : t -> txn list option
+(** Any cycle currently in the graph (audit invariant: always [None]
+    outside of [check_deadlock] itself, since every edge addition runs
+    detection). *)
+
 val check_deadlock : t -> from:txn -> int
 (** Detect and break every cycle reachable from [from].  Returns the
     number of victims aborted (0 when no deadlock).  Detection must be

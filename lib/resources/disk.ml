@@ -5,13 +5,14 @@ type t = {
   rng : Rng.t;
   min_time : float;
   max_time : float;
+  faults : Faults.t option;
   mutable free_at : float;
   ios : Stats.Counter.t;
   mutable busy_time : float;
   mutable stats_since : float;
 }
 
-let create engine ~rng ~min_time ~max_time =
+let create engine ~rng ?faults ~min_time ~max_time () =
   if min_time < 0.0 || max_time < min_time then
     invalid_arg "Disk.create: bad service time range";
   {
@@ -19,13 +20,34 @@ let create engine ~rng ~min_time ~max_time =
     rng;
     min_time;
     max_time;
+    faults;
     free_at = Engine.now engine;
     ios = Stats.Counter.create ();
     busy_time = 0.0;
     stats_since = Engine.now engine;
   }
 
+(* A transient stall delays the request before it enters the service
+   queue; the bounded retry re-issues it until the stall clears (or the
+   retry budget is spent, after which the I/O proceeds regardless — a
+   stall is transient by definition, not a hard failure).  The stall
+   draws come from the fault layer's own stream, so the disk's service
+   time stream is identical with and without fault injection. *)
+let maybe_stall t =
+  match t.faults with
+  | Some f when Faults.disk_faults f ->
+    let p = Faults.profile f in
+    let rec retry n =
+      if n < p.Faults.disk_stall_retries && Faults.draw_disk_stall f then begin
+        Proc.hold t.engine p.Faults.disk_stall_time;
+        retry (n + 1)
+      end
+    in
+    retry 0
+  | Some _ | None -> ()
+
 let io t =
+  maybe_stall t;
   let now = Engine.now t.engine in
   let service = Rng.uniform t.rng ~lo:t.min_time ~hi:t.max_time in
   let start = Float.max now t.free_at in

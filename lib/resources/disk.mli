@@ -2,16 +2,28 @@
 
     Access times are drawn uniformly between a minimum and a maximum
     (Table 1: 10-30 ms).  Because every requester blocks for its own
-    I/O, the FIFO queue is modelled exactly by a "free at" timestamp. *)
+    I/O, the FIFO queue is modelled exactly by a "free at" timestamp.
+
+    When a {!Faults.t} with a non-zero stall probability is attached,
+    an I/O may suffer transient stalls (bounded retry) before entering
+    the service queue; with the fault profile off the behaviour — and
+    the service-time random stream — is exactly the fault-free one. *)
 
 type t
 
 val create :
-  Simcore.Engine.t -> rng:Simcore.Rng.t -> min_time:float -> max_time:float -> t
+  Simcore.Engine.t ->
+  rng:Simcore.Rng.t ->
+  ?faults:Faults.t ->
+  min_time:float ->
+  max_time:float ->
+  unit ->
+  t
 
 val io : t -> unit
-(** Perform one I/O: wait for the queue, then for a uniformly
-    distributed service time.  Blocks the calling fiber. *)
+(** Perform one I/O: retry through any injected transient stalls, wait
+    for the queue, then for a uniformly distributed service time.
+    Blocks the calling fiber. *)
 
 val io_count : t -> int
 val utilization : t -> float

@@ -2,9 +2,11 @@ open Simcore
 
 type t = { rng : Rng.t; disks : Disk.t array }
 
-let create engine ~rng ~disks ~min_time ~max_time =
+let create engine ~rng ?faults ~disks ~min_time ~max_time () =
   if disks <= 0 then invalid_arg "Disk_array.create: need at least one disk";
-  let make _ = Disk.create engine ~rng:(Rng.split rng) ~min_time ~max_time in
+  let make _ =
+    Disk.create engine ~rng:(Rng.split rng) ?faults ~min_time ~max_time ()
+  in
   { rng = Rng.split rng; disks = Array.init disks make }
 
 let io t = Disk.io (Rng.pick t.rng t.disks)

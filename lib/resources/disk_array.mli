@@ -6,10 +6,14 @@ type t
 val create :
   Simcore.Engine.t ->
   rng:Simcore.Rng.t ->
+  ?faults:Faults.t ->
   disks:int ->
   min_time:float ->
   max_time:float ->
+  unit ->
   t
+(** [faults] (shared by all disks) enables transient stall injection;
+    see {!Disk.create}. *)
 
 val io : t -> unit
 (** One I/O on a uniformly chosen disk; blocks the calling fiber. *)

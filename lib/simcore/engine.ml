@@ -16,18 +16,49 @@ let create () =
 
 let now t = t.clock
 
+exception Time_travel of string
+
+let time_travel what ~requested ~clock =
+  raise
+    (Time_travel
+       (Printf.sprintf
+          "%s: requested time %.9g precedes the clock %.9g (delta %.3g s); \
+           an event cannot fire in the past"
+          what requested clock (clock -. requested)))
+
 let schedule_at t time action =
   if time < t.clock -. 1e-12 then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
-         t.clock);
+    time_travel "Engine.schedule_at" ~requested:time ~clock:t.clock;
   let time = if time < t.clock then t.clock else time in
   t.seq <- t.seq + 1;
   Heap.push t.queue { time; seq = t.seq; action }
 
 let schedule_after t dt action =
-  if dt < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  if dt < 0.0 then
+    time_travel "Engine.schedule_after" ~requested:(t.clock +. dt)
+      ~clock:t.clock;
   schedule_at t (t.clock +. dt) action
+
+(* --- Cancellable timers ------------------------------------------------ *)
+
+type timer_state = Pending | Fired | Cancelled
+type timer = { mutable state : timer_state; deadline : float }
+
+let after t dt action =
+  if dt < 0.0 then
+    time_travel "Engine.after" ~requested:(t.clock +. dt) ~clock:t.clock;
+  let tm = { state = Pending; deadline = t.clock +. dt } in
+  schedule_after t dt (fun () ->
+      match tm.state with
+      | Pending ->
+        tm.state <- Fired;
+        action ()
+      | Fired | Cancelled -> ());
+  tm
+
+let cancel tm = if tm.state = Pending then tm.state <- Cancelled
+let timer_pending tm = tm.state = Pending
+let timer_deadline tm = tm.deadline
 
 exception Event_budget_exceeded of string
 

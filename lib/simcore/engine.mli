@@ -12,12 +12,44 @@ val create : unit -> t
 val now : t -> float
 (** Current simulated time, in seconds. *)
 
+exception Time_travel of string
+(** Raised when an event is scheduled before the current clock.  The
+    message names the offending scheduling primitive, the requested
+    time, the clock value, and the delta — a fault-injection hook or a
+    timer computed from a stale timestamp fails loudly instead of
+    silently reordering history. *)
+
 val schedule_after : t -> float -> (unit -> unit) -> unit
 (** [schedule_after t dt f] runs [f] at time [now t +. dt].
-    [dt] must be >= 0. *)
+    Raises {!Time_travel} when [dt] is negative. *)
 
 val schedule_at : t -> float -> (unit -> unit) -> unit
-(** [schedule_at t time f] runs [f] at absolute [time] (>= [now t]). *)
+(** [schedule_at t time f] runs [f] at absolute [time].  Raises
+    {!Time_travel} when [time] precedes [now t] (beyond rounding
+    tolerance). *)
+
+(** {2 Cancellable timers}
+
+    A [timer] is a one-shot event that can be disarmed before it
+    fires — the primitive behind retransmission timeouts: arm a timer
+    with the ack handler holding its handle, and [cancel] on ack. *)
+
+type timer
+
+val after : t -> float -> (unit -> unit) -> timer
+(** [after t dt f] schedules [f] like {!schedule_after} and returns a
+    handle; if the handle is {!cancel}ed before the deadline, [f] never
+    runs.  Raises {!Time_travel} when [dt] is negative. *)
+
+val cancel : timer -> unit
+(** Disarm; a no-op once the timer has fired or was already
+    cancelled. *)
+
+val timer_pending : timer -> bool
+(** True until the timer fires or is cancelled. *)
+
+val timer_deadline : timer -> float
+(** Absolute time at which the timer fires (if not cancelled). *)
 
 exception Event_budget_exceeded of string
 (** Raised by {!step}, {!run} and {!run_until} when the optional

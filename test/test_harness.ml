@@ -36,16 +36,38 @@ let test_pool_progress_serialized () =
   Alcotest.(check int) "one progress call per item" 40 !count;
   Alcotest.(check int) "all results present" 40 (List.length results)
 
-let test_pool_propagates_exception () =
-  Alcotest.check_raises "worker failure reaches the caller"
-    (Failure "boom 7")
-    (fun () ->
-      ignore
-        (Harness.Pool.map ~jobs:4
-           (fun x ->
-             if x = 7 then failwith (Printf.sprintf "boom %d" x) else x)
-           (List.init 16 (fun i -> i))
-          : int list))
+(* A failing job must not abort the sweep: every other item still runs,
+   and the summary attributes each failure to its cell. *)
+let check_sweep_failure ~jobs =
+  let ran = Array.make 16 false in
+  match
+    Harness.Pool.map ~jobs
+      ~describe:(fun x -> Printf.sprintf "cell-%d" x)
+      (fun x ->
+        ran.(x) <- true;
+        if x = 7 || x = 11 then failwith (Printf.sprintf "boom %d" x) else x)
+      (List.init 16 (fun i -> i))
+  with
+  | (_ : int list) -> Alcotest.fail "expected Sweep_failed"
+  | exception Harness.Pool.Sweep_failed failures ->
+    Alcotest.(check bool) "all items attempted" true
+      (Array.for_all Fun.id ran);
+    Alcotest.(check (list int)) "failing indices, in order" [ 7; 11 ]
+      (List.map (fun f -> f.Harness.Pool.index) failures);
+    Alcotest.(check (list string)) "described" [ "cell-7"; "cell-11" ]
+      (List.map (fun f -> f.Harness.Pool.description) failures);
+    List.iter
+      (fun f ->
+        match f.Harness.Pool.error with
+        | Failure msg ->
+          Alcotest.(check string) "original exception preserved"
+            (Printf.sprintf "boom %d" f.Harness.Pool.index)
+            msg
+        | e -> raise e)
+      failures
+
+let test_pool_propagates_exception () = check_sweep_failure ~jobs:4
+let test_pool_sequential_failure () = check_sweep_failure ~jobs:1
 
 (* --- Job seeding --------------------------------------------------------- *)
 
@@ -123,6 +145,8 @@ let suite =
       test_pool_progress_serialized;
     Alcotest.test_case "pool: exception propagates" `Quick
       test_pool_propagates_exception;
+    Alcotest.test_case "pool: sequential failure attribution" `Quick
+      test_pool_sequential_failure;
     Alcotest.test_case "job seeds stable under reordering" `Quick
       test_seeds_stable_under_reordering;
     Alcotest.test_case "job seeds unique across sweeps" `Quick

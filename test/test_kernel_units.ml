@@ -74,6 +74,7 @@ let mk_txn sys client =
     {
       Model.tid = Model.fresh_tid sys;
       client;
+      epoch = sys.Model.clients.(client).Model.epoch;
       ops = [||];
       started = 0.0;
       first_started = 0.0;

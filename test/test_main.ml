@@ -15,6 +15,7 @@ let () =
       ("protocols", Test_protocols.suite);
       ("extensions", Test_extensions.suite);
       ("fuzz", Test_fuzz.suite);
+      ("faults", Test_faults.suite);
       ("runner", Test_runner.suite);
       ("harness", Test_harness.suite);
     ]

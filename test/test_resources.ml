@@ -105,7 +105,7 @@ let test_cpu_negative_rejected () =
 let test_disk_service_range () =
   let e = Engine.create () in
   let d =
-    Disk.create e ~rng:(Rng.create ~seed:1) ~min_time:0.010 ~max_time:0.030
+    Disk.create e ~rng:(Rng.create ~seed:1) ~min_time:0.010 ~max_time:0.030 ()
   in
   let t = ref 0.0 in
   Proc.spawn e (fun () ->
@@ -117,7 +117,7 @@ let test_disk_service_range () =
 
 let test_disk_fifo_queueing () =
   let e = Engine.create () in
-  let d = Disk.create e ~rng:(Rng.create ~seed:2) ~min_time:0.020 ~max_time:0.020 in
+  let d = Disk.create e ~rng:(Rng.create ~seed:2) ~min_time:0.020 ~max_time:0.020 () in
   let finish_times = ref [] in
   for _ = 1 to 3 do
     Proc.spawn e (fun () ->
@@ -131,7 +131,7 @@ let test_disk_fifo_queueing () =
 
 let test_disk_utilization () =
   let e = Engine.create () in
-  let d = Disk.create e ~rng:(Rng.create ~seed:3) ~min_time:0.5 ~max_time:0.5 in
+  let d = Disk.create e ~rng:(Rng.create ~seed:3) ~min_time:0.5 ~max_time:0.5 () in
   Proc.spawn e (fun () -> Disk.io d);
   Engine.run e;
   Engine.run_until e 1.0;
@@ -141,7 +141,7 @@ let test_disk_array_spreads () =
   let e = Engine.create () in
   let da =
     Disk_array.create e ~rng:(Rng.create ~seed:4) ~disks:4 ~min_time:0.01
-      ~max_time:0.01
+      ~max_time:0.01 ()
   in
   for _ = 1 to 40 do
     Proc.spawn e (fun () -> Disk_array.io da)
