@@ -1,0 +1,106 @@
+(* Profiling aid: decompose the engine_bench ping_pong cost layer by
+   layer — raw effect perform/continue, bare zero-delay engine chain,
+   yield (one fiber, then two alternating), full mailbox ping-pong —
+   so a regression can be attributed to the layer that caused it.
+   Prints best-of-5 ns/op per layer; ping_pong here mirrors the
+   engine_bench scenario (ns/op x 2 = ns/event). *)
+open Simcore
+
+let time name f =
+  let best = ref infinity in
+  let n = ref 0 in
+  for _ = 1 to 5 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    n := f ();
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !best then best := t1 -. t0
+  done;
+  Printf.printf "%-20s %9.1f ns/op (%d ops, best %.4f s)\n%!" name
+    (!best /. float_of_int !n *. 1e9)
+    !n !best
+
+(* 1. raw effects: perform + immediate continue, no engine *)
+type _ Effect.t += Ping : unit Effect.t
+
+let raw_effects n =
+  let open Effect.Deep in
+  let count = ref 0 in
+  let body () =
+    while !count < n do
+      incr count;
+      Effect.perform Ping
+    done
+  in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Ping -> Some (fun (k : (a, unit) continuation) -> continue k ())
+          | _ -> None);
+    };
+  n
+
+(* 2. engine ring only: schedule_now chain *)
+let ring n =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < n then Engine.schedule_now e tick
+  in
+  Engine.schedule_now e tick;
+  Engine.run e;
+  n
+
+(* 3. proc yield: suspend + schedule_now + continue *)
+let yield_chain n =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Proc.spawn e (fun () ->
+      while !count < n do
+        incr count;
+        Proc.yield e
+      done);
+  Engine.run e;
+  n
+
+(* 3b. two fibers alternating via yield: same stack rotation as
+   ping_pong, no mailbox *)
+let yield_duet n =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let body () = while !count < n do incr count; Proc.yield e done in
+  Proc.spawn e body;
+  Proc.spawn e body;
+  Engine.run e;
+  n
+
+(* 4. full ping_pong (as in engine_bench) *)
+let ping_pong n =
+  let e = Engine.create () in
+  let a = Mailbox.create e and b = Mailbox.create e in
+  let rounds = n / 4 in
+  Proc.spawn e (fun () ->
+      for _ = 1 to rounds do
+        Mailbox.send b 1;
+        ignore (Mailbox.recv a)
+      done);
+  Proc.spawn e (fun () ->
+      for _ = 1 to rounds do
+        ignore (Mailbox.recv b);
+        Mailbox.send a 2
+      done);
+  Engine.run e;
+  n
+
+let () =
+  let n = 2_000_000 in
+  time "raw_effects" (fun () -> raw_effects n);
+  time "ring(schedule_now)" (fun () -> ring n);
+  time "yield_chain" (fun () -> yield_chain n);
+  time "yield_duet" (fun () -> yield_duet n);
+  time "ping_pong" (fun () -> ping_pong n)

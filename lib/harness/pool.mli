@@ -8,7 +8,12 @@
     calling domain — exactly the pre-pool code path.
 
     The work items must not share mutable state: each simulation job
-    builds its own {!Oodb_core.Model.sys}, so [Job.run] qualifies. *)
+    builds its own {!Oodb_core.Model.sys}, so [Job.run] qualifies.
+
+    Setting [BENCH_MINOR_MB=<n>] in the environment gives each worker
+    domain (and the sequential path) an [n] MiB minor heap via
+    [Gc.set] before it starts — an opt-in benchmarking knob; unset or
+    invalid values leave the GC configuration untouched. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1] (at least 1): leave one

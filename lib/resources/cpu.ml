@@ -9,6 +9,12 @@ type t = {
   sys_queue : (float * unit Proc.resumer) Queue.t;
   mutable sys_active : bool;
   mutable users : job list;
+  (* Cached [List.length users] and [fold min rem] so the per-event
+     reschedule is O(1).  [min_rem] tracks the fold exactly: a uniform
+     catch-up subtraction is monotone in floats, so subtracting it from
+     the cached minimum gives bit-identical results to re-folding. *)
+  mutable n_users : int;
+  mutable min_rem : float; (* infinity when no user jobs are active *)
   mutable last_progress : float; (* when users' remaining work was last updated *)
   mutable gen : int; (* invalidates stale user-completion events *)
   busy : Stats.Time_weighted.t;
@@ -23,6 +29,8 @@ let create engine ~name ~mips =
     sys_queue = Queue.create ();
     sys_active = false;
     users = [];
+    n_users = 0;
+    min_rem = infinity;
     last_progress = Engine.now engine;
     gen = 0;
     busy = Stats.Time_weighted.create ~now:(Engine.now engine);
@@ -30,7 +38,7 @@ let create engine ~name ~mips =
 
 let name t = t.cpu_name
 
-let is_busy t = t.sys_active || t.users <> []
+let is_busy t = t.sys_active || t.n_users > 0
 
 let update_busy t =
   Stats.Time_weighted.update t.busy ~now:(Engine.now t.engine)
@@ -40,10 +48,11 @@ let update_busy t =
    No progress is made while a system request is active. *)
 let catch_up_users t =
   let now = Engine.now t.engine in
-  if (not t.sys_active) && t.users <> [] then begin
-    let n = float_of_int (List.length t.users) in
+  if (not t.sys_active) && t.n_users > 0 then begin
+    let n = float_of_int t.n_users in
     let done_instr = (now -. t.last_progress) *. t.rate /. n in
-    List.iter (fun j -> j.rem <- j.rem -. done_instr) t.users
+    List.iter (fun j -> j.rem <- j.rem -. done_instr) t.users;
+    t.min_rem <- t.min_rem -. done_instr
   end;
   t.last_progress <- now
 
@@ -51,12 +60,9 @@ let eps_instr = 1e-6
 
 let rec reschedule_users t =
   t.gen <- t.gen + 1;
-  if (not t.sys_active) && t.users <> [] then begin
-    let min_rem =
-      List.fold_left (fun acc j -> min acc j.rem) infinity t.users
-    in
-    let n = float_of_int (List.length t.users) in
-    let dt = Float.max 0.0 (min_rem *. n /. t.rate) in
+  if (not t.sys_active) && t.n_users > 0 then begin
+    let n = float_of_int t.n_users in
+    let dt = Float.max 0.0 (t.min_rem *. n /. t.rate) in
     let gen = t.gen in
     Engine.schedule_after t.engine dt (fun () ->
         if gen = t.gen then user_completion t)
@@ -68,6 +74,10 @@ and user_completion t =
     List.partition (fun j -> j.rem <= eps_instr) t.users
   in
   t.users <- running;
+  (* The minimum left with the finished jobs: re-fold over survivors
+     (only here, at completion events — not on every reschedule). *)
+  t.n_users <- List.length running;
+  t.min_rem <- List.fold_left (fun acc j -> min acc j.rem) infinity running;
   update_busy t;
   reschedule_users t;
   List.iter (fun j -> j.resume (Ok ())) finished
@@ -104,6 +114,8 @@ let user t instr =
     Proc.suspend t.engine (fun resume ->
         catch_up_users t;
         t.users <- { rem = instr; resume } :: t.users;
+        t.n_users <- t.n_users + 1;
+        if instr < t.min_rem then t.min_rem <- instr;
         update_busy t;
         reschedule_users t)
 
@@ -115,4 +127,4 @@ let reset_stats t =
   Stats.Time_weighted.reset t.busy ~now:(Engine.now t.engine);
   update_busy t
 
-let active_users t = List.length t.users
+let active_users t = t.n_users

@@ -1,20 +1,13 @@
-type event = { time : float; seq : int; action : unit -> unit }
+(* Thin policy wrapper over the {!Equeue} event core: time-travel
+   checks, cancellable timers, and event budgets.  The clock and the
+   seq counter live inside Equeue so the zero-delay hot path never
+   passes a float across a call boundary (which would box it without
+   flambda). *)
 
-type t = {
-  mutable clock : float;
-  mutable seq : int;
-  mutable processed : int;
-  queue : event Heap.t;
-}
+type t = { queue : Equeue.t }
 
-let cmp_event a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
-
-let create () =
-  { clock = 0.0; seq = 0; processed = 0; queue = Heap.create ~cmp:cmp_event () }
-
-let now t = t.clock
+let create () = { queue = Equeue.create () }
+let now t = Equeue.clock t.queue
 
 exception Time_travel of string
 
@@ -26,37 +19,60 @@ let time_travel what ~requested ~clock =
            an event cannot fire in the past"
           what requested clock (clock -. requested)))
 
+(* Zero-delay events (every Proc resumption, yield and mailbox wakeup)
+   go to the queue's FIFO ring; future events go to its heap.  The seq
+   counter is shared, so the (time, seq) drain order is identical to a
+   single-queue engine. *)
+
+let schedule_now t action = ignore (Equeue.push_now t.queue action : int)
+
 let schedule_at t time action =
-  if time < t.clock -. 1e-12 then
-    time_travel "Engine.schedule_at" ~requested:time ~clock:t.clock;
-  let time = if time < t.clock then t.clock else time in
-  t.seq <- t.seq + 1;
-  Heap.push t.queue { time; seq = t.seq; action }
+  let clock = now t in
+  if time < clock -. 1e-12 then
+    time_travel "Engine.schedule_at" ~requested:time ~clock;
+  if time <= clock then schedule_now t action
+  else ignore (Equeue.push_at t.queue ~time action : int)
 
 let schedule_after t dt action =
   if dt < 0.0 then
-    time_travel "Engine.schedule_after" ~requested:(t.clock +. dt)
-      ~clock:t.clock;
-  schedule_at t (t.clock +. dt) action
+    time_travel "Engine.schedule_after" ~requested:(now t +. dt) ~clock:(now t);
+  if dt = 0.0 then schedule_now t action
+  else schedule_at t (now t +. dt) action
 
 (* --- Cancellable timers ------------------------------------------------ *)
 
 type timer_state = Pending | Fired | Cancelled
-type timer = { mutable state : timer_state; deadline : float }
+
+type timer = {
+  mutable state : timer_state;
+  deadline : float;
+  mutable tseq : int;
+  owner : t;
+}
 
 let after t dt action =
   if dt < 0.0 then
-    time_travel "Engine.after" ~requested:(t.clock +. dt) ~clock:t.clock;
-  let tm = { state = Pending; deadline = t.clock +. dt } in
-  schedule_after t dt (fun () ->
-      match tm.state with
-      | Pending ->
-        tm.state <- Fired;
-        action ()
-      | Fired | Cancelled -> ());
+    time_travel "Engine.after" ~requested:(now t +. dt) ~clock:(now t);
+  let clock = now t in
+  let deadline = clock +. dt in
+  let tm = { state = Pending; deadline; tseq = 0; owner = t } in
+  let act () =
+    tm.state <- Fired;
+    action ()
+  in
+  let seq =
+    if deadline <= clock then Equeue.push_now t.queue act
+    else Equeue.push_at t.queue ~time:deadline act
+  in
+  tm.tseq <- seq;
   tm
 
-let cancel tm = if tm.state = Pending then tm.state <- Cancelled
+let cancel tm =
+  if tm.state = Pending then begin
+    tm.state <- Cancelled;
+    Equeue.cancel tm.owner.queue ~seq:tm.tseq
+  end
+
 let timer_pending tm = tm.state = Pending
 let timer_deadline tm = tm.deadline
 
@@ -65,34 +81,44 @@ exception Event_budget_exceeded of string
 let check_budget t = function
   | None -> ()
   | Some budget ->
-    if t.processed >= budget then
+    if Equeue.popped t.queue >= budget then
       raise
         (Event_budget_exceeded
            (Printf.sprintf
               "event budget of %d exhausted: clock %.6f, %d events \
                processed, %d still pending"
-              budget t.clock t.processed (Heap.size t.queue)))
+              budget (now t)
+              (Equeue.popped t.queue)
+              (Equeue.size t.queue)))
 
 let step ?max_events t =
   check_budget t max_events;
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-    t.clock <- ev.time;
-    t.processed <- t.processed + 1;
-    ev.action ();
+  if Equeue.is_empty t.queue then false
+  else begin
+    (Equeue.pop_min t.queue) ();
     true
+  end
 
-let run ?max_events t = while step ?max_events t do () done
+(* Without a budget, [run] and [run_until] hand the whole loop to the
+   queue's fused drain ([Equeue.pop_min] advances the clock itself, and
+   the events-processed counter lives in the queue). *)
+
+let run ?max_events t =
+  match max_events with
+  | None -> Equeue.drain t.queue
+  | Some _ -> while step ?max_events t do () done
 
 let run_until ?max_events t limit =
-  let continue = ref true in
-  while !continue do
-    match Heap.peek t.queue with
-    | Some ev when ev.time <= limit -> ignore (step ?max_events t)
-    | Some _ | None -> continue := false
-  done;
-  if t.clock < limit then t.clock <- limit
+  (match max_events with
+  | None -> Equeue.drain_until t.queue limit
+  | Some _ ->
+    let continue = ref true in
+    while !continue do
+      if Equeue.has_before t.queue limit then ignore (step ?max_events t)
+      else continue := false
+    done);
+  if now t < limit then Equeue.set_clock t.queue limit
 
-let pending t = Heap.size t.queue
-let events_processed t = t.processed
+let pending t = Equeue.size t.queue
+let queue_footprint t = Equeue.footprint t.queue
+let events_processed t = Equeue.popped t.queue

@@ -3,7 +3,12 @@
 
     This is the substrate that replaces DeNet [Livn88] in the paper's
     model.  Events scheduled for the same instant fire in FIFO order
-    (insertion order), which keeps runs deterministic. *)
+    (insertion order), which keeps runs deterministic.
+
+    The pending set is a monomorphic structure-of-arrays queue
+    ({!Equeue}): a 4-ary heap of future events plus a FIFO ring for
+    zero-delay events, arbitrated by (time, seq) — see DESIGN.md
+    "Event core internals" for why the split cannot reorder events. *)
 
 type t
 
@@ -28,6 +33,12 @@ val schedule_at : t -> float -> (unit -> unit) -> unit
     {!Time_travel} when [time] precedes [now t] (beyond rounding
     tolerance). *)
 
+val schedule_now : t -> (unit -> unit) -> unit
+(** [schedule_now t f] runs [f] at the current instant, after every
+    event already scheduled for it: equivalent to
+    [schedule_after t 0.0 f] but skipping the time arithmetic — the
+    fast path taken by every fiber resumption and wakeup. *)
+
 (** {2 Cancellable timers}
 
     A [timer] is a one-shot event that can be disarmed before it
@@ -42,8 +53,9 @@ val after : t -> float -> (unit -> unit) -> timer
     runs.  Raises {!Time_travel} when [dt] is negative. *)
 
 val cancel : timer -> unit
-(** Disarm; a no-op once the timer has fired or was already
-    cancelled. *)
+(** Disarm; a no-op once the timer has fired or was already cancelled.
+    The queued entry is reclaimed lazily (see {!queue_footprint}), so
+    arm/cancel storms do not accumulate dead events. *)
 
 val timer_pending : timer -> bool
 (** True until the timer fires or is cancelled. *)
@@ -73,7 +85,13 @@ val run_until : ?max_events:int -> t -> float -> unit
     [max_events] bounds the total events processed since creation. *)
 
 val pending : t -> int
-(** Number of events currently queued. *)
+(** Number of live events currently queued (cancelled timers awaiting
+    lazy purge are not counted). *)
+
+val queue_footprint : t -> int
+(** Physical queue entries, including cancelled timers not yet purged.
+    Stays within a small constant factor of {!pending}: the queue
+    compacts itself once dead entries reach half the footprint. *)
 
 val events_processed : t -> int
 (** Total events executed since creation (a cheap progress measure). *)

@@ -2,14 +2,16 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  hint : int; (* requested initial capacity, applied at first push *)
 }
 
 (* The backing array is allocated lazily on first push because we have no
-   witness element at creation time; [capacity] is accepted for API
-   stability but the array always starts at 64 slots. *)
-let create ?capacity ~cmp () =
-  ignore capacity;
-  { cmp; data = [||]; size = 0 }
+   witness element at creation time; [capacity] pre-sizes that first
+   allocation so a caller that knows its peak size avoids the doubling
+   climb from 64. *)
+let create ?(capacity = 64) ~cmp () =
+  if capacity < 1 then invalid_arg "Heap.create: capacity must be positive";
+  { cmp; data = [||]; size = 0; hint = capacity }
 
 let size h = h.size
 let is_empty h = h.size = 0
@@ -17,7 +19,7 @@ let is_empty h = h.size = 0
 let grow h x =
   let cap = Array.length h.data in
   if h.size >= cap then begin
-    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ncap = if cap = 0 then h.hint else cap * 2 in
     let ndata = Array.make ncap x in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata

@@ -10,7 +10,9 @@ type 'a t
 
 val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
 (** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first).
-    [capacity] is an initial size hint; the heap grows as needed. *)
+    [capacity] (default 64, must be positive) pre-sizes the backing
+    array's first allocation, which happens at the first push; the heap
+    grows by doubling as needed. *)
 
 val size : 'a t -> int
 (** Number of elements currently stored. *)

@@ -1,20 +1,10 @@
-type 'a t = {
-  engine : Engine.t;
-  messages : 'a Queue.t;
-  receivers : 'a Proc.resumer Queue.t;
-}
+(* Thin wrapper: the mailbox core lives in {!Proc}, whose effect
+   handler parks a blocked receiver's bare continuation in the wait
+   queue — see the [Recv] effect. *)
 
-let create engine =
-  { engine; messages = Queue.create (); receivers = Queue.create () }
+type 'a t = 'a Proc.mbox
 
-let send t msg =
-  if Queue.is_empty t.receivers then Queue.push msg t.messages
-  else
-    let resume = Queue.pop t.receivers in
-    resume (Ok msg)
-
-let recv t =
-  if not (Queue.is_empty t.messages) then Queue.pop t.messages
-  else Proc.suspend t.engine (fun resume -> Queue.push resume t.receivers)
-
-let length t = Queue.length t.messages
+let create = Proc.mbox_create
+let send = Proc.mbox_send
+let recv = Proc.mbox_recv
+let length = Proc.mbox_length

@@ -39,9 +39,42 @@ val suspend : Engine.t -> ('a resumer -> unit) -> 'a
     somewhere (a wait queue, a pending-callback table, ...).  Must be
     called from within a fiber. *)
 
+type 'a waiter
+(** A suspended fiber awaiting a value of type ['a]: the continuation,
+    result slot and resumption thunk fused into one record.  The
+    allocation-lean variant of a {!resumer} — resuming a waiter builds
+    no closure, it stores the result and enqueues a thunk allocated at
+    suspension time.  Used by the hot synchronization primitives
+    ({!Mailbox}); {!suspend} remains for code that wants a plain
+    callback. *)
+
+val suspend_waiter : Engine.t -> ('a waiter -> unit) -> 'a
+(** Like {!suspend}, but [register] receives the waiter itself; stash
+    it and later pass it to {!resume} exactly once. *)
+
+val resume : 'a waiter -> ('a, exn) result -> unit
+(** Resume a waiter: the fiber continues with [Ok v], or [Error e]
+    raised at its suspension point, at the current simulated time.  A
+    second resume raises [Invalid_argument]. *)
+
 val hold : Engine.t -> float -> unit
 (** Block the calling fiber for [dt] seconds of simulated time. *)
 
 val yield : Engine.t -> unit
 (** Block until all other events scheduled for the current instant have
     run. *)
+
+(** {2 Mailbox core}
+
+    The implementation behind {!Mailbox}, fused with the effect handler
+    so a blocked receiver is parked as a bare continuation: the hottest
+    suspension path in the simulator builds no waiter and no closure on
+    the receive side.  Use the {!Mailbox} wrapper; these are exposed
+    only for it. *)
+
+type 'a mbox
+
+val mbox_create : Engine.t -> 'a mbox
+val mbox_send : 'a mbox -> 'a -> unit
+val mbox_recv : 'a mbox -> 'a
+val mbox_length : 'a mbox -> int

@@ -49,6 +49,22 @@ let test_custom_cmp () =
   List.iter (Heap.push h) [ 5; 1; 9; 3 ];
   Alcotest.(check (list int)) "descending" [ 9; 5; 3; 1 ] (pop_all h)
 
+let test_capacity () =
+  (* [?capacity] pre-sizes the first allocation; behavior must be
+     unchanged whether the hint is tiny (forcing immediate growth) or
+     larger than the element count. *)
+  let h = Heap.create ~capacity:1 ~cmp:compare () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "capacity 1 grows" [ 1; 2; 3 ] (pop_all h);
+  let h = Heap.create ~capacity:1024 ~cmp:compare () in
+  List.iter (Heap.push h) [ 2; 1 ];
+  Alcotest.(check (list int)) "oversized capacity" [ 1; 2 ] (pop_all h);
+  Alcotest.(check bool) "non-positive capacity rejected" true
+    (try
+       ignore (Heap.create ~capacity:0 ~cmp:compare () : int Heap.t);
+       false
+     with Invalid_argument _ -> true)
+
 let prop_sorted =
   QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
     QCheck.(list int)
@@ -82,6 +98,7 @@ let suite =
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "custom comparison" `Quick test_custom_cmp;
+    Alcotest.test_case "capacity hint" `Quick test_capacity;
     QCheck_alcotest.to_alcotest prop_sorted;
     QCheck_alcotest.to_alcotest prop_size;
   ]

@@ -5,6 +5,7 @@ let () =
       ("rng", Test_rng.suite);
       ("stats", Test_stats.suite);
       ("engine", Test_engine.suite);
+      ("equeue", Test_equeue.suite);
       ("proc", Test_proc.suite);
       ("resources", Test_resources.suite);
       ("storage", Test_storage.suite);
