@@ -27,7 +27,7 @@ let write_csv ~dir ~id csv =
     Format.printf "wrote %s@." path;
     true
 
-let run_figure ?(time_scale = 1.0) ~njobs ~csv_dir ~detail id =
+let run_figure ?(time_scale = 1.0) ?(oracle = false) ~njobs ~csv_dir ~detail id =
   match id with
   | "table1" ->
     Format.printf "%a@." Config.pp Config.default;
@@ -42,7 +42,7 @@ let run_figure ?(time_scale = 1.0) ~njobs ~csv_dir ~detail id =
     let progress j r =
       Format.printf "  %s@.%!" (Experiments.progress_line j r)
     in
-    let jobs = Experiments.fault_jobs ~time_scale () in
+    let jobs = Experiments.fault_jobs ~time_scale ~oracle () in
     let results = Harness.Pool.run ~jobs:njobs ~progress jobs in
     let series = Experiments.fault_series_of_results results in
     Format.printf "%a@." Report.pp_fault_series series;
@@ -58,7 +58,7 @@ let run_figure ?(time_scale = 1.0) ~njobs ~csv_dir ~detail id =
     | Some spec ->
       let progress line = Format.printf "  %s@.%!" line in
       let series =
-        Harness.Sweep.run_spec ~time_scale ~jobs:njobs ~progress spec
+        Harness.Sweep.run_spec ~time_scale ~oracle ~jobs:njobs ~progress spec
       in
       Format.printf "%a@." Report.pp_series series;
       if detail then Format.printf "%a@." Report.pp_series_detail series;
@@ -70,7 +70,7 @@ let all_ids =
   [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
     "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "faultsweep" ]
 
-let run ids time_scale njobs csv_dir detail =
+let run ids time_scale oracle njobs csv_dir detail =
   let ids = if ids = [] then all_ids else ids in
   match
     Option.iter
@@ -88,7 +88,8 @@ let run ids time_scale njobs csv_dir detail =
   | () ->
     let ok =
       List.fold_left
-        (fun ok id -> run_figure ~time_scale ~njobs ~csv_dir ~detail id && ok)
+        (fun ok id ->
+          run_figure ~time_scale ~oracle ~njobs ~csv_dir ~detail id && ok)
         true ids
     in
     if ok then 0 else 1
@@ -106,6 +107,15 @@ let time_scale_t =
     value & opt float 1.0
     & info [ "time-scale" ]
         ~doc:"Multiply warm-up and measurement windows (0.25 = quick look)")
+
+let oracle_t =
+  Arg.(
+    value & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Attach the serializability oracle to every cell: record and \
+           check each run's transaction history (figures are unchanged; a \
+           violation fails the sweep with a witness)")
 
 let jobs_t =
   Arg.(
@@ -133,6 +143,8 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"regenerate the tables and figures of the SIGMOD'94 paper")
-    Term.(const run $ ids_t $ time_scale_t $ jobs_t $ csv_dir_t $ detail_t)
+    Term.(
+      const run $ ids_t $ time_scale_t $ oracle_t $ jobs_t $ csv_dir_t
+      $ detail_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,9 +46,38 @@ let locality_conv =
         Format.pp_print_string ppf
           (match l with Workload.Presets.Low -> "low" | Workload.Presets.High -> "high") )
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* On oracle failure, write each violating cell's full history next to
+   the error message so the run can be analysed offline (CI uploads the
+   directory as an artifact). *)
+let write_oracle_dumps ~dump_dir failures =
+  match dump_dir with
+  | None -> ()
+  | Some dir ->
+    List.iter
+      (fun (f : Harness.Pool.failure) ->
+        match f.Harness.Pool.error with
+        | Runner.Oracle_failed (msg, dump) ->
+          mkdir_p dir;
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "oracle-%d.txt" f.Harness.Pool.index)
+          in
+          let oc = open_out path in
+          output_string oc (msg ^ "\n\n" ^ dump);
+          close_out oc;
+          Format.eprintf "oracle dump written to %s@." path
+        | _ -> ())
+      failures
+
 let run algo workload locality write_probs clients db_scale seed njobs warmup
-    measure verbose trace crash_rate restart_delay msg_loss msg_dup disk_stall
-    max_events =
+    measure verbose trace oracle oracle_dump_dir crash_rate restart_delay
+    msg_loss msg_dup disk_stall max_events =
   if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
   let write_probs = if write_probs = [] then [ 0.1 ] else write_probs in
   let faults =
@@ -64,7 +93,7 @@ let run algo workload locality write_probs clients db_scale seed njobs warmup
   Faults.validate faults;
   let cfg =
     Config.scaled
-      { Config.default with num_clients = clients; faults }
+      { Config.default with num_clients = clients; faults; oracle }
       ~factor:db_scale
   in
   let jobs =
@@ -80,7 +109,17 @@ let run algo workload locality write_probs clients db_scale seed njobs warmup
           ~cfg ~algo ~params ~warmup ~measure ())
       write_probs
   in
-  let results = Harness.Pool.run ~jobs:njobs jobs in
+  let results =
+    try Harness.Pool.run ~jobs:njobs jobs
+    with Harness.Pool.Sweep_failed failures as e ->
+      List.iter
+        (fun (f : Harness.Pool.failure) ->
+          Format.eprintf "%s: %s@." f.Harness.Pool.description
+            (Printexc.to_string f.Harness.Pool.error))
+        failures;
+      write_oracle_dumps ~dump_dir:oracle_dump_dir failures;
+      raise e
+  in
   List.iter2
     (fun (j : Job.t) r ->
       if List.length jobs > 1 then Format.printf "--- %s ---@." j.Job.label;
@@ -146,6 +185,25 @@ let trace_t =
     value & flag
     & info [ "trace" ] ~doc:"Stream kernel events (commits, de-escalations, callbacks) to stderr")
 
+let oracle_t =
+  Arg.(
+    value & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Record the transaction history and check it for \
+           conflict-serializability, commit-order consistency and \
+           recoverability at end of run (fails loudly with a witness on \
+           violation; results are unchanged)")
+
+let oracle_dump_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "oracle-dump-dir" ] ~docv:"DIR"
+        ~doc:
+          "On an oracle violation, write the full recorded history of each \
+           failing cell into DIR (created if needed)")
+
 let crash_rate_t =
   Arg.(
     value & opt float 0.0
@@ -199,8 +257,8 @@ let cmd =
     (Cmd.info "oodbsim" ~doc)
     Term.(
       const run $ algo_t $ workload_t $ locality_t $ wp_t $ clients_t $ scale_t
-      $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t
-      $ crash_rate_t $ restart_delay_t $ msg_loss_t $ msg_dup_t $ disk_stall_t
-      $ max_events_t)
+      $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t $ oracle_t
+      $ oracle_dump_dir_t $ crash_rate_t $ restart_delay_t $ msg_loss_t
+      $ msg_dup_t $ disk_stall_t $ max_events_t)
 
 let () = exit (Cmd.eval cmd)

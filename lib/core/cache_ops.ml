@@ -17,18 +17,42 @@ let release_page_copy_refs sys cid p (entry : page_entry) =
           (Ids.Oid.make ~page:p ~slot) ~client:cid
     done
 
+(* Mirror cache traffic into the oracle's shadow store.  A slot marked
+   unavailable is not a readable copy, and a dirty slot holds the local
+   transaction's pending version, which the server's copy must not
+   overwrite. *)
+let oracle_note_page_copy sys cid p (entry : page_entry) =
+  Model.oracle_hook sys (fun o ->
+      for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+        let oid = Ids.Oid.make ~page:p ~slot in
+        if Ids.Int_set.mem slot entry.unavailable then
+          Oracle.History.drop_copy o ~client:cid ~oid
+        else if not (Ids.Int_set.mem slot entry.dirty) then
+          Oracle.History.install_copy o ~client:cid ~oid
+      done)
+
+let oracle_forget_page sys cid p =
+  Model.oracle_hook sys (fun o ->
+      for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+        Oracle.History.drop_copy o ~client:cid ~oid:(Ids.Oid.make ~page:p ~slot)
+      done)
+
 let drop_page sys c p ~discard_dirty =
   match Lru.remove c.cache p with
   | None -> ()
   | Some entry ->
     if (not discard_dirty) && not (Ids.Int_set.is_empty entry.dirty) then
       invalid_arg "Cache_ops.drop_page: dropping uncommitted updates";
-    release_page_copy_refs sys c.cid p entry
+    release_page_copy_refs sys c.cid p entry;
+    oracle_forget_page sys c.cid p
 
 let drop_object sys c oid =
   match Lru.remove c.ocache oid with
   | None -> ()
-  | Some _ -> Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid
+  | Some _ ->
+    Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid;
+    Model.oracle_hook sys (fun o ->
+        Oracle.History.drop_copy o ~client:c.cid ~oid)
 
 let mark_unavailable sys c oid =
   match Lru.peek c.cache oid.Ids.Oid.page with
@@ -39,7 +63,9 @@ let mark_unavailable sys c oid =
       (* Under object-grain copy tracking the mark retires this copy's
          reference for the object. *)
       if not (Algo.page_grain_copies sys.algo) then
-        Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid
+        Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid;
+      Model.oracle_hook sys (fun o ->
+          Oracle.History.drop_copy o ~client:c.cid ~oid)
     end
 
 let install_page sys c txn p ~unavailable ~version =
@@ -59,29 +85,39 @@ let install_page sys c txn p ~unavailable ~version =
     end;
     entry.unavailable <- Ids.Int_set.diff unavailable entry.dirty;
     entry.fetch_version <- version;
+    oracle_note_page_copy sys c.cid p entry;
     ignore txn;
     None
   | None ->
     let entry =
       { unavailable; dirty = Ids.Int_set.empty; fetch_version = version }
     in
+    oracle_note_page_copy sys c.cid p entry;
     (match Lru.add c.cache p entry with
     | None -> None
     | Some (victim, ventry) ->
       release_page_copy_refs sys c.cid victim ventry;
+      oracle_forget_page sys c.cid victim;
       if Ids.Int_set.is_empty ventry.dirty then None
       else Some (victim, ventry.dirty, ventry.fetch_version))
 
 let install_object sys c oid =
   match Lru.find c.ocache oid with
-  | Some _ ->
+  | Some entry ->
     (* Already cached: the shipment added a duplicate reference at the
        server; the merged copy keeps a single one. *)
     Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid;
+    if not entry.odirty then
+      Model.oracle_hook sys (fun o ->
+          Oracle.History.install_copy o ~client:c.cid ~oid);
     None
   | None -> (
+    Model.oracle_hook sys (fun o ->
+        Oracle.History.install_copy o ~client:c.cid ~oid);
     match Lru.add c.ocache oid { odirty = false } with
     | None -> None
     | Some (victim, ventry) ->
       Locking.Copy_table.unregister sys.server.ocopies victim ~client:c.cid;
+      Model.oracle_hook sys (fun o ->
+          Oracle.History.drop_copy o ~client:c.cid ~oid:victim);
       if ventry.odirty then Some victim else None)

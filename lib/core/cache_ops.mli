@@ -45,3 +45,11 @@ val install_object :
   Model.sys -> Model.client -> Ids.Oid.t -> Ids.Oid.t option
 (** Object-server insert.  Returns a dirty eviction victim the caller
     must ship. *)
+
+val oracle_note_page_copy :
+  Model.sys -> int -> Ids.page -> Model.page_entry -> unit
+(** Mirror a (re)installed page copy into the oracle's shadow store:
+    unavailable slots drop the client's shadow copy, clean slots take
+    the server's current version, dirty slots keep the local pending
+    version.  No-op when the oracle is off.  Exposed for the one
+    install site outside this module (the write-token bounce path). *)

@@ -26,6 +26,7 @@ let record_read_locks sys c txn oid =
   if not (Ids.Oid_set.mem oid txn.read_objs) then begin
     txn.read_objs <- Ids.Oid_set.add oid txn.read_objs;
     txn.read_pages <- Ids.Page_set.add oid.Ids.Oid.page txn.read_pages;
+    Model.oracle_hook sys (fun o -> Oracle.History.read o ~tid:txn.tid ~oid);
     local_lock_charge sys c
   end
 
@@ -131,6 +132,8 @@ let assert_update_invariants sys c txn oid =
 
 let mark_updated sys c txn oid =
   assert_update_invariants sys c txn oid;
+  if not (Ids.Oid_set.mem oid txn.updated) then
+    Model.oracle_hook sys (fun o -> Oracle.History.write o ~tid:txn.tid ~oid);
   txn.updated <- Ids.Oid_set.add oid txn.updated;
   match sys.algo with
   | Algo.OS -> (
@@ -248,6 +251,7 @@ let commit sys c txn =
   finish_txn c
 
 let abort_cleanup sys c txn =
+  Model.oracle_hook sys (fun o -> Oracle.History.abort o ~tid:txn.tid);
   (* Purge uncommitted updates from the cache (purge-at-client,
      Section 3.1 / footnote 2), unblock any pending callbacks, then let
      the server release the transaction's locks. *)
@@ -292,8 +296,10 @@ let rec attempt sys c ops ~first_started ~restarts =
   let txn = make_txn sys ~client:c.cid ~ops ~first_started in
   txn.restarts <- restarts;
   c.running <- Some txn;
-  Trace.txn sys ~tid:txn.tid ~client:c.cid
-    (if restarts = 0 then "start" else Printf.sprintf "restart #%d" restarts);
+  Model.oracle_hook sys (fun o ->
+      Oracle.History.begin_txn o ~tid:txn.tid ~client:c.cid);
+  if restarts = 0 then Trace.txn sys ~tid:txn.tid ~client:c.cid "start"
+  else Trace.txn sys ~tid:txn.tid ~client:c.cid "restart #%d" restarts;
   Locking.Waits_for.begin_txn sys.server.wfg txn.tid
     ~start:(Engine.now sys.engine);
   match
@@ -304,9 +310,8 @@ let rec attempt sys c ops ~first_started ~restarts =
     let now = Engine.now sys.engine in
     let response = now -. first_started in
     Trace.txn sys ~tid:txn.tid ~client:c.cid
-      (Printf.sprintf "commit (response %.0f ms, %d updates)"
-         (1000.0 *. response)
-         (Ids.Oid_set.cardinal txn.updated));
+      "commit (response %.0f ms, %d updates)" (1000.0 *. response)
+      (Ids.Oid_set.cardinal txn.updated);
     Metrics.note_commit sys.metrics ~response;
     Stats.Welford.add c.resp_history response;
     (* First commit after a cold restart ends the outage window. *)

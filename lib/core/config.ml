@@ -31,6 +31,8 @@ type t = {
   overflow_prob : float;
   forward_inst : float;
   faults : Faults.profile;
+  oracle : bool;
+  cb_drop_every : int;
 }
 
 let default =
@@ -64,6 +66,8 @@ let default =
     overflow_prob = 0.0;
     forward_inst = 2_000.0;
     faults = Faults.off;
+    oracle = false;
+    cb_drop_every = 0;
   }
 
 let scaled t ~factor =
@@ -103,6 +107,7 @@ let validate t =
   check (t.size_change_prob >= 0.0 && t.size_change_prob <= 1.0)
     "size_change_prob";
   check (t.overflow_prob >= 0.0 && t.overflow_prob <= 1.0) "overflow_prob";
+  check (t.cb_drop_every >= 0) "cb_drop_every";
   Faults.validate t.faults
 
 let pp ppf t =
@@ -148,4 +153,7 @@ let pp ppf t =
       (1000.0 *. p.Faults.disk_stall_time)
       p.Faults.disk_stall_retries
   end;
+  (* Likewise the oracle and sabotage rows: absent at defaults. *)
+  if t.oracle then f "SerializabilityOracle on@,";
+  if t.cb_drop_every > 0 then f "CallbackDropEvery   %d (sabotage)@," t.cb_drop_every;
   f "@]"

@@ -64,6 +64,15 @@ type t = {
   faults : Faults.profile;
       (** fault-injection rates and timing (default {!Faults.off}: no
           crashes, no message loss/duplication, no disk stalls) *)
+  oracle : bool;
+      (** record a transaction history and check it for
+          conflict-serializability, commit-order consistency, and
+          recoverability at end of run (default off; pure observation,
+          results are byte-identical either way) *)
+  cb_drop_every : int;
+      (** sabotage knob for oracle negative tests: drop every Nth
+          callback target at the server, silently leaving stale cached
+          copies behind (0 = off; never enable outside tests) *)
 }
 
 val default : t

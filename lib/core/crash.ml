@@ -18,6 +18,9 @@ let crash_client sys cid =
     (match c.running with
     | Some txn ->
       Faults.note_crash_abort sys.faults;
+      (* No-op if the server already committed the transaction (the
+         crash then only lost the reply): committed outcomes stick. *)
+      Model.oracle_hook sys (fun o -> Oracle.History.abort o ~tid:txn.tid);
       (* The wait must be cancelled before the transaction is ended:
          cancellation dequeues its pending lock/callback/token request
          and schedules the fiber's abort resumption. *)
@@ -37,6 +40,7 @@ let crash_client sys cid =
     List.iter
       (fun (o, _) -> ignore (Lru.remove c.ocache o))
       (Lru.to_list c.ocache);
+    Model.oracle_hook sys (fun o -> Oracle.History.purge_client o ~client:cid);
     (* Purging also clears references for copies still in transit, so a
        pending callback's resend loop terminates instead of re-calling a
        site that will never install the copy. *)

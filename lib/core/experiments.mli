@@ -32,12 +32,15 @@ type point = {
 
 type series = { spec : spec; points : point list }
 
-val jobs_of_spec : ?seed:int -> ?time_scale:float -> spec -> Job.t list
+val jobs_of_spec :
+  ?seed:int -> ?time_scale:float -> ?oracle:bool -> spec -> Job.t list
 (** Describe every (write probability, algorithm) cell of the figure
     as a {!Job.t}, write-probability-major.  [time_scale] multiplies
     both warm-up and measurement windows (e.g. 0.25 for a quick
-    look).  Each job's RNG seed derives from [seed] and the cell
-    description alone (see {!Job.seed}). *)
+    look); [oracle] attaches the serializability oracle (default
+    false; does not change the seed or the results).  Each job's RNG
+    seed derives from [seed] and the cell description alone (see
+    {!Job.seed}). *)
 
 val series_of_results : spec -> Runner.result list -> series
 (** Reassemble results — in the order of {!jobs_of_spec} — into the
@@ -56,7 +59,12 @@ type fault_point = { rate : float; fresults : (Algo.t * Runner.result) list }
 type fault_series = { frates : float list; fpoints : fault_point list }
 
 val fault_jobs :
-  ?seed:int -> ?time_scale:float -> ?max_events:int -> unit -> Job.t list
+  ?seed:int ->
+  ?time_scale:float ->
+  ?oracle:bool ->
+  ?max_events:int ->
+  unit ->
+  Job.t list
 (** Rate-major, algorithm-minor, like {!jobs_of_spec}. *)
 
 val fault_series_of_results : Runner.result list -> fault_series
@@ -67,6 +75,7 @@ val progress_line : Job.t -> Runner.result -> string
 val run_spec :
   ?seed:int ->
   ?time_scale:float ->
+  ?oracle:bool ->
   ?progress:(string -> unit) ->
   spec ->
   series

@@ -18,6 +18,11 @@ let make ?(base_seed = 42) ?max_events ~sweep ~label ~cfg ~algo ~params
 
 let describe j = j.sweep ^ "/" ^ j.label
 
+(* The key (below) deliberately excludes the configuration, so turning
+   the oracle on leaves the job's seed — and hence its entire event
+   schedule — untouched. *)
+let with_oracle j = { j with cfg = { j.cfg with Config.oracle = true } }
+
 (* The seed key must identify the cell uniquely within its sweep and be
    a pure function of the description, so that a job's random stream is
    the same no matter where in a job list it sits or which worker domain

@@ -44,6 +44,11 @@ val make :
 val describe : t -> string
 (** ["sweep/label"], for progress lines and error messages. *)
 
+val with_oracle : t -> t
+(** The same job with [Config.oracle] set.  {!seed} is a function of
+    the description, not the configuration, so the oracle-enabled job
+    replays the identical event schedule. *)
+
 val seed : t -> int
 (** The job's own RNG seed, derived from [base_seed] and the job
     description via {!Simcore.Rng.key_seed}.  A pure function of the

@@ -52,6 +52,7 @@ type server = {
   deesc_inflight : (Ids.page, unit Ivar.t) Hashtbl.t;
   token_owner : (Ids.page, int * Locking.Lock_types.txn) Hashtbl.t;
   srv_rng : Rng.t;
+  mutable cb_drop_clock : int;
 }
 
 type sys = {
@@ -64,6 +65,7 @@ type sys = {
   clients : client array;
   metrics : Metrics.t;
   faults : Faults.t;
+  oracle : Oracle.History.t option;
   mutable next_tid : int;
   mutable live : bool;
 }
@@ -176,6 +178,7 @@ let create ~cfg ~algo ~params ~seed =
       deesc_inflight = Hashtbl.create 16;
       token_owner = Hashtbl.create 256;
       srv_rng = Rng.split rng;
+      cb_drop_clock = 0;
     }
   in
   let clients =
@@ -208,6 +211,12 @@ let create ~cfg ~algo ~params ~seed =
     clients;
     metrics = Metrics.create ();
     faults;
+    oracle =
+      (if cfg.Config.oracle then
+         Some (Oracle.History.create ~clients:cfg.Config.num_clients)
+       else None);
     next_tid = 1;
     live = true;
   }
+
+let oracle_hook sys f = match sys.oracle with None -> () | Some o -> f o

@@ -82,6 +82,9 @@ type server = {
           only under [Config.Write_token] *)
   srv_rng : Rng.t;
       (** server-local randomness (size-change/overflow model) *)
+  mutable cb_drop_clock : int;
+      (** counts callback targets considered for the
+          [Config.cb_drop_every] sabotage knob *)
 }
 
 type sys = {
@@ -94,6 +97,8 @@ type sys = {
   clients : client array;
   metrics : Metrics.t;
   faults : Faults.t;  (** fault-injection state (streams, counters, hook) *)
+  oracle : Oracle.History.t option;
+      (** history recorder, present iff [Config.oracle] *)
   mutable next_tid : int;
   mutable live : bool;
       (** cleared at simulation end so client loops stop resubmitting *)
@@ -153,3 +158,7 @@ val create :
   params:Workload.Wparams.t ->
   seed:int ->
   sys
+
+val oracle_hook : sys -> (Oracle.History.t -> unit) -> unit
+(** Apply [f] to the history recorder when the oracle is on; free
+    otherwise. *)

@@ -39,7 +39,16 @@ type result = {
   faults_injected : int;
   recoveries : int;
   recovery_mean : float;
+  oracle_commits : int;
+  oracle_ops : int;
 }
+
+exception Oracle_failed of string * string
+
+let () =
+  Printexc.register_printer (function
+    | Oracle_failed (msg, _dump) -> Some ("Runner.Oracle_failed: " ^ msg)
+    | _ -> None)
 
 let reset_resource_stats sys =
   Resources.Cpu.reset_stats sys.server.scpu;
@@ -62,6 +71,16 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
   Engine.run_until ?max_events sys.engine stop;
   sys.live <- false;
   Audit.check sys ~context:"end-of-run";
+  (match sys.oracle with
+  | None -> ()
+  | Some o -> (
+    try Oracle.Checker.check o
+    with Oracle.Checker.Violation msg ->
+      raise
+        (Oracle_failed
+           ( Printf.sprintf "serializability oracle: %s [%s/%s, seed %d]" msg
+               (Algo.to_string algo) params.Workload.Wparams.name seed,
+             Oracle.History.dump o ))));
   let m = sys.metrics in
   let commits = Metrics.commits m in
   let clients_util =
@@ -112,6 +131,14 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
     faults_injected = Faults.injected sys.faults;
     recoveries = Faults.recoveries sys.faults;
     recovery_mean = Faults.recovery_mean sys.faults;
+    oracle_commits =
+      (match sys.oracle with
+      | Some o -> Oracle.History.committed_count o
+      | None -> 0);
+    oracle_ops =
+      (match sys.oracle with
+      | Some o -> Oracle.History.op_count o
+      | None -> 0);
   }
 
 let pp_result ppf r =
@@ -136,4 +163,8 @@ let pp_result ppf r =
        faults: %d injected (crashes %d, losses %d, dups %d, stalls %d), \
        crash aborts %d, retransmits %d, recoveries %d (mean %.0f ms)"
       r.faults_injected r.crashes r.msg_losses r.msg_dups r.disk_stalls
-      r.crash_aborts r.retransmits r.recoveries (1000.0 *. r.recovery_mean)
+      r.crash_aborts r.retransmits r.recoveries (1000.0 *. r.recovery_mean);
+  (* Likewise the oracle line: absent unless the oracle ran. *)
+  if r.oracle_ops > 0 then
+    Format.fprintf ppf "@\noracle: serializable (%d committed, %d ops checked)"
+      r.oracle_commits r.oracle_ops

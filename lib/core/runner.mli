@@ -43,7 +43,17 @@ type result = {
   faults_injected : int;  (** crashes + losses + dups + stalls *)
   recoveries : int;  (** first-commit-after-restart events *)
   recovery_mean : float;  (** mean crash-to-first-commit latency, s *)
+  oracle_commits : int;
+      (** committed transactions the serializability oracle checked
+          (whole run, including warmup); 0 when the oracle is off *)
+  oracle_ops : int;  (** read/write operations recorded by the oracle *)
 }
+
+exception Oracle_failed of string * string
+(** [(message, history_dump)]: the serializability oracle rejected the
+    run's history.  The message carries the checker's witness plus the
+    protocol, workload and seed; the dump is the full recorded history
+    (written to a file by the CLIs for offline analysis). *)
 
 val run :
   ?seed:int ->
@@ -63,6 +73,8 @@ val run :
 
     Every run installs the invariant {!Audit} as the fault hook, runs
     it once more at end of run, and — when the configuration's crash
-    rate is positive — starts the {!Crash} drivers. *)
+    rate is positive — starts the {!Crash} drivers.  When
+    [cfg.oracle] is set, the recorded history is checked at end of run
+    and {!Oracle_failed} raised on a violation. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -88,6 +88,21 @@ let copy_registered sys kind target =
    callback arrived; the callback is re-sent so the conflict is resolved
    against the installed copy rather than silently ignored. *)
 let do_callbacks sys ~writer ~kind ~targets =
+  (* Sabotage knob for oracle negative tests: silently skip every Nth
+     callback target, leaving its stale copy registered and readable —
+     exactly the class of protocol bug the serializability oracle
+     exists to catch.  Off ([cb_drop_every = 0]) outside those tests. *)
+  let targets =
+    let every = sys.cfg.Config.cb_drop_every in
+    if every <= 0 then targets
+    else
+      List.filter
+        (fun _ ->
+          let s = sys.server in
+          s.cb_drop_clock <- s.cb_drop_clock + 1;
+          s.cb_drop_clock mod every <> 0)
+        targets
+  in
   if targets = [] then `Acks []
   else begin
     let engine = sys.engine in
@@ -290,7 +305,9 @@ let acquire_token sys txn p =
         else begin
           (* The bounce refreshed the new owner's copy. *)
           (match Lru.peek sys.clients.(txn.client).cache p with
-          | Some entry -> entry.fetch_version <- page_version sys p
+          | Some entry ->
+            entry.fetch_version <- page_version sys p;
+            Cache_ops.oracle_note_page_copy sys txn.client p entry
           | None -> ());
           Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
           Lock_types.Granted
@@ -314,21 +331,41 @@ let reply_abort_read sys txn =
 
 (* Registration must not happen for a crashed requester: the copy table
    would name a site whose cache no longer exists. *)
-let reply_page_live sys txn p =
-  let unavailable =
-    match sys.algo with
-    | Algo.PS -> Ids.Int_set.empty
-    | Algo.OS -> assert false
-    | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
-      foreign_locked_slots sys p ~tid:txn.tid
-  in
+let rec reply_page_live sys txn p =
   scharge sys sys.cfg.Config.register_copy_inst;
   (* The registration charge suspends the server fiber, so the
      requester can crash (and be purged) during it — re-check before
      registering, or the copy table would name a site whose cache no
      longer exists. *)
   if txn_dead sys txn then reply_abort_read sys txn
+  else if Lock_table.conflicts sys.server.plocks p ~txn:txn.tid then begin
+    (* A page-grain writer won its lock while the copy was being
+       prepared (disk read, CPU charges) and collected its callback
+       targets from the copy table — which cannot name this requester
+       yet.  Shipping now would hand out a copy nobody will ever call
+       back: wait for the writer to drain and rebuild the reply from
+       the post-write state. *)
+    match
+      locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Probe
+    with
+    | Lock_types.Aborted -> reply_abort_read sys txn
+    | Lock_types.Granted ->
+      if txn_dead sys txn then reply_abort_read sys txn
+      else reply_page_live sys txn p
+  end
   else begin
+    (* From here to the reply there is no suspension: the availability
+       mask, the copy registration and the shipped content form one
+       atomic snapshot.  Any writer arriving later finds the
+       registration and calls this client back (a callback beating the
+       page to the client re-sends until the copy is installed). *)
+    let unavailable =
+      match sys.algo with
+      | Algo.PS -> Ids.Int_set.empty
+      | Algo.OS -> assert false
+      | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
+        foreign_locked_slots sys p ~tid:txn.tid
+    in
     (match sys.algo with
     | Algo.PS | Algo.PS_OA | Algo.PS_AA ->
       Copy_table.register sys.server.pcopies p ~client:txn.client
@@ -375,42 +412,62 @@ let read_rpc sys txn oid =
     | Lock_types.Granted when txn_dead sys txn -> reply_abort_read sys txn
     | Lock_types.Granted ->
       buffer_page sys p ~read_from_disk:true;
-      if txn_dead sys txn then reply_abort_read sys txn
-      else
-      (* With os_group_size > 1 the server ships the whole static group
-         around the requested object (a grouped-object server, Section
-         6.2), skipping members write-locked elsewhere. *)
-      let group =
-        let g = sys.cfg.Config.os_group_size in
-        if g <= 1 then [ oid ]
+      let rec reply_objs () =
+        scharge sys sys.cfg.Config.register_copy_inst;
+        (* The charge suspends; re-check before registering (see
+           [reply_page]). *)
+        if txn_dead sys txn then reply_abort_read sys txn
+        else if Lock_table.conflicts sys.server.olocks oid ~txn:txn.tid
+        then begin
+          (* A writer of the requested object won its lock during the
+             disk read or the charge and has already collected its
+             callback targets; this in-transit copy would never be
+             called back.  Wait for the writer to drain and rebuild. *)
+          match
+            locked_acquire sys sys.server.olocks oid ~txn
+              ~kind:Lock_types.Probe
+          with
+          | Lock_types.Aborted -> reply_abort_read sys txn
+          | Lock_types.Granted ->
+            if txn_dead sys txn then reply_abort_read sys txn
+            else reply_objs ()
+        end
         else begin
-          let base = oid.Ids.Oid.slot / g * g in
-          List.filter_map
-            (fun i ->
-              let slot = base + i in
-              if slot >= sys.cfg.Config.objects_per_page then None
-              else
-                let o = Ids.Oid.make ~page:p ~slot in
-                if Ids.Oid.equal o oid then Some o
-                else if Lock_table.conflicts sys.server.olocks o ~txn:txn.tid
-                then None
-                else Some o)
-            (List.init g Fun.id)
+          (* No suspension from here to the reply: the group snapshot,
+             the registrations and the shipped content are atomic.
+             With os_group_size > 1 the server ships the whole static
+             group around the requested object (a grouped-object
+             server, Section 6.2), skipping members write-locked
+             elsewhere. *)
+          let group =
+            let g = sys.cfg.Config.os_group_size in
+            if g <= 1 then [ oid ]
+            else begin
+              let base = oid.Ids.Oid.slot / g * g in
+              List.filter_map
+                (fun i ->
+                  let slot = base + i in
+                  if slot >= sys.cfg.Config.objects_per_page then None
+                  else
+                    let o = Ids.Oid.make ~page:p ~slot in
+                    if Ids.Oid.equal o oid then Some o
+                    else if
+                      Lock_table.conflicts sys.server.olocks o ~txn:txn.tid
+                    then None
+                    else Some o)
+                (List.init g Fun.id)
+            end
+          in
+          List.iter
+            (fun o ->
+              Copy_table.register sys.server.ocopies o ~client:txn.client)
+            group;
+          Netlayer.objs_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+            ~dst:(Netlayer.Client txn.client) ~count:(List.length group);
+          R_objs group
         end
       in
-      scharge sys sys.cfg.Config.register_copy_inst;
-      (* The charge suspends; re-check before registering (see
-         [reply_page]). *)
-      if txn_dead sys txn then reply_abort_read sys txn
-      else begin
-        List.iter
-          (fun o ->
-            Copy_table.register sys.server.ocopies o ~client:txn.client)
-          group;
-        Netlayer.objs_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
-          ~dst:(Netlayer.Client txn.client) ~count:(List.length group);
-        R_objs group
-      end)
+      reply_objs ())
   | Algo.PS_OO | Algo.PS_OA -> (
     match
       locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
@@ -580,6 +637,11 @@ let write_rpc sys txn oid =
 (* --- Update installation and transaction termination ------------------ *)
 
 let ship_dirty_page sys txn p ~dirty ~fetch_version ~at_commit =
+  Model.oracle_hook sys (fun o ->
+      Ids.Int_set.iter
+        (fun slot ->
+          Oracle.History.ship o ~tid:txn.tid ~oid:(Ids.Oid.make ~page:p ~slot))
+        dirty);
   let cls = if at_commit then Metrics.M_commit_data else Metrics.M_dirty_data in
   Netlayer.page_data sys ~cls ~src:(Netlayer.Client txn.client)
     ~dst:Netlayer.Server;
@@ -607,6 +669,8 @@ let ship_dirty_objs sys txn oids ~at_commit =
   match oids with
   | [] -> ()
   | _ ->
+    Model.oracle_hook sys (fun o ->
+        List.iter (fun oid -> Oracle.History.ship o ~tid:txn.tid ~oid) oids);
     let cls =
       if at_commit then Metrics.M_commit_data else Metrics.M_dirty_data
     in
@@ -630,6 +694,10 @@ let ship_dirty_objs sys txn oids ~at_commit =
 let ship_redo_log sys txn =
   let n = Ids.Oid_set.cardinal txn.updated in
   if n > 0 then begin
+    Model.oracle_hook sys (fun o ->
+        Ids.Oid_set.iter
+          (fun oid -> Oracle.History.ship o ~tid:txn.tid ~oid)
+          txn.updated);
     let bytes =
       (n * sys.cfg.Config.log_record_bytes) + Config.control_bytes sys.cfg
     in
@@ -670,7 +738,13 @@ let commit_rpc sys txn =
      updates are discarded (no version bumps).  Its locks are still
      released — crash reclamation usually already did, in which case
      this is a no-op. *)
-  if not (txn_dead sys txn) then bump_versions sys txn;
+  if not (txn_dead sys txn) then begin
+    bump_versions sys txn;
+    (* The commit point: recorded before the locks go, so every later
+       conflicting operation is also later in the oracle's commit
+       order. *)
+    Model.oracle_hook sys (fun o -> Oracle.History.commit o ~tid:txn.tid)
+  end;
   release_txn_locks sys txn;
   Netlayer.control sys ~cls:Metrics.M_commit_reply ~src:Netlayer.Server
     ~dst:(Netlayer.Client txn.client)

@@ -6,13 +6,33 @@ let setup ~level =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.Src.set_level src level
 
-let txn sys ~tid ~client what =
-  Log.debug (fun m ->
-      m "%.5f txn %d (client %d) %s" (Simcore.Engine.now sys.Model.engine) tid
-        client what)
+let active () = Logs.Src.level src = Some Logs.Debug
+let rendered_count = ref 0
+let rendered () = !rendered_count
+
+(* Both entry points take the format string directly so that, with the
+   source disabled, the arguments are swallowed by [ikfprintf] without
+   rendering anything: the hot path pays one level check, no
+   allocation. *)
+
+let txn sys ~tid ~client fmt =
+  if active () then
+    Format.kasprintf
+      (fun s ->
+        incr rendered_count;
+        Log.debug (fun m ->
+            m "%.5f txn %d (client %d) %s"
+              (Simcore.Engine.now sys.Model.engine)
+              tid client s))
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
 
 let event sys fmt =
-  Format.kasprintf
-    (fun s ->
-      Log.debug (fun m -> m "%.5f %s" (Simcore.Engine.now sys.Model.engine) s))
-    fmt
+  if active () then
+    Format.kasprintf
+      (fun s ->
+        incr rendered_count;
+        Log.debug (fun m ->
+            m "%.5f %s" (Simcore.Engine.now sys.Model.engine) s))
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt

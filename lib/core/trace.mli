@@ -7,7 +7,12 @@
 
     {v
     [oodb] 12.03417 txn 841 (client 3) deescalate page 57 -> 2 object locks
-    v} *)
+    v}
+
+    Both entry points take the format string directly, so when the
+    source is disabled the arguments are discarded without formatting:
+    tracing that is off costs one level check per call site and
+    allocates nothing. *)
 
 val src : Logs.src
 (** The [oodb.kernel] log source. *)
@@ -15,7 +20,16 @@ val src : Logs.src
 val setup : level:Logs.level option -> unit
 (** Install a stderr reporter and set the source's level. *)
 
-val txn : Model.sys -> tid:int -> client:int -> string -> unit
+val active : unit -> bool
+(** Whether the source level currently renders debug events. *)
+
+val rendered : unit -> int
+(** Number of trace messages formatted since program start (a
+    monotonic counter; used by the laziness regression test). *)
+
+val txn :
+  Model.sys -> tid:int -> client:int ->
+  ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Log one transaction-scoped event (debug level), stamped with the
     current simulated time. *)
 

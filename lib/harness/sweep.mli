@@ -4,18 +4,21 @@
 val run_spec :
   ?seed:int ->
   ?time_scale:float ->
+  ?oracle:bool ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
   Oodb_core.Experiments.spec ->
   Oodb_core.Experiments.series
 (** Describe the figure's cells as jobs and run them on {!Pool} with
     [jobs] workers ([~jobs:1] reproduces the sequential driver
-    byte-for-byte).  [progress] receives one line per completed cell,
-    in completion order. *)
+    byte-for-byte).  [oracle] attaches the serializability oracle to
+    every cell.  [progress] receives one line per completed cell, in
+    completion order. *)
 
 val run_specs :
   ?seed:int ->
   ?time_scale:float ->
+  ?oracle:bool ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
   Oodb_core.Experiments.spec list ->

@@ -1,0 +1,191 @@
+open Storage
+
+exception Violation of string
+
+type kind = WW | WR | RW
+
+let kind_str = function WW -> "ww" | WR -> "wr" | RW -> "rw"
+
+type edge = { src : int; dst : int; oid : Ids.Oid.t; kind : kind }
+
+let pp_oid (oid : Ids.Oid.t) =
+  Printf.sprintf "%d.%d" oid.Ids.Oid.page oid.Ids.Oid.slot
+
+let pp_cycle cycle =
+  let buf = Buffer.create 128 in
+  (match cycle with
+  | [] -> ()
+  | first :: _ -> Buffer.add_string buf (Printf.sprintf "txn %d" first.src));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf " -[%s %s]-> txn %d" (kind_str e.kind) (pp_oid e.oid)
+           e.dst))
+    cycle;
+  Buffer.contents buf
+
+(* DFS cycle search over the conflict graph.  [path] holds the edges
+   from the DFS root to the current node, newest first; a back edge
+   closes the cycle, which is reconstructed in forward order for the
+   witness. *)
+let find_cycle nodes adj =
+  let state = Hashtbl.create 256 in
+  let cycle_of path e =
+    let rec take acc = function
+      | [] -> acc
+      | edge :: rest ->
+        if edge.src = e.dst then edge :: acc else take (edge :: acc) rest
+    in
+    take [ e ] path
+  in
+  let rec dfs path tid =
+    Hashtbl.replace state tid 1;
+    let result =
+      let rec go = function
+        | [] -> None
+        | e :: rest -> (
+          match Hashtbl.find_opt state e.dst with
+          | Some 1 -> Some (cycle_of path e)
+          | Some _ -> go rest
+          | None -> (
+            match dfs (e :: path) e.dst with
+            | Some _ as c -> c
+            | None -> go rest))
+      in
+      go (Option.value ~default:[] (Hashtbl.find_opt adj tid))
+    in
+    if result = None then Hashtbl.replace state tid 2;
+    result
+  in
+  List.find_map
+    (fun tid -> if Hashtbl.mem state tid then None else dfs [] tid)
+    nodes
+
+type anomaly = { reader : History.txn; a_oid : Ids.Oid.t; message : string }
+
+let check h =
+  let committed = History.committed h in
+  let cseq = Hashtbl.create 256 in
+  List.iter
+    (fun (txn : History.txn) ->
+      match txn.History.outcome with
+      | History.Committed n -> Hashtbl.replace cseq txn.History.tid n
+      | _ -> assert false)
+    committed;
+  (* Per-object committed version chains, in commit order, and the
+     successor map: (version) -> the next committed writer of the same
+     object. *)
+  let last_writer = Hashtbl.create 256 in
+  (* oid -> (version, tid) of latest chain entry so far *)
+  let succ = Hashtbl.create 256 in
+  (* version -> (next writer tid); version 0 is per-object, keyed below *)
+  let first_writer = Hashtbl.create 256 in
+  (* oid -> first committed writer tid *)
+  let edges = ref [] in
+  let add_edge src dst oid kind =
+    if src <> dst then edges := { src; dst; oid; kind } :: !edges
+  in
+  List.iter
+    (fun (txn : History.txn) ->
+      List.iter
+        (fun (oid, v) ->
+          (match Hashtbl.find_opt last_writer oid with
+          | Some (pv, ptid) ->
+            Hashtbl.replace succ pv txn.History.tid;
+            add_edge ptid txn.History.tid oid WW
+          | None -> Hashtbl.replace first_writer oid txn.History.tid);
+          Hashtbl.replace last_writer oid (v, txn.History.tid))
+        (List.rev txn.History.writes))
+    committed;
+  (* Read edges and read anomalies (recoverability / cascade-freedom),
+     the latter only reported when the graph itself is clean so a cycle
+     witness takes precedence. *)
+  let anomalies = ref [] in
+  let note_anomaly reader a_oid message =
+    anomalies := { reader; a_oid; message } :: !anomalies
+  in
+  List.iter
+    (fun (r : History.txn) ->
+      List.iter
+        (fun (oid, v, rstamp) ->
+          (* rw: the reader precedes whatever committed version
+             overwrote the one it observed. *)
+          (if v = 0 then
+             match Hashtbl.find_opt first_writer oid with
+             | Some w -> add_edge r.History.tid w oid RW
+             | None -> ()
+           else
+             match Hashtbl.find_opt succ v with
+             | Some w -> add_edge r.History.tid w oid RW
+             | None -> ());
+          (* wr: the observed version's writer precedes the reader. *)
+          if v > 0 then
+            match History.writer_of h v with
+            | None ->
+              note_anomaly r oid
+                (Printf.sprintf
+                   "committed txn %d read unknown version v%d of %d.%d"
+                   r.History.tid v oid.Ids.Oid.page oid.Ids.Oid.slot)
+            | Some w when w = r.History.tid -> ()
+            | Some w -> (
+              match History.find_txn h w with
+              | None -> ()
+              | Some wt -> (
+                match wt.History.outcome with
+                | History.Committed _ ->
+                  add_edge w r.History.tid oid WR;
+                  if wt.History.end_stamp >= rstamp then
+                    note_anomaly r oid
+                      (Printf.sprintf
+                         "dirty read: committed txn %d read %s = v%d before \
+                          its writer txn %d committed"
+                         r.History.tid (pp_oid oid) v w)
+                | History.Aborted ->
+                  note_anomaly r oid
+                    (Printf.sprintf
+                       "recoverability violation: committed txn %d read %s = \
+                        v%d written by aborted txn %d"
+                       r.History.tid (pp_oid oid) v w)
+                | History.Pending ->
+                  note_anomaly r oid
+                    (Printf.sprintf
+                       "dirty read: committed txn %d read %s = v%d written \
+                        by txn %d, which never committed"
+                       r.History.tid (pp_oid oid) v w))))
+        (List.rev r.History.reads))
+    committed;
+  (* (a) conflict-serializability: no cycle. *)
+  let adj = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace adj e.src
+        (e :: Option.value ~default:[] (Hashtbl.find_opt adj e.src)))
+    !edges;
+  let nodes = List.map (fun (t : History.txn) -> t.History.tid) committed in
+  (match find_cycle nodes adj with
+  | Some cycle -> raise (Violation ("serializability cycle: " ^ pp_cycle cycle))
+  | None -> ());
+  (* (b) the equivalent serial order must be the commit order (strict
+     two-phase locking: every conflict edge points forward). *)
+  List.iter
+    (fun e ->
+      let s = Hashtbl.find cseq e.src and d = Hashtbl.find cseq e.dst in
+      if s >= d then
+        raise
+          (Violation
+             (Printf.sprintf
+                "conflict edge txn %d -[%s %s]-> txn %d contradicts commit \
+                 order (committed #%d vs #%d)"
+                e.src (kind_str e.kind) (pp_oid e.oid) e.dst s d)))
+    (List.rev !edges);
+  (* (c) recoverability / cascade-freedom. *)
+  match
+    List.sort
+      (fun a b ->
+        compare
+          (Hashtbl.find cseq a.reader.History.tid)
+          (Hashtbl.find cseq b.reader.History.tid))
+      !anomalies
+  with
+  | [] -> ()
+  | a :: _ -> raise (Violation a.message)

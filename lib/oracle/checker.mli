@@ -1,0 +1,27 @@
+(** The serializability checker over a recorded {!History}.
+
+    Three properties, checked in order over the committed transactions:
+
+    {ol
+    {- {b Conflict-serializability}: the conflict graph (ww/wr/rw edges
+       over object versions) is acyclic.  A violation names the cycle:
+       ["txn 12 -[rw 3.7]-> txn 15 -[wr 3.7]-> txn 12"].}
+    {- {b Commit-order consistency}: every conflict edge points forward
+       in commit order.  The callback-locking protocols are strict
+       two-phase (all locks held to transaction end), so the equivalent
+       serial order must be the commit order itself — a serializable
+       history whose serial order contradicts commit order still
+       indicates a protocol bug.}
+    {- {b Recoverability / cascade-freedom}: every version a committed
+       transaction read was written by a transaction that committed
+       {e before the read} — no committed reader of an aborted or
+       still-pending writer's version, and no read of a version whose
+       writer only committed later.}} *)
+
+exception Violation of string
+(** Human-readable witness naming the transactions and objects. *)
+
+val check : History.t -> unit
+(** Raises {!Violation} on the first property violated.  Aborted and
+    pending transactions are ignored except as (dirty-read) version
+    writers. *)

@@ -1,0 +1,195 @@
+open Storage
+
+type version = int
+type outcome = Pending | Committed of int | Aborted
+
+type txn = {
+  tid : int;
+  client : int;
+  mutable reads : (Ids.Oid.t * version * int) list;
+  mutable writes : (Ids.Oid.t * version) list;
+  mutable outcome : outcome;
+  mutable end_stamp : int;
+}
+
+type t = {
+  txns : (int, txn) Hashtbl.t;
+  mutable order : int list;  (** tids in reverse begin order (for dump) *)
+  writer : (version, int) Hashtbl.t;
+  committed_content : (Ids.Oid.t, version) Hashtbl.t;  (** missing = 0 *)
+  server_content : (Ids.Oid.t, version) Hashtbl.t;
+      (** what a fetch returns right now: the last committed version
+          overlaid with uncommitted versions shipped to the server;
+          missing = committed *)
+  client_content : (Ids.Oid.t, version) Hashtbl.t array;
+  mutable next_version : int;
+  mutable next_stamp : int;
+  mutable next_commit : int;
+  mutable commits : int;
+  mutable ops : int;
+}
+
+let create ~clients =
+  {
+    txns = Hashtbl.create 1024;
+    order = [];
+    writer = Hashtbl.create 1024;
+    committed_content = Hashtbl.create 1024;
+    server_content = Hashtbl.create 64;
+    client_content = Array.init clients (fun _ -> Hashtbl.create 256);
+    next_version = 0;
+    next_stamp = 0;
+    next_commit = 0;
+    commits = 0;
+    ops = 0;
+  }
+
+let stamp t =
+  t.next_stamp <- t.next_stamp + 1;
+  t.next_stamp
+
+let committed_version t oid =
+  Option.value ~default:0 (Hashtbl.find_opt t.committed_content oid)
+
+let server_version t oid =
+  match Hashtbl.find_opt t.server_content oid with
+  | Some v -> v
+  | None -> committed_version t oid
+
+let find_txn t tid = Hashtbl.find_opt t.txns tid
+let writer_of t v = Hashtbl.find_opt t.writer v
+
+let begin_txn t ~tid ~client =
+  if not (Hashtbl.mem t.txns tid) then begin
+    Hashtbl.replace t.txns tid
+      { tid; client; reads = []; writes = []; outcome = Pending; end_stamp = 0 };
+    t.order <- tid :: t.order
+  end
+
+let read t ~tid ~oid =
+  match find_txn t tid with
+  | None -> ()
+  | Some txn ->
+    (* Reads of the transaction's own uncommitted writes carry no
+       inter-transaction dependency (and the client code never records
+       them anyway); skip defensively. *)
+    if not (List.mem_assoc oid txn.writes) then begin
+      let v =
+        match Hashtbl.find_opt t.client_content.(txn.client) oid with
+        | Some v -> v
+        | None -> committed_version t oid
+      in
+      txn.reads <- (oid, v, stamp t) :: txn.reads;
+      t.ops <- t.ops + 1
+    end
+
+let write t ~tid ~oid =
+  match find_txn t tid with
+  | None -> ()
+  | Some txn ->
+    if not (List.mem_assoc oid txn.writes) then begin
+      t.next_version <- t.next_version + 1;
+      let v = t.next_version in
+      Hashtbl.replace t.writer v tid;
+      txn.writes <- (oid, v) :: txn.writes;
+      (* The writer's cached copy now holds the pending version. *)
+      Hashtbl.replace t.client_content.(txn.client) oid v;
+      t.ops <- t.ops + 1
+    end
+
+let ship t ~tid ~oid =
+  match find_txn t tid with
+  | None -> ()
+  | Some txn -> (
+    match (txn.outcome, List.assoc_opt oid txn.writes) with
+    | Pending, Some v -> Hashtbl.replace t.server_content oid v
+    | _ -> ())
+
+let commit t ~tid =
+  match find_txn t tid with
+  | None -> ()
+  | Some txn ->
+    if txn.outcome = Pending then begin
+      t.next_commit <- t.next_commit + 1;
+      txn.outcome <- Committed t.next_commit;
+      txn.end_stamp <- stamp t;
+      t.commits <- t.commits + 1;
+      List.iter
+        (fun (oid, v) ->
+          Hashtbl.replace t.committed_content oid v;
+          Hashtbl.remove t.server_content oid)
+        txn.writes
+    end
+
+let abort t ~tid =
+  match find_txn t tid with
+  | None -> ()
+  | Some txn ->
+    if txn.outcome = Pending then begin
+      txn.outcome <- Aborted;
+      txn.end_stamp <- stamp t;
+      (* Any of the aborter's versions shipped to the server are rolled
+         back to the committed state. *)
+      List.iter
+        (fun (oid, v) ->
+          match Hashtbl.find_opt t.server_content oid with
+          | Some v' when v' = v -> Hashtbl.remove t.server_content oid
+          | Some _ | None -> ())
+        txn.writes
+    end
+
+let install_copy t ~client ~oid =
+  Hashtbl.replace t.client_content.(client) oid (server_version t oid)
+
+let drop_copy t ~client ~oid = Hashtbl.remove t.client_content.(client) oid
+let purge_client t ~client = Hashtbl.reset t.client_content.(client)
+
+let committed t =
+  let cs =
+    Hashtbl.fold
+      (fun _ txn acc ->
+        match txn.outcome with Committed n -> (n, txn) :: acc | _ -> acc)
+      t.txns []
+  in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) cs)
+
+let committed_count t = t.commits
+let op_count t = t.ops
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "history: %d txns, %d committed, %d ops\n"
+       (Hashtbl.length t.txns) t.commits t.ops);
+  List.iter
+    (fun tid ->
+      match find_txn t tid with
+      | None -> ()
+      | Some txn ->
+        let outcome =
+          match txn.outcome with
+          | Pending -> "pending"
+          | Aborted -> Printf.sprintf "aborted @%d" txn.end_stamp
+          | Committed n -> Printf.sprintf "committed #%d @%d" n txn.end_stamp
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "txn %d (client %d) %s\n" txn.tid txn.client outcome);
+        List.iter
+          (fun (oid, v, s) ->
+            let by =
+              match writer_of t v with
+              | Some w -> Printf.sprintf " (txn %d)" w
+              | None -> ""
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  r %d.%d = v%d%s @%d\n" oid.Ids.Oid.page
+                 oid.Ids.Oid.slot v by s))
+          (List.rev txn.reads);
+        List.iter
+          (fun (oid, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  w %d.%d -> v%d\n" oid.Ids.Oid.page
+                 oid.Ids.Oid.slot v))
+          (List.rev txn.writes))
+    (List.rev t.order);
+  Buffer.contents buf

@@ -1,0 +1,103 @@
+(** Transaction-history recorder for the serializability oracle.
+
+    The simulator ships no real data, so the oracle maintains a {e
+    shadow version store}: every update allocates a fresh version id
+    for its object, and the recorder mirrors where each version lives —
+    at the server (including uncommitted versions shipped by dirty
+    evictions) and in each client's cache — by observing the same cache
+    install/drop/mark operations the protocols perform.  A read then
+    records exactly which committed (or not!) version the transaction
+    observed, without touching the protocols' control flow, RNG
+    streams, or event schedule: recording is pure observation, so a run
+    with the oracle attached is byte-identical to one without.
+
+    The resulting history — per-transaction read (object, version)
+    and write (object, version) sets, plus commit order — is what
+    {!Checker.check} analyses. *)
+
+open Storage
+
+type version = int
+(** [0] is the initial version of every object; positive ids are
+    allocated per update and identify a unique (writer, object) pair. *)
+
+type outcome =
+  | Pending  (** still running (or in flight) at end of run *)
+  | Committed of int  (** commit sequence number, 1-based *)
+  | Aborted
+
+type txn = {
+  tid : int;
+  client : int;
+  mutable reads : (Ids.Oid.t * version * int) list;
+      (** (object, version observed, logical stamp), newest first; own
+          writes are never recorded as reads *)
+  mutable writes : (Ids.Oid.t * version) list;
+      (** one entry per distinct object updated, newest first *)
+  mutable outcome : outcome;
+  mutable end_stamp : int;  (** logical stamp of commit/abort; 0 if pending *)
+}
+
+type t
+
+val create : clients:int -> t
+
+(** {2 Recording hooks}
+
+    All hooks are idempotent-friendly and tolerate unknown
+    transactions (e.g. operations observed for a transaction recorded
+    before the oracle was attached are ignored). *)
+
+val begin_txn : t -> tid:int -> client:int -> unit
+
+val read : t -> tid:int -> oid:Ids.Oid.t -> unit
+(** Record that the transaction read [oid], observing the version its
+    client's shadow cache currently holds (falling back to the last
+    committed version when the client shadow has no entry). *)
+
+val write : t -> tid:int -> oid:Ids.Oid.t -> unit
+(** Record the transaction's first update of [oid]: allocates a fresh
+    pending version and installs it in the writer's client shadow. *)
+
+val ship : t -> tid:int -> oid:Ids.Oid.t -> unit
+(** The transaction's uncommitted update of [oid] reached the server
+    (dirty eviction or commit-time shipment): the server shadow now
+    holds the pending version, so a (buggy) fetch of it is observable
+    as a dirty read. *)
+
+val commit : t -> tid:int -> unit
+(** Assigns the next commit sequence number and promotes the
+    transaction's versions to committed server state. *)
+
+val abort : t -> tid:int -> unit
+(** Marks the transaction aborted (no-op if already committed — a
+    client crash after the server committed is still a commit) and
+    rolls any of its versions out of the server shadow. *)
+
+val install_copy : t -> client:int -> oid:Ids.Oid.t -> unit
+(** The client received a copy of [oid] from the server: its shadow now
+    holds the server's current version. *)
+
+val drop_copy : t -> client:int -> oid:Ids.Oid.t -> unit
+(** The client's copy of [oid] was purged, marked unavailable, or
+    evicted. *)
+
+val purge_client : t -> client:int -> unit
+(** Crash: the client's whole shadow cache is gone. *)
+
+(** {2 Queries} *)
+
+val find_txn : t -> int -> txn option
+val writer_of : t -> version -> int option
+(** The transaction that created this version ([None] for version 0). *)
+
+val committed : t -> txn list
+(** Committed transactions in commit order. *)
+
+val committed_count : t -> int
+val op_count : t -> int
+(** Total read and write operations recorded. *)
+
+val dump : t -> string
+(** Render the full history, one transaction per block, in begin
+    order — the artifact uploaded by CI when the checker fires. *)

@@ -82,16 +82,22 @@ let test_crash_delays_deterministic () =
 
 (* --- Golden byte-identity with faults off -------------------------------- *)
 
-(* Captured from the pre-fault-layer tree at this exact configuration
-   (fig3 spec restricted to wp=0.1, time_scale 0.1, sequential).  Every
-   float is printed at full precision: any drift — an extra RNG draw, a
-   reordered event, a perturbed metric — shows up here. *)
+(* Captured at this exact configuration (fig3 spec restricted to
+   wp=0.1, time_scale 0.1, sequential).  Every float is printed at full
+   precision: any drift — an extra RNG draw, a reordered event, a
+   perturbed metric — shows up here.
+
+   Regenerated when the copy-in-transit race was closed (the server now
+   re-checks the page write lock before registering and shipping a
+   fetched copy): the PS and PS-AA rows shifted because page-grain
+   writers in this cell had been racing fetches; OS, PS-OO and PS-OA
+   are byte-identical to the pre-fix capture. *)
 let golden_fig3_point =
-  "PS|9.4166666666666661|1.225291801976033|0.87226745773847036|4|113|14|14|6692|59.221238938053098|97|898|0.46382610580371625|0.17675247546319073|0.74188796367303589|0.093535999999996511|45|0.18308121815827816|27|1|0|1145|0|0|0|0\n\
+  "PS|9.75|1.3103009006014497|0.76933195413913524|4|117|8|8|6748|57.675213675213676|94.623931623931625|929|0.46814572330791226|0.17900728535754609|0.76713760644133222|0.094510933333330369|43|0.26475277650992679|36|0|0|1169|0|0|0|0\n\
    OS|6.666666666666667|1.7405722133476869|1.0855214857122097|3|80|1|1|16019|200.23750000000001|69.562890624999994|686|0.95078118072810625|0.24342390421695598|0.56777900794747116|0.047501899999994761|9|0.4599150933235378|7|0|0|0|874|0|0|0\n\
    PS-OO|11.333333333333334|0.95990206930704547|0.43929284268381674|5|136|1|1|9155|67.316176470588232|94.946691176470594|1048|0.61706073277284756|0.22515346424287536|0.87501662049220019|0.11021808149693457|15|0.2738549596729723|11|58|0|0|1652|0|0|0\n\
    PS-OA|12.666666666666666|0.87661233463733779|0.3744948986183555|6|152|0|0|9009|59.26973684210526|89.370065789473685|1062|0.61390277777754232|0.23307217549018344|0.89050642795850599|0.11588876259058682|14|0.19289623704346953|5|44|0|0|1714|0|0|0\n\
-   PS-AA|12.083333333333334|0.94811980218782033|0.50961190431638148|5|145|1|1|8630|59.517241379310342|93.5|1072|0.59257806687424541|0.22505527755541954|0.90141290344470648|0.11568853333334052|12|0.24840142414596156|13|43|45|1436|71|0|0|0\n"
+   PS-AA|11.583333333333334|0.8764852129696501|0.37620849856466981|5|139|1|1|8466|60.906474820143885|95.370503597122308|1081|0.58151541666645279|0.22004940457101846|0.9093096892565421|0.11312213333333947|13|0.40266025414688056|12|48|47|1410|67|0|0|0\n"
 
 let render_series (series : Experiments.series) =
   let buf = Buffer.create 1024 in
@@ -124,6 +130,17 @@ let test_fault_free_byte_identity () =
   let series = Harness.Sweep.run_spec ~time_scale:0.1 ~jobs:1 (fig3_point ()) in
   Alcotest.(check string)
     "fault knobs off: fig3 reference point is byte-identical to pre-PR"
+    golden_fig3_point (render_series series)
+
+(* The serializability oracle is pure observation: it draws nothing
+   from the random streams and schedules nothing, so attaching it must
+   leave every figure byte-identical. *)
+let test_oracle_on_byte_identity () =
+  let series =
+    Harness.Sweep.run_spec ~time_scale:0.1 ~oracle:true ~jobs:1 (fig3_point ())
+  in
+  Alcotest.(check string)
+    "oracle on: fig3 reference point is byte-identical to oracle off"
     golden_fig3_point (render_series series)
 
 (* A storm at rate zero is indistinguishable from no fault layer at all:
@@ -253,6 +270,8 @@ let suite =
       test_crash_delays_deterministic;
     Alcotest.test_case "fault-free golden byte-identity" `Slow
       test_fault_free_byte_identity;
+    Alcotest.test_case "oracle-on golden byte-identity" `Slow
+      test_oracle_on_byte_identity;
     Alcotest.test_case "zero-rate storm identity" `Slow
       test_zero_rate_storm_identity;
   ]

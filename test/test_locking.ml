@@ -292,6 +292,115 @@ let test_cancelled_waiter_unblocks_queue () =
   Engine.run e;
   Alcotest.(check bool) "t3 probe granted" true (!g3 = Some Granted)
 
+(* --- Lock conversion edge cases ------------------------------------------ *)
+
+(* A probe confers no ownership, so probe-then-lock must go through the
+   full acquire path; lock-then-probe must short-circuit. *)
+let test_probe_then_lock_upgrade () =
+  let e, _, lt = mk () in
+  let steps = ref [] in
+  Proc.spawn e (fun () ->
+      ignore (Lock_table.acquire lt "a" ~txn:1 ~kind:Probe);
+      steps := "probed" :: !steps;
+      ignore (Lock_table.acquire lt "a" ~txn:1 ~kind:Lock);
+      steps := "locked" :: !steps);
+  Engine.run e;
+  Alcotest.(check (list string)) "upgrade order" [ "probed"; "locked" ]
+    (List.rev !steps);
+  Alcotest.(check bool) "held after upgrade" true
+    (Lock_table.held_by lt "a" ~txn:1)
+
+(* force_grant (PS-AA de-escalation conversion) must not jump over the
+   FIFO queue's memory: waiters queued behind the converted lock drain
+   in order once it is released. *)
+let test_force_grant_with_queued_waiters () =
+  let e, _, lt = mk () in
+  let order = ref [] in
+  Proc.spawn e (fun () ->
+      ignore (Lock_table.acquire lt "a" ~txn:1 ~kind:Lock);
+      Proc.hold e 1.0;
+      (* conversion while txns 2 and 3 sit in the queue *)
+      Lock_table.force_grant lt "a" ~txn:1;
+      Alcotest.(check bool) "still held by converter" true
+        (Lock_table.held_by lt "a" ~txn:1);
+      Proc.hold e 1.0;
+      Lock_table.release lt "a" ~txn:1);
+  List.iter
+    (fun txn ->
+      Proc.spawn e (fun () ->
+          Proc.hold e (0.1 *. float_of_int txn);
+          ignore (Lock_table.acquire lt "a" ~txn ~kind:Lock);
+          order := txn :: !order;
+          Lock_table.release lt "a" ~txn))
+    [ 2; 3 ];
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO preserved across conversion" [ 2; 3 ]
+    (List.rev !order)
+
+(* Releasing a lock the transaction does not hold must not disturb the
+   real holder. *)
+let test_release_not_held_noop () =
+  let e, _, lt = mk () in
+  Proc.spawn e (fun () -> ignore (Lock_table.acquire lt "a" ~txn:1 ~kind:Lock));
+  Engine.run e;
+  Lock_table.release lt "a" ~txn:2;
+  Lock_table.release_all lt ~txn:3;
+  Alcotest.(check bool) "holder untouched" true
+    (Lock_table.held_by lt "a" ~txn:1)
+
+(* --- any_cycle vs brute-force reachability -------------------------------- *)
+
+(* Install an arbitrary waits-for graph and compare the incremental
+   detector's verdict against transitive-closure reachability; when a
+   witness comes back, replay it edge by edge against the graph. *)
+let prop_any_cycle_vs_reachability =
+  let txns = [ 1; 2; 3; 4; 5; 6 ] in
+  QCheck.Test.make ~name:"any_cycle agrees with brute-force reachability"
+    ~count:500
+    QCheck.(list_of_size (Gen.int_range 0 14) (pair (int_range 1 6) (int_range 1 6)))
+    (fun pairs ->
+      let edges = List.filter (fun (a, b) -> a <> b) pairs in
+      let blockers_of w =
+        List.sort_uniq compare
+          (List.filter_map (fun (a, b) -> if a = w then Some b else None) edges)
+      in
+      let wfg = Waits_for.create () in
+      List.iter (fun t -> Waits_for.begin_txn wfg t ~start:(float_of_int t)) txns;
+      List.iter
+        (fun w ->
+          match blockers_of w with
+          | [] -> ()
+          | blockers -> Waits_for.set_wait wfg w ~blockers ~cancel:(fun () -> ()))
+        txns;
+      (* Brute force: a cycle exists iff some transaction reaches itself. *)
+      let reaches src dst =
+        let seen = Hashtbl.create 8 in
+        let rec go u =
+          List.exists
+            (fun v ->
+              v = dst
+              || (not (Hashtbl.mem seen v))
+                 && (Hashtbl.add seen v ();
+                     go v))
+            (blockers_of u)
+        in
+        go src
+      in
+      let expected = List.exists (fun t -> reaches t t) txns in
+      match Waits_for.any_cycle wfg with
+      | None -> not expected
+      | Some cyc ->
+        (* witness sanity: consecutive elements of the reversed path are
+           waits-for edges, and the last closes back on the first *)
+        let path = List.rev cyc in
+        let rec edges_ok = function
+          | a :: (b :: _ as rest) ->
+            List.mem b (blockers_of a) && edges_ok rest
+          | [ last ] -> List.mem (List.hd path) (blockers_of last)
+          | [] -> false
+        in
+        expected && path <> [] && edges_ok path)
+
 let suite =
   [
     Alcotest.test_case "copy table register" `Quick test_copy_register;
@@ -313,4 +422,11 @@ let suite =
     Alcotest.test_case "callback-style cycle" `Quick test_callback_style_cycle;
     Alcotest.test_case "cancelled waiter unblocks queue" `Quick
       test_cancelled_waiter_unblocks_queue;
+    Alcotest.test_case "probe-then-lock upgrade" `Quick
+      test_probe_then_lock_upgrade;
+    Alcotest.test_case "force_grant keeps FIFO queue" `Quick
+      test_force_grant_with_queued_waiters;
+    Alcotest.test_case "release of non-held lock is a no-op" `Quick
+      test_release_not_held_noop;
+    QCheck_alcotest.to_alcotest prop_any_cycle_vs_reachability;
   ]

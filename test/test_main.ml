@@ -18,5 +18,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("faults", Test_faults.suite);
       ("runner", Test_runner.suite);
+      ("oracle", Test_oracle.suite);
       ("harness", Test_harness.suite);
     ]

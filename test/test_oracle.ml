@@ -1,0 +1,334 @@
+(* Serializability oracle and cross-protocol conformance harness.
+
+   Four layers:
+   - checker unit tests over hand-built histories: accepts serial
+     executions, rejects write-skew cycles (with a witness naming the
+     transactions and objects), dirty reads, unrecoverable reads, and
+     commit-order contradictions;
+   - a deterministic injected-bug scenario: three explicit transactions
+     under PS-OO with the callback-drop sabotage knob, producing a
+     stale read the oracle must flag as a cycle;
+   - a sabotaged full run (every protocol path live) that must raise
+     [Runner.Oracle_failed], proving the end-to-end wiring fails loudly;
+   - the conformance sweep: every real protocol, oracle attached, under
+     fault storms across a seed matrix — all histories serializable. *)
+
+open Oodb_core
+open Storage
+
+let oid ~page ~slot = Ids.Oid.make ~page ~slot
+let x = oid ~page:3 ~slot:0
+let y = oid ~page:7 ~slot:0
+
+let expect_violation what f =
+  match f () with
+  | () -> Alcotest.fail (what ^ ": checker accepted the history")
+  | exception Oracle.Checker.Violation msg -> msg
+
+let contains msg sub =
+  let n = String.length msg and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub msg i k = sub || go (i + 1)) in
+  go 0
+
+let check_witness ~what msg subs =
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: witness %S mentions %S" what msg sub)
+        true (contains msg sub))
+    subs
+
+(* --- Checker unit tests ------------------------------------------------ *)
+
+let test_serial_accepted () =
+  let h = Oracle.History.create ~clients:2 in
+  (* txn 1 reads x, writes y; txn 2 then reads y (seeing v1), writes x:
+     perfectly serial in commit order. *)
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.read h ~tid:1 ~oid:x;
+  Oracle.History.write h ~tid:1 ~oid:y;
+  Oracle.History.commit h ~tid:1;
+  Oracle.History.begin_txn h ~tid:2 ~client:1;
+  Oracle.History.read h ~tid:2 ~oid:y;
+  Oracle.History.write h ~tid:2 ~oid:x;
+  Oracle.History.commit h ~tid:2;
+  Oracle.Checker.check h;
+  Alcotest.(check int) "two commits" 2 (Oracle.History.committed_count h);
+  Alcotest.(check int) "four ops" 4 (Oracle.History.op_count h)
+
+let test_write_skew_cycle () =
+  let h = Oracle.History.create ~clients:2 in
+  (* Classic write skew: both read the initial versions, then each
+     overwrites what the other read. *)
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.read h ~tid:1 ~oid:x;
+  Oracle.History.write h ~tid:1 ~oid:y;
+  Oracle.History.begin_txn h ~tid:2 ~client:1;
+  Oracle.History.read h ~tid:2 ~oid:y;
+  Oracle.History.write h ~tid:2 ~oid:x;
+  Oracle.History.commit h ~tid:1;
+  Oracle.History.commit h ~tid:2;
+  let msg = expect_violation "write skew" (fun () -> Oracle.Checker.check h) in
+  check_witness ~what:"write skew" msg
+    [ "serializability cycle"; "txn 1"; "txn 2"; "rw"; "3.0"; "7.0" ]
+
+let test_dirty_read_pending () =
+  let h = Oracle.History.create ~clients:2 in
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.write h ~tid:1 ~oid:x;
+  Oracle.History.ship h ~tid:1 ~oid:x;
+  (* client 1 fetches the page while txn 1's update sits uncommitted at
+     the server, reads it, and commits; txn 1 never finishes. *)
+  Oracle.History.begin_txn h ~tid:2 ~client:1;
+  Oracle.History.install_copy h ~client:1 ~oid:x;
+  Oracle.History.read h ~tid:2 ~oid:x;
+  Oracle.History.commit h ~tid:2;
+  let msg = expect_violation "dirty read" (fun () -> Oracle.Checker.check h) in
+  check_witness ~what:"dirty read" msg
+    [ "dirty read"; "txn 2"; "txn 1"; "never committed" ]
+
+let test_unrecoverable_read () =
+  let h = Oracle.History.create ~clients:2 in
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.write h ~tid:1 ~oid:x;
+  Oracle.History.ship h ~tid:1 ~oid:x;
+  Oracle.History.begin_txn h ~tid:2 ~client:1;
+  Oracle.History.install_copy h ~client:1 ~oid:x;
+  Oracle.History.read h ~tid:2 ~oid:x;
+  Oracle.History.abort h ~tid:1;
+  Oracle.History.commit h ~tid:2;
+  let msg =
+    expect_violation "unrecoverable" (fun () -> Oracle.Checker.check h)
+  in
+  check_witness ~what:"unrecoverable" msg
+    [ "recoverability"; "txn 2"; "aborted txn 1" ]
+
+let test_abort_rolls_back_server () =
+  let h = Oracle.History.create ~clients:2 in
+  (* Same shape, but the reader fetches after the abort: the server
+     shadow must have rolled back to the initial version, so the read
+     is clean. *)
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.write h ~tid:1 ~oid:x;
+  Oracle.History.ship h ~tid:1 ~oid:x;
+  Oracle.History.abort h ~tid:1;
+  Oracle.History.begin_txn h ~tid:2 ~client:1;
+  Oracle.History.install_copy h ~client:1 ~oid:x;
+  Oracle.History.read h ~tid:2 ~oid:x;
+  Oracle.History.commit h ~tid:2;
+  Oracle.Checker.check h
+
+let test_commit_order_violation () =
+  let h = Oracle.History.create ~clients:2 in
+  (* txn 1 reads the initial x, txn 2 overwrites x and commits FIRST,
+     then txn 1 commits: acyclic (equivalent serial order 1 < 2) but
+     under strict two-phase locking txn 2 could never have taken the
+     write lock while txn 1's read lock was live — a lost-lock bug. *)
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.read h ~tid:1 ~oid:x;
+  Oracle.History.begin_txn h ~tid:2 ~client:1;
+  Oracle.History.write h ~tid:2 ~oid:x;
+  Oracle.History.commit h ~tid:2;
+  Oracle.History.commit h ~tid:1;
+  let msg =
+    expect_violation "commit order" (fun () -> Oracle.Checker.check h)
+  in
+  check_witness ~what:"commit order" msg
+    [ "contradicts commit order"; "txn 1"; "txn 2"; "rw" ]
+
+let test_read_before_writer_committed () =
+  let h = Oracle.History.create ~clients:2 in
+  (* txn 2 observes txn 1's version before txn 1's commit point, and
+     both commit (writer first): the graph is clean but the read was
+     still dirty when it happened — cascade-freedom violation. *)
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.write h ~tid:1 ~oid:x;
+  Oracle.History.ship h ~tid:1 ~oid:x;
+  Oracle.History.begin_txn h ~tid:2 ~client:1;
+  Oracle.History.install_copy h ~client:1 ~oid:x;
+  Oracle.History.read h ~tid:2 ~oid:x;
+  Oracle.History.commit h ~tid:1;
+  Oracle.History.commit h ~tid:2;
+  let msg = expect_violation "ACA" (fun () -> Oracle.Checker.check h) in
+  check_witness ~what:"ACA" msg
+    [ "dirty read"; "txn 2"; "before its writer txn 1 committed" ]
+
+let test_read_own_write_ignored () =
+  let h = Oracle.History.create ~clients:1 in
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.write h ~tid:1 ~oid:x;
+  Oracle.History.read h ~tid:1 ~oid:x;
+  (* no dependency *)
+  Oracle.History.commit h ~tid:1;
+  Oracle.Checker.check h;
+  Alcotest.(check int) "own-write read not recorded" 1
+    (Oracle.History.op_count h)
+
+let test_dump_renders () =
+  let h = Oracle.History.create ~clients:2 in
+  Oracle.History.begin_txn h ~tid:1 ~client:0;
+  Oracle.History.read h ~tid:1 ~oid:x;
+  Oracle.History.write h ~tid:1 ~oid:y;
+  Oracle.History.commit h ~tid:1;
+  let dump = Oracle.History.dump h in
+  check_witness ~what:"dump" dump
+    [ "history: 1 txns, 1 committed, 2 ops"; "txn 1 (client 0) committed #1";
+      "r 3.0 = v0"; "w 7.0 -> v1" ]
+
+(* --- Deterministic injected-bug scenario ------------------------------- *)
+
+let mk_sys ~algo ~cfg ~seed =
+  let params =
+    Workload.Presets.make Workload.Presets.Hotcold
+      ~db_pages:cfg.Config.db_pages
+      ~objects_per_page:cfg.Config.objects_per_page
+      ~num_clients:cfg.Config.num_clients ~locality:Workload.Presets.Low
+      ~write_prob:0.2
+  in
+  Model.create ~cfg ~algo ~params ~seed
+
+let run_txn sys ~client ops =
+  let done_ = ref false in
+  Client.run_one sys ~client
+    (Array.of_list
+       (List.map
+          (fun (oid, write) -> { Workload.Refstring.oid; write })
+          ops))
+    (fun () -> done_ := true);
+  Simcore.Engine.run sys.Model.engine;
+  Alcotest.(check bool) "transaction ran to completion" true !done_
+
+(* A dropped Mark_obj callback leaves client 0 a stale-but-available
+   copy of x.  Its next transaction reads stale x and overwrites y that
+   the stale writer's transaction read: an rw/rw cycle between two
+   COMMITTED transactions — invisible to the state audit (the stale
+   copy is still consistently registered), caught only by the oracle. *)
+let test_dropped_callback_cycle () =
+  let cfg =
+    { Config.default with Config.num_clients = 2; oracle = true;
+      cb_drop_every = 1 }
+  in
+  let sys = mk_sys ~algo:Algo.PS_OO ~cfg ~seed:1 in
+  run_txn sys ~client:0 [ (x, false) ];        (* txn 1: cache x *)
+  run_txn sys ~client:1 [ (y, false); (x, true) ];  (* txn 2 *)
+  run_txn sys ~client:0 [ (x, false); (y, true) ];  (* txn 3: stale x *)
+  (* The cache/copy-table audit accepts the sabotaged state... *)
+  Audit.check ~context:"sabotage" sys;
+  let h = Option.get sys.Model.oracle in
+  Alcotest.(check int) "three commits" 3 (Oracle.History.committed_count h);
+  (* ...but the oracle does not. *)
+  let msg =
+    expect_violation "dropped callback" (fun () -> Oracle.Checker.check h)
+  in
+  check_witness ~what:"dropped callback" msg
+    [ "serializability cycle"; "txn 2"; "txn 3"; "3.0" ];
+  check_witness ~what:"dropped callback dump" (Oracle.History.dump h)
+    [ "txn 3 (client 0)"; "r 3.0 = v0" ]
+
+(* The same three transactions with callbacks delivered are clean. *)
+let test_delivered_callback_clean () =
+  let cfg = { Config.default with Config.num_clients = 2; oracle = true } in
+  let sys = mk_sys ~algo:Algo.PS_OO ~cfg ~seed:1 in
+  run_txn sys ~client:0 [ (x, false) ];
+  run_txn sys ~client:1 [ (y, false); (x, true) ];
+  run_txn sys ~client:0 [ (x, false); (y, true) ];
+  let h = Option.get sys.Model.oracle in
+  Oracle.Checker.check h;
+  Alcotest.(check int) "three commits" 3 (Oracle.History.committed_count h)
+
+(* --- End-to-end: a sabotaged full run fails loudly --------------------- *)
+
+let sabotage_run ~algo () =
+  let spec = Option.get (Experiments.find "fig3") in
+  let cfg =
+    { (Experiments.cfg_of spec) with Config.oracle = true; cb_drop_every = 1 }
+  in
+  let params = Experiments.params_of spec ~write_prob:0.2 in
+  match
+    Runner.run ~seed:1 ~max_events:3_000_000 ~warmup:2.0 ~measure:20.0 ~cfg
+      ~algo ~params ()
+  with
+  | (_ : Runner.result) ->
+    Alcotest.fail
+      (Printf.sprintf "%s run with dropped callbacks passed the oracle"
+         (Algo.to_string algo))
+  | exception Runner.Oracle_failed (msg, dump) ->
+    check_witness ~what:"sabotaged run" msg
+      [ "serializability oracle"; "txn"; Algo.to_string algo; "seed 1" ];
+    check_witness ~what:"sabotaged dump" dump [ "history:"; "committed #" ]
+
+(* --- Conformance sweep: all protocols, faults on, oracle on ------------ *)
+
+let conformance_run ~algo ~seed ~rate =
+  let spec = Option.get (Experiments.find "fig3") in
+  let cfg =
+    { Config.default with Config.faults = Faults.storm ~rate; oracle = true }
+  in
+  let params = Experiments.params_of spec ~write_prob:0.2 in
+  Runner.run ~seed ~max_events:3_000_000 ~warmup:5.0 ~measure:30.0 ~cfg ~algo
+    ~params ()
+
+let conformance ~algo () =
+  List.iter
+    (fun (seed, rate) ->
+      let r = conformance_run ~algo ~seed ~rate in
+      Alcotest.(check bool)
+        (Printf.sprintf "commits under storm %.2f (seed %d)" rate seed)
+        true
+        (r.Runner.commits > 0);
+      Alcotest.(check bool) "oracle recorded operations" true
+        (r.Runner.oracle_ops > 0);
+      Alcotest.(check bool) "oracle checked commits" true
+        (r.Runner.oracle_commits > 0))
+    [ (1, 0.0); (2, 0.02); (3, 0.05) ]
+
+(* --- Job plumbing ------------------------------------------------------ *)
+
+let test_with_oracle_keeps_seed () =
+  let spec = Option.get (Experiments.find "fig3") in
+  let j = List.hd (Experiments.jobs_of_spec spec) in
+  let j' = Job.with_oracle j in
+  Alcotest.(check bool) "oracle set" true j'.Job.cfg.Config.oracle;
+  Alcotest.(check int) "seed unchanged" (Job.seed j) (Job.seed j');
+  Alcotest.(check string) "description unchanged" (Job.describe j)
+    (Job.describe j')
+
+let suite =
+  [
+    Alcotest.test_case "serial history accepted" `Quick test_serial_accepted;
+    Alcotest.test_case "write-skew cycle detected with witness" `Quick
+      test_write_skew_cycle;
+    Alcotest.test_case "dirty read of a pending writer" `Quick
+      test_dirty_read_pending;
+    Alcotest.test_case "committed read of an aborted writer" `Quick
+      test_unrecoverable_read;
+    Alcotest.test_case "abort rolls the server shadow back" `Quick
+      test_abort_rolls_back_server;
+    Alcotest.test_case "serial-but-wrong commit order rejected" `Quick
+      test_commit_order_violation;
+    Alcotest.test_case "read before writer's commit rejected" `Quick
+      test_read_before_writer_committed;
+    Alcotest.test_case "reads of own writes carry no edge" `Quick
+      test_read_own_write_ignored;
+    Alcotest.test_case "dump renders the history" `Quick test_dump_renders;
+    Alcotest.test_case "dropped callback -> cycle (deterministic)" `Quick
+      test_dropped_callback_cycle;
+    Alcotest.test_case "same scenario, callbacks delivered -> clean" `Quick
+      test_delivered_callback_clean;
+    Alcotest.test_case "with_oracle keeps the seed" `Quick
+      test_with_oracle_keeps_seed;
+  ]
+  @ List.map
+      (fun algo ->
+        Alcotest.test_case
+          (Printf.sprintf "sabotaged run fails loudly (%s)"
+             (Algo.to_string algo))
+          `Slow
+          (sabotage_run ~algo))
+      [ Algo.PS; Algo.PS_OO ]
+  @ List.map
+      (fun algo ->
+        Alcotest.test_case
+          (Printf.sprintf "conformance under faults (%s)" (Algo.to_string algo))
+          `Slow (conformance ~algo))
+      Algo.all

@@ -99,6 +99,69 @@ let test_batch_means_ci_shrinks () =
   in
   Alcotest.(check bool) "shrinks with data" true (ci 400 <= ci 40)
 
+(* --- Closed-form checks ---------------------------------------------- *)
+
+(* The sample variance of 1..n is n(n+1)/12 exactly. *)
+let test_welford_closed_form () =
+  List.iter
+    (fun n ->
+      let w = Stats.Welford.create () in
+      for i = 1 to n do
+        Stats.Welford.add w (float_of_int i)
+      done;
+      let nf = float_of_int n in
+      check_float
+        (Printf.sprintf "mean of 1..%d" n)
+        ((nf +. 1.0) /. 2.0) (Stats.Welford.mean w);
+      check_float
+        (Printf.sprintf "variance of 1..%d" n)
+        (nf *. (nf +. 1.0) /. 12.0)
+        (Stats.Welford.variance w))
+    [ 2; 5; 12; 100 ]
+
+(* With batch_size 1 every observation is its own batch, so the CI has
+   the textbook closed form t90(n-1) * s / sqrt(n) with s the sample
+   standard deviation of 1..n.  The chosen n values hit the first,
+   middle and last rows of the t-table and the normal tail beyond it. *)
+let test_batch_means_closed_form () =
+  List.iter
+    (fun (n, t) ->
+      let b = Stats.Batch_means.create ~batch_size:1 in
+      for i = 1 to n do
+        Stats.Batch_means.add b (float_of_int i)
+      done;
+      Alcotest.(check int) "batches" n (Stats.Batch_means.num_batches b);
+      let nf = float_of_int n in
+      let s = sqrt (nf *. (nf +. 1.0) /. 12.0) in
+      let expect = t *. s /. sqrt nf in
+      check_float
+        (Printf.sprintf "ci90 closed form, n=%d" n)
+        expect
+        (Stats.Batch_means.ci90_half_width b);
+      check_float
+        (Printf.sprintf "relative ci90, n=%d" n)
+        (expect /. ((nf +. 1.0) /. 2.0))
+        (Stats.Batch_means.relative_ci90 b))
+    [ (2, 6.314); (11, 1.812); (31, 1.697); (32, 1.645) ]
+
+(* A two-level stream whose batches alternate between a and b: the
+   batch means have sample variance m((a-b)/2)^2/(m-1) for m batches. *)
+let test_batch_means_alternating () =
+  let a = 3.0 and b = 7.0 in
+  let batch_size = 4 and m = 10 in
+  let bm = Stats.Batch_means.create ~batch_size in
+  for batch = 1 to m do
+    for _ = 1 to batch_size do
+      Stats.Batch_means.add bm (if batch mod 2 = 0 then b else a)
+    done
+  done;
+  Alcotest.(check int) "batches" m (Stats.Batch_means.num_batches bm);
+  check_float "mean" ((a +. b) /. 2.0) (Stats.Batch_means.mean bm);
+  let mf = float_of_int m in
+  let var = mf *. (((a -. b) /. 2.0) ** 2.0) /. (mf -. 1.0) in
+  let expect = Stats.t90 (m - 1) *. sqrt (var /. mf) in
+  check_float "ci90" expect (Stats.Batch_means.ci90_half_width bm)
+
 let prop_welford_matches_naive =
   QCheck.Test.make ~name:"welford matches naive mean/variance" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 2 60) (float_bound_exclusive 1000.0))
@@ -128,5 +191,11 @@ let suite =
     Alcotest.test_case "batch means constant" `Quick test_batch_means;
     Alcotest.test_case "batch means partial" `Quick test_batch_means_partial;
     Alcotest.test_case "batch means CI shrinks" `Quick test_batch_means_ci_shrinks;
+    Alcotest.test_case "welford closed form (1..n)" `Quick
+      test_welford_closed_form;
+    Alcotest.test_case "batch means CI closed form" `Quick
+      test_batch_means_closed_form;
+    Alcotest.test_case "batch means alternating stream" `Quick
+      test_batch_means_alternating;
     QCheck_alcotest.to_alcotest prop_welford_matches_naive;
   ]
