@@ -1,0 +1,106 @@
+(* Telemetry overhead benchmarks.
+
+   The latency histograms are always on, and the timeline hooks sit on
+   the hot protocol paths guarded by one option check — this bench
+   pins down what that costs:
+
+   - hist-record:        raw Histogram.record throughput (one log10,
+                         one array slot, four scalar updates).
+   - fig3-cell:          the representative simulation cell with
+                         telemetry off (the default path every
+                         experiment takes).
+   - fig3-cell-timeline: the same cell with the timeline recorder
+                         attached, plus a Perfetto serialization of
+                         the resulting ring.
+
+   Each line of output is a JSON object; paste the numbers into
+   BENCH_telemetry.json (same best-of-5 convention as
+   BENCH_engine.json).  The off-path claim to verify against
+   BENCH_engine.json is the fig3_cell row: its events_per_sec must
+   stay within noise of the value recorded there before the telemetry
+   layer existed.
+
+   TELEMETRY_BENCH_N scales hist-record (default 2_000_000). *)
+
+let n_samples =
+  match Sys.getenv_opt "TELEMETRY_BENCH_N" with
+  | Some s -> (try max 1000 (int_of_string s) with _ -> 2_000_000)
+  | None -> 2_000_000
+
+type sample = {
+  name : string;
+  events : int;
+  wall_s : float;
+  minor_words_per_event : float;
+}
+
+let pp_sample { name; events; wall_s; minor_words_per_event } =
+  let rate = float_of_int events /. wall_s in
+  Printf.printf
+    "{\"bench\": %S, \"events\": %d, \"wall_s\": %.4f, \"events_per_sec\": \
+     %.0f, \"minor_words_per_event\": %.2f}\n%!"
+    name events wall_s rate minor_words_per_event
+
+let measure name f =
+  Gc.full_major ();
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let events = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  pp_sample
+    {
+      name;
+      events;
+      wall_s;
+      minor_words_per_event = mw /. float_of_int (max 1 events);
+    }
+
+(* Same inline splitmix as engine_bench: deterministic, allocation-free. *)
+let mix state =
+  let z = Int64.add !state 0x9e3779b97f4a7c15L in
+  state := z;
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hist_record () =
+  let h = Telemetry.Histogram.create () in
+  let state = ref 42L in
+  for _ = 1 to n_samples do
+    (* log-ish spread over the regular bucket range *)
+    let bits = Int64.to_int (Int64.logand (mix state) 0xfffffL) in
+    Telemetry.Histogram.record h (float_of_int (1 + bits) *. 1e-6)
+  done;
+  assert (Telemetry.Histogram.count h = n_samples);
+  n_samples
+
+let fig3_cell ~timeline () =
+  let spec = Option.get (Oodb_core.Experiments.find "fig3") in
+  let cfg = { (Oodb_core.Experiments.cfg_of spec) with Oodb_core.Config.timeline } in
+  let params = Oodb_core.Experiments.params_of spec ~write_prob:0.1 in
+  let r =
+    Oodb_core.Runner.run ~warmup:2.0 ~measure:5.0 ~cfg
+      ~algo:Oodb_core.Algo.PS_AA ~params ()
+  in
+  assert (r.Oodb_core.Runner.commits > 0);
+  (if timeline then
+     (* Include serialization, the other cost a --timeline user pays. *)
+     match r.Oodb_core.Runner.timeline with
+     | Some tl ->
+       assert (String.length (Telemetry.Perfetto.to_json tl) > 0)
+     | None -> assert false);
+  r.Oodb_core.Runner.commits
+
+let () =
+  Printf.printf "# telemetry_bench: N=%d (TELEMETRY_BENCH_N to change)\n%!"
+    n_samples;
+  measure "hist_record" hist_record;
+  measure "fig3_cell" (fig3_cell ~timeline:false);
+  measure "fig3_cell_timeline" (fig3_cell ~timeline:true)

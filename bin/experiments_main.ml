@@ -27,7 +27,51 @@ let write_csv ~dir ~id csv =
     Format.printf "wrote %s@." path;
     true
 
-let run_figure ?(time_scale = 1.0) ?(oracle = false) ~njobs ~csv_dir ~detail id =
+(* One trace per cell: ID-wp0.10-PS-AA.json (or -rate0.005- for the
+   fault sweep).  Only called when --timeline enabled the recorder, so
+   every result carries one. *)
+let write_timeline ~dir ~id ~coord algo (r : Runner.result) =
+  match r.Runner.timeline with
+  | None -> ()
+  | Some tl ->
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "%s-%s-%s.json" id coord (Algo.to_string algo))
+    in
+    let dropped = Telemetry.Perfetto.write_file tl ~path in
+    Format.printf "  timeline: %d events -> %s%s@."
+      (Telemetry.Timeline.length tl)
+      path
+      (if dropped > 0 then
+         Printf.sprintf " (%d spans truncated by ring wrap)" dropped
+       else "")
+
+let write_series_timelines ~dir ~id (series : Experiments.series) =
+  mkdir_p dir;
+  List.iter
+    (fun (p : Experiments.point) ->
+      List.iter
+        (fun (algo, r) ->
+          write_timeline ~dir ~id
+            ~coord:(Printf.sprintf "wp%.2f" p.Experiments.write_prob)
+            algo r)
+        p.Experiments.results)
+    series.Experiments.points
+
+let write_fault_timelines ~dir (series : Experiments.fault_series) =
+  mkdir_p dir;
+  List.iter
+    (fun (p : Experiments.fault_point) ->
+      List.iter
+        (fun (algo, r) ->
+          write_timeline ~dir ~id:"faultsweep"
+            ~coord:(Printf.sprintf "rate%.3f" p.Experiments.rate)
+            algo r)
+        p.Experiments.fresults)
+    series.Experiments.fpoints
+
+let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
+    ?(percentiles = false) ~njobs ~csv_dir ~detail id =
   match id with
   | "table1" ->
     Format.printf "%a@." Config.pp Config.default;
@@ -42,10 +86,14 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ~njobs ~csv_dir ~detail id 
     let progress j r =
       Format.printf "  %s@.%!" (Experiments.progress_line j r)
     in
-    let jobs = Experiments.fault_jobs ~time_scale ~oracle () in
+    let jobs =
+      Experiments.fault_jobs ~time_scale ~oracle
+        ~timeline:(timeline_dir <> None) ()
+    in
     let results = Harness.Pool.run ~jobs:njobs ~progress jobs in
     let series = Experiments.fault_series_of_results results in
     Format.printf "%a@." Report.pp_fault_series series;
+    Option.iter (fun dir -> write_fault_timelines ~dir series) timeline_dir;
     (match csv_dir with
     | None -> true
     | Some dir ->
@@ -58,10 +106,15 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ~njobs ~csv_dir ~detail id 
     | Some spec ->
       let progress line = Format.printf "  %s@.%!" line in
       let series =
-        Harness.Sweep.run_spec ~time_scale ~oracle ~jobs:njobs ~progress spec
+        Harness.Sweep.run_spec ~time_scale ~oracle
+          ~timeline:(timeline_dir <> None) ~jobs:njobs ~progress spec
       in
       Format.printf "%a@." Report.pp_series series;
+      if percentiles then
+        Format.printf "%a@." Report.pp_series_percentiles series;
       if detail then Format.printf "%a@." Report.pp_series_detail series;
+      Option.iter (fun dir -> write_series_timelines ~dir ~id series)
+        timeline_dir;
       (match csv_dir with
       | None -> true
       | Some dir -> write_csv ~dir ~id (Report.series_to_csv series)))
@@ -70,7 +123,7 @@ let all_ids =
   [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
     "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "faultsweep" ]
 
-let run ids time_scale oracle njobs csv_dir detail =
+let run ids time_scale oracle timeline_dir percentiles njobs csv_dir detail =
   let ids = if ids = [] then all_ids else ids in
   match
     Option.iter
@@ -89,7 +142,9 @@ let run ids time_scale oracle njobs csv_dir detail =
     let ok =
       List.fold_left
         (fun ok id ->
-          run_figure ~time_scale ~oracle ~njobs ~csv_dir ~detail id && ok)
+          run_figure ~time_scale ~oracle ?timeline_dir ~percentiles ~njobs
+            ~csv_dir ~detail id
+          && ok)
         true ids
     in
     if ok then 0 else 1
@@ -116,6 +171,25 @@ let oracle_t =
           "Attach the serializability oracle to every cell: record and \
            check each run's transaction history (figures are unchanged; a \
            violation fails the sweep with a witness)")
+
+let timeline_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"DIR"
+        ~doc:
+          "Record a binary event timeline in every cell and write one \
+           Chrome/Perfetto trace.json per cell into DIR (created if \
+           missing); figures are unchanged")
+
+let percentiles_t =
+  Arg.(
+    value & flag
+    & info [ "percentiles" ]
+        ~doc:
+          "After each figure's throughput table, print the response-time \
+           p50/p90/p99 per cell and a per-algorithm summary of the \
+           histograms merged across the sweep")
 
 let jobs_t =
   Arg.(
@@ -144,7 +218,7 @@ let cmd =
     (Cmd.info "experiments"
        ~doc:"regenerate the tables and figures of the SIGMOD'94 paper")
     Term.(
-      const run $ ids_t $ time_scale_t $ oracle_t $ jobs_t $ csv_dir_t
-      $ detail_t)
+      const run $ ids_t $ time_scale_t $ oracle_t $ timeline_dir_t
+      $ percentiles_t $ jobs_t $ csv_dir_t $ detail_t)
 
 let () = exit (Cmd.eval' cmd)

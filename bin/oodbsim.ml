@@ -75,9 +75,24 @@ let write_oracle_dumps ~dump_dir failures =
         | _ -> ())
       failures
 
+(* One trace file per sweep point: "t.json" stays "t.json" for a single
+   point and becomes "t-wp0.100.json" etc. when sweeping, so points
+   don't clobber each other. *)
+let timeline_path base ~multi ~label =
+  if not multi then base
+  else
+    let dir = Filename.dirname base in
+    let file = Filename.basename base in
+    let stem, ext =
+      match Filename.extension file with
+      | "" -> (file, ".json")
+      | e -> (Filename.remove_extension file, e)
+    in
+    Filename.concat dir (Printf.sprintf "%s-%s%s" stem label ext)
+
 let run algo workload locality write_probs clients db_scale seed njobs warmup
-    measure verbose trace oracle oracle_dump_dir crash_rate restart_delay
-    msg_loss msg_dup disk_stall max_events =
+    measure verbose trace oracle oracle_dump_dir timeline_file percentiles
+    crash_rate restart_delay msg_loss msg_dup disk_stall max_events =
   if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
   let write_probs = if write_probs = [] then [ 0.1 ] else write_probs in
   let faults =
@@ -93,7 +108,13 @@ let run algo workload locality write_probs clients db_scale seed njobs warmup
   Faults.validate faults;
   let cfg =
     Config.scaled
-      { Config.default with num_clients = clients; faults; oracle }
+      {
+        Config.default with
+        num_clients = clients;
+        faults;
+        oracle;
+        timeline = timeline_file <> None;
+      }
       ~factor:db_scale
   in
   let jobs =
@@ -120,10 +141,27 @@ let run algo workload locality write_probs clients db_scale seed njobs warmup
       write_oracle_dumps ~dump_dir:oracle_dump_dir failures;
       raise e
   in
+  let multi = List.length jobs > 1 in
   List.iter2
     (fun (j : Job.t) r ->
-      if List.length jobs > 1 then Format.printf "--- %s ---@." j.Job.label;
-      Format.printf "%a@." Runner.pp_result r)
+      if multi then Format.printf "--- %s ---@." j.Job.label;
+      Format.printf "%a@." Runner.pp_result r;
+      if percentiles then Format.printf "%a@." Report.pp_percentiles r;
+      match (timeline_file, r.Runner.timeline) with
+      | Some base, Some tl ->
+        let label =
+          Printf.sprintf "wp%s"
+            (Scanf.sscanf j.Job.label "wp=%s" (fun s -> s))
+        in
+        let path = timeline_path base ~multi ~label in
+        let dropped = Telemetry.Perfetto.write_file tl ~path in
+        Format.printf "timeline: %d events -> %s%s@."
+          (Telemetry.Timeline.length tl)
+          path
+          (if dropped > 0 then
+             Printf.sprintf " (%d spans truncated by ring wrap)" dropped
+           else "")
+      | _ -> ())
     jobs results;
   if verbose then begin
     Format.printf "@.system parameters:@.%a@." Config.pp cfg;
@@ -204,6 +242,26 @@ let oracle_dump_dir_t =
           "On an oracle violation, write the full recorded history of each \
            failing cell into DIR (created if needed)")
 
+let timeline_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          "Record a binary event timeline (transactions, crashes, CPU/disk/\
+           network activity, callbacks) and write it as a Chrome/Perfetto \
+           trace.json to FILE; sweeps write one file per point \
+           (FILE-wp0.100.json).  Results are unchanged.")
+
+let percentiles_t =
+  Arg.(
+    value & flag
+    & info [ "percentiles" ]
+        ~doc:
+          "Also print histogram-derived latency percentiles: response \
+           p50/p90/p99, lock-wait and callback round-trip p99, and per \
+           message class p99")
+
 let crash_rate_t =
   Arg.(
     value & opt float 0.0
@@ -258,7 +316,7 @@ let cmd =
     Term.(
       const run $ algo_t $ workload_t $ locality_t $ wp_t $ clients_t $ scale_t
       $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t $ oracle_t
-      $ oracle_dump_dir_t $ crash_rate_t $ restart_delay_t $ msg_loss_t
-      $ msg_dup_t $ disk_stall_t $ max_events_t)
+      $ oracle_dump_dir_t $ timeline_t $ percentiles_t $ crash_rate_t
+      $ restart_delay_t $ msg_loss_t $ msg_dup_t $ disk_stall_t $ max_events_t)
 
 let () = exit (Cmd.eval cmd)

@@ -16,6 +16,8 @@ let wait_for_txn_end sys c ~writer ~blocking =
   Trace.event sys "callback for txn %d blocked behind txn %d at client %d"
     writer blocking c.cid;
   Metrics.note_callback_blocked sys.metrics;
+  Model.tl_hook sys (fun x ->
+      Tl.cb_blocked x ~client:c.cid ~writer ~now:(Engine.now sys.engine));
   Locking.Waits_for.add_blocker sys.server.wfg writer blocking;
   ignore (Locking.Waits_for.check_deadlock sys.server.wfg ~from:writer);
   Proc.suspend sys.engine (fun resume ->

@@ -252,6 +252,8 @@ let commit sys c txn =
 
 let abort_cleanup sys c txn =
   Model.oracle_hook sys (fun o -> Oracle.History.abort o ~tid:txn.tid);
+  Model.tl_hook sys (fun x ->
+      Tl.txn_abort x ~client:c.cid ~tid:txn.tid ~now:(Engine.now sys.engine));
   (* Purge uncommitted updates from the cache (purge-at-client,
      Section 3.1 / footnote 2), unblock any pending callbacks, then let
      the server release the transaction's locks. *)
@@ -298,6 +300,8 @@ let rec attempt sys c ops ~first_started ~restarts =
   c.running <- Some txn;
   Model.oracle_hook sys (fun o ->
       Oracle.History.begin_txn o ~tid:txn.tid ~client:c.cid);
+  Model.tl_hook sys (fun x ->
+      Tl.txn_begin x ~client:c.cid ~tid:txn.tid ~now:txn.started);
   if restarts = 0 then Trace.txn sys ~tid:txn.tid ~client:c.cid "start"
   else Trace.txn sys ~tid:txn.tid ~client:c.cid "restart #%d" restarts;
   Locking.Waits_for.begin_txn sys.server.wfg txn.tid
@@ -313,6 +317,7 @@ let rec attempt sys c ops ~first_started ~restarts =
       "commit (response %.0f ms, %d updates)" (1000.0 *. response)
       (Ids.Oid_set.cardinal txn.updated);
     Metrics.note_commit sys.metrics ~response;
+    Model.tl_hook sys (fun x -> Tl.txn_commit x ~client:c.cid ~tid:txn.tid ~now);
     Stats.Welford.add c.resp_history response;
     (* First commit after a cold restart ends the outage window. *)
     (match c.crashed_at with

@@ -33,6 +33,8 @@ type t = {
   faults : Faults.profile;
   oracle : bool;
   cb_drop_every : int;
+  timeline : bool;
+  timeline_cap : int;
 }
 
 let default =
@@ -68,6 +70,8 @@ let default =
     faults = Faults.off;
     oracle = false;
     cb_drop_every = 0;
+    timeline = false;
+    timeline_cap = 65536;
   }
 
 let scaled t ~factor =
@@ -108,6 +112,7 @@ let validate t =
     "size_change_prob";
   check (t.overflow_prob >= 0.0 && t.overflow_prob <= 1.0) "overflow_prob";
   check (t.cb_drop_every >= 0) "cb_drop_every";
+  check (t.timeline_cap > 0) "timeline_cap";
   Faults.validate t.faults
 
 let pp ppf t =
@@ -156,4 +161,5 @@ let pp ppf t =
   (* Likewise the oracle and sabotage rows: absent at defaults. *)
   if t.oracle then f "SerializabilityOracle on@,";
   if t.cb_drop_every > 0 then f "CallbackDropEvery   %d (sabotage)@," t.cb_drop_every;
+  if t.timeline then f "Timeline           on (%d entries)@," t.timeline_cap;
   f "@]"

@@ -73,6 +73,12 @@ type t = {
       (** sabotage knob for oracle negative tests: drop every Nth
           callback target at the server, silently leaving stale cached
           copies behind (0 = off; never enable outside tests) *)
+  timeline : bool;
+      (** record a ring-buffered event timeline (spans/instants per
+          client, server, CPU, disk, network — see lib/telemetry) for
+          Perfetto export (default off; pure observation, results are
+          byte-identical either way) *)
+  timeline_cap : int;  (** timeline ring capacity, in entries *)
 }
 
 val default : t

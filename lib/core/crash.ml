@@ -15,6 +15,10 @@ let crash_client sys cid =
       c.crashed_at <- Some (Engine.now sys.engine);
     Faults.note_crash sys.faults;
     Trace.event sys "client %d crashed" cid;
+    (* Closes any open txn span, then opens the "down" recovery-epoch
+       span, ended by the restart hook below. *)
+    Model.tl_hook sys (fun x ->
+        Tl.crash x ~client:cid ~now:(Engine.now sys.engine));
     (match c.running with
     | Some txn ->
       Faults.note_crash_abort sys.faults;
@@ -61,6 +65,8 @@ let restart_client sys cid =
   if not c.up then begin
     c.up <- true;
     Trace.event sys "client %d restarted (cold cache)" cid;
+    Model.tl_hook sys (fun x ->
+        Tl.restart x ~client:cid ~now:(Engine.now sys.engine));
     Client.start_one sys cid
   end
 

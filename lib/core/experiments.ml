@@ -77,8 +77,9 @@ let params_of spec ~write_prob =
 
 (* Jobs are listed write-probability-major, algorithm-minor;
    [series_of_results] relies on that order to reassemble points. *)
-let jobs_of_spec ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false) spec =
-  let cfg = { (cfg_of spec) with Config.oracle } in
+let jobs_of_spec ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false)
+    ?(timeline = false) spec =
+  let cfg = { (cfg_of spec) with Config.oracle; timeline } in
   let warmup = spec.warmup *. time_scale in
   let measure = spec.measure *. time_scale in
   List.concat_map
@@ -134,10 +135,10 @@ type fault_series = { frates : float list; fpoints : fault_point list }
    sweep quickly. *)
 let fault_base () = Option.get (find "fig3")
 
-let fault_jobs ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false) ?max_events
-    () =
+let fault_jobs ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false)
+    ?(timeline = false) ?max_events () =
   let spec = fault_base () in
-  let cfg = { (cfg_of spec) with Config.oracle } in
+  let cfg = { (cfg_of spec) with Config.oracle; timeline } in
   let params = params_of spec ~write_prob:fault_write_prob in
   List.concat_map
     (fun rate ->
@@ -181,8 +182,9 @@ let fault_series_of_results results =
 let progress_line (j : Job.t) (r : Runner.result) =
   Printf.sprintf "%s %s: %.2f tps" j.Job.sweep j.Job.label r.Runner.throughput
 
-let run_spec ?seed ?time_scale ?oracle ?(progress = fun _ -> ()) spec =
-  let jobs = jobs_of_spec ?seed ?time_scale ?oracle spec in
+let run_spec ?seed ?time_scale ?oracle ?timeline ?(progress = fun _ -> ())
+    spec =
+  let jobs = jobs_of_spec ?seed ?time_scale ?oracle ?timeline spec in
   let results =
     List.map
       (fun j ->

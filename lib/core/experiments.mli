@@ -33,13 +33,19 @@ type point = {
 type series = { spec : spec; points : point list }
 
 val jobs_of_spec :
-  ?seed:int -> ?time_scale:float -> ?oracle:bool -> spec -> Job.t list
+  ?seed:int ->
+  ?time_scale:float ->
+  ?oracle:bool ->
+  ?timeline:bool ->
+  spec ->
+  Job.t list
 (** Describe every (write probability, algorithm) cell of the figure
     as a {!Job.t}, write-probability-major.  [time_scale] multiplies
     both warm-up and measurement windows (e.g. 0.25 for a quick
-    look); [oracle] attaches the serializability oracle (default
-    false; does not change the seed or the results).  Each job's RNG
-    seed derives from [seed] and the cell description alone (see
+    look); [oracle] attaches the serializability oracle and
+    [timeline] the event-timeline recorder (both default false;
+    neither changes the seed or the results).  Each job's RNG seed
+    derives from [seed] and the cell description alone (see
     {!Job.seed}). *)
 
 val series_of_results : spec -> Runner.result list -> series
@@ -62,6 +68,7 @@ val fault_jobs :
   ?seed:int ->
   ?time_scale:float ->
   ?oracle:bool ->
+  ?timeline:bool ->
   ?max_events:int ->
   unit ->
   Job.t list
@@ -76,6 +83,7 @@ val run_spec :
   ?seed:int ->
   ?time_scale:float ->
   ?oracle:bool ->
+  ?timeline:bool ->
   ?progress:(string -> unit) ->
   spec ->
   series

@@ -76,6 +76,20 @@ type t = {
   mutable token_bounce_count : int;
   lock_wait_time : Stats.Welford.t;
   mutable responses : Stats.Batch_means.t;
+  (* Always-on latency histograms (recording is pure: no allocation,
+     no RNG, no events — see lib/telemetry).  Same measurement window
+     as the counters: cleared by [reset]. *)
+  response_hist : Telemetry.Histogram.t;
+  lock_wait_hist : Telemetry.Histogram.t;
+  cb_round_hist : Telemetry.Histogram.t;
+  msg_latency_hists : Telemetry.Histogram.t array;
+}
+
+type hist_snapshot = {
+  h_response : Telemetry.Histogram.t;
+  h_lock_wait : Telemetry.Histogram.t;
+  h_cb_round : Telemetry.Histogram.t;
+  h_msg_latency : Telemetry.Histogram.t array;  (** indexed by [class_index] *)
 }
 
 let create () =
@@ -100,6 +114,10 @@ let create () =
     token_bounce_count = 0;
     lock_wait_time = Stats.Welford.create ();
     responses = Stats.Batch_means.create ~batch_size:25;
+    response_hist = Telemetry.Histogram.create ();
+    lock_wait_hist = Telemetry.Histogram.create ();
+    cb_round_hist = Telemetry.Histogram.create ();
+    msg_latency_hists = Array.init 14 (fun _ -> Telemetry.Histogram.create ());
   }
 
 let note_msg t cls ~bytes =
@@ -109,14 +127,22 @@ let note_msg t cls ~bytes =
 
 let note_commit t ~response =
   t.commit_count <- t.commit_count + 1;
-  Stats.Batch_means.add t.responses response
+  Stats.Batch_means.add t.responses response;
+  Telemetry.Histogram.record t.response_hist response
+
+let note_msg_latency t cls ~duration =
+  Telemetry.Histogram.record t.msg_latency_hists.(class_index cls) duration
+
+let note_cb_round t ~duration =
+  Telemetry.Histogram.record t.cb_round_hist duration
 
 let note_abort t = t.abort_count <- t.abort_count + 1
 let note_deadlock t = t.deadlock_count <- t.deadlock_count + 1
 
 let note_lock_wait t ~duration =
   t.lock_wait_count <- t.lock_wait_count + 1;
-  Stats.Welford.add t.lock_wait_time duration
+  Stats.Welford.add t.lock_wait_time duration;
+  Telemetry.Histogram.record t.lock_wait_hist duration
 
 let note_callback_blocked t = t.cb_block_count <- t.cb_block_count + 1
 
@@ -158,7 +184,11 @@ let reset t ~now =
   t.token_wait_count <- 0;
   t.token_bounce_count <- 0;
   Stats.Welford.reset t.lock_wait_time;
-  t.responses <- Stats.Batch_means.create ~batch_size:25
+  t.responses <- Stats.Batch_means.create ~batch_size:25;
+  Telemetry.Histogram.reset t.response_hist;
+  Telemetry.Histogram.reset t.lock_wait_hist;
+  Telemetry.Histogram.reset t.cb_round_hist;
+  Array.iter Telemetry.Histogram.reset t.msg_latency_hists
 
 let commits t = t.commit_count
 let aborts t = t.abort_count
@@ -180,6 +210,18 @@ let token_bounces t = t.token_bounce_count
 let throughput t ~now =
   let span = now -. t.window_start in
   if span <= 0.0 then 0.0 else float_of_int t.commit_count /. span
+
+let snapshot_hists t =
+  {
+    h_response = Telemetry.Histogram.copy t.response_hist;
+    h_lock_wait = Telemetry.Histogram.copy t.lock_wait_hist;
+    h_cb_round = Telemetry.Histogram.copy t.cb_round_hist;
+    h_msg_latency = Array.map Telemetry.Histogram.copy t.msg_latency_hists;
+  }
+
+let response_quantile t q = Telemetry.Histogram.quantile t.response_hist q
+let lock_wait_quantile t q = Telemetry.Histogram.quantile t.lock_wait_hist q
+let cb_round_quantile t q = Telemetry.Histogram.quantile t.cb_round_hist q
 
 let response_mean t = Stats.Batch_means.mean t.responses
 let response_ci90 t = Stats.Batch_means.ci90_half_width t.responses

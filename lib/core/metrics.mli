@@ -26,12 +26,37 @@ type msg_class =
 val msg_class_name : msg_class -> string
 val all_msg_classes : msg_class list
 
+val class_index : msg_class -> int
+(** Dense index, in [all_msg_classes] order (for the per-class
+    histogram array). *)
+
 type t
+
+type hist_snapshot = {
+  h_response : Telemetry.Histogram.t;
+  h_lock_wait : Telemetry.Histogram.t;
+  h_cb_round : Telemetry.Histogram.t;
+  h_msg_latency : Telemetry.Histogram.t array;
+      (** per message class, indexed like [all_msg_classes] *)
+}
+(** Copies of the always-on latency histograms (see lib/telemetry),
+    decoupled from the live counters so they survive the run and can
+    be merged across sweep cells. *)
 
 val create : unit -> t
 
 val note_msg : t -> msg_class -> bytes:int -> unit
 val note_commit : t -> response:float -> unit
+
+val note_msg_latency : t -> msg_class -> duration:float -> unit
+(** Whole send latency of one logical message, retransmissions
+    included (recorded once per send, unlike [note_msg] which counts
+    each wire attempt). *)
+
+val note_cb_round : t -> duration:float -> unit
+(** One callback round-trip: from the server posting the callback to
+    the target's acknowledgment being fully processed. *)
+
 val note_abort : t -> unit
 val note_deadlock : t -> unit
 val note_lock_wait : t -> duration:float -> unit
@@ -80,6 +105,14 @@ val token_bounces : t -> int
 val throughput : t -> now:float -> float
 (** Commits per second over the measurement window. *)
 
+val snapshot_hists : t -> hist_snapshot
+
+val response_quantile : t -> float -> float
+(** Histogram-estimated response-time quantile (see
+    {!Telemetry.Histogram.quantile} for the error bound). *)
+
+val lock_wait_quantile : t -> float -> float
+val cb_round_quantile : t -> float -> float
 val response_mean : t -> float
 val response_ci90 : t -> float
 val response_batches : t -> int

@@ -66,6 +66,7 @@ type sys = {
   metrics : Metrics.t;
   faults : Faults.t;
   oracle : Oracle.History.t option;
+  timeline : Tl.t option;
   mutable next_tid : int;
   mutable live : bool;
 }
@@ -200,23 +201,55 @@ let create ~cfg ~algo ~params ~seed =
           crashed_at = None;
         })
   in
-  {
-    engine;
-    cfg;
-    algo;
-    params;
-    net =
-      Resources.Network.create engine ~bandwidth_mbits:cfg.Config.network_mbits;
-    server;
-    clients;
-    metrics = Metrics.create ();
-    faults;
-    oracle =
-      (if cfg.Config.oracle then
-         Some (Oracle.History.create ~clients:cfg.Config.num_clients)
-       else None);
-    next_tid = 1;
-    live = true;
-  }
+  let timeline =
+    if cfg.Config.timeline then
+      Some
+        (Tl.create ~num_clients:cfg.Config.num_clients
+           ~disks:cfg.Config.server_disks ~capacity:cfg.Config.timeline_cap)
+    else None
+  in
+  let sys =
+    {
+      engine;
+      cfg;
+      algo;
+      params;
+      net =
+        Resources.Network.create engine
+          ~bandwidth_mbits:cfg.Config.network_mbits;
+      server;
+      clients;
+      metrics = Metrics.create ();
+      faults;
+      oracle =
+        (if cfg.Config.oracle then
+           Some (Oracle.History.create ~clients:cfg.Config.num_clients)
+         else None);
+      timeline;
+      next_tid = 1;
+      live = true;
+    }
+  in
+  (* Attach the resource-level observers: CPU busy spans, per-disk and
+     network transfer spans.  Pure observation, attached after
+     creation so the construction order (and every RNG split above)
+     is identical with the timeline off. *)
+  (match timeline with
+  | None -> ()
+  | Some tlx ->
+    let tl = Tl.timeline tlx in
+    Resources.Cpu.attach_timeline server.scpu ~timeline:tl
+      ~track:(Tl.trk_server_cpu tlx);
+    Array.iteri
+      (fun i c ->
+        Resources.Cpu.attach_timeline c.ccpu ~timeline:tl
+          ~track:(Tl.trk_client_cpus tlx).(i))
+      clients;
+    Resources.Disk_array.attach_timeline server.sdisks ~timeline:tl
+      ~tracks:(Tl.trk_disks tlx);
+    Resources.Network.attach_timeline sys.net ~timeline:tl
+      ~track:(Tl.trk_net tlx));
+  sys
 
 let oracle_hook sys f = match sys.oracle with None -> () | Some o -> f o
+let tl_hook sys f = match sys.timeline with None -> () | Some t -> f t

@@ -99,6 +99,8 @@ type sys = {
   faults : Faults.t;  (** fault-injection state (streams, counters, hook) *)
   oracle : Oracle.History.t option;
       (** history recorder, present iff [Config.oracle] *)
+  timeline : Tl.t option;
+      (** timeline recorder, present iff [Config.timeline] *)
   mutable next_tid : int;
   mutable live : bool;
       (** cleared at simulation end so client loops stop resubmitting *)
@@ -161,4 +163,8 @@ val create :
 
 val oracle_hook : sys -> (Oracle.History.t -> unit) -> unit
 (** Apply [f] to the history recorder when the oracle is on; free
+    otherwise. *)
+
+val tl_hook : sys -> (Tl.t -> unit) -> unit
+(** Apply [f] to the timeline recorder when the timeline is on; free
     otherwise. *)

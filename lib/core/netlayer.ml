@@ -50,9 +50,14 @@ let send_faulty sys ~cls ~src ~dst ~bytes ~instr =
 
 let send sys ~cls ~src ~dst ~bytes =
   let instr = Config.msg_instr sys.cfg ~bytes in
-  if Faults.message_faults sys.faults then
-    send_faulty sys ~cls ~src ~dst ~bytes ~instr
-  else send_reliable sys ~cls ~src ~dst ~bytes ~instr
+  let t0 = Engine.now sys.engine in
+  (if Faults.message_faults sys.faults then
+     send_faulty sys ~cls ~src ~dst ~bytes ~instr
+   else send_reliable sys ~cls ~src ~dst ~bytes ~instr);
+  (* Whole-send latency per message class, retransmissions included —
+     pure observation into an always-on histogram. *)
+  Metrics.note_msg_latency sys.metrics cls
+    ~duration:(Engine.now sys.engine -. t0)
 
 let control sys ~cls ~src ~dst =
   send sys ~cls ~src ~dst ~bytes:(Config.control_bytes sys.cfg)

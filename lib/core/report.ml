@@ -56,20 +56,106 @@ let pp_series_detail ppf (s : Experiments.series) =
     s.points;
   Format.fprintf ppf "@]"
 
+(* --- Percentiles --------------------------------------------------------- *)
+
+let pp_percentiles ppf (r : Runner.result) =
+  Format.fprintf ppf
+    "@[<v>percentiles (ms): response p50/p90/p99 %.0f/%.0f/%.0f, lock wait \
+     p99 %.1f, callback round-trip p99 %.1f@]"
+    (1000.0 *. r.resp_p50) (1000.0 *. r.resp_p90) (1000.0 *. r.resp_p99)
+    (1000.0 *. r.lock_wait_p99)
+    (1000.0 *. r.cb_round_p99);
+  let h = r.hists.Metrics.h_msg_latency in
+  let nonempty =
+    List.filter
+      (fun cls ->
+        not (Telemetry.Histogram.is_empty h.(Metrics.class_index cls)))
+      Metrics.all_msg_classes
+  in
+  if nonempty <> [] then begin
+    Format.fprintf ppf "@\n@[<v>message-class p99 (ms):";
+    List.iter
+      (fun cls ->
+        Format.fprintf ppf " %s=%.1f" (Metrics.msg_class_name cls)
+          (1000.0
+          *. Telemetry.Histogram.quantile h.(Metrics.class_index cls) 0.99))
+      nonempty;
+    Format.fprintf ppf "@]"
+  end
+
+(* Merge the per-cell response histograms of a series per algorithm, in
+   point order — deterministic whatever pool executed the cells, since
+   merging is order-invariant on counts and the iteration order is
+   fixed by the job list. *)
+let merged_response_hists (s : Experiments.series) =
+  List.map
+    (fun a ->
+      let merged = Telemetry.Histogram.create () in
+      List.iter
+        (fun (p : Experiments.point) ->
+          match List.assoc_opt a p.results with
+          | Some r -> Telemetry.Histogram.merge ~into:merged r.Runner.hists.Metrics.h_response
+          | None -> ())
+        s.points;
+      (a, merged))
+    Algo.all
+
+let pp_series_percentiles ppf (s : Experiments.series) =
+  Format.fprintf ppf "@[<v>%s response-time percentiles (ms)@,"
+    s.spec.Experiments.id;
+  Format.fprintf ppf "%8s" "wp";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%21s" (Algo.to_string a ^ " p50/p90/p99"))
+    Algo.all;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (p : Experiments.point) ->
+      Format.fprintf ppf "%8.2f" p.write_prob;
+      List.iter
+        (fun a ->
+          match List.assoc_opt a p.results with
+          | Some r ->
+            Format.fprintf ppf "%21s"
+              (Printf.sprintf "%.0f/%.0f/%.0f" (1000.0 *. r.Runner.resp_p50)
+                 (1000.0 *. r.Runner.resp_p90)
+                 (1000.0 *. r.Runner.resp_p99))
+          | None -> Format.fprintf ppf "%21s" "-")
+        Algo.all;
+      Format.fprintf ppf "@,")
+    s.points;
+  Format.fprintf ppf "merged across write probabilities@,";
+  List.iter
+    (fun (a, h) ->
+      if not (Telemetry.Histogram.is_empty h) then
+        Format.fprintf ppf
+          "%-6s n=%-6d mean=%6.0fms p50=%6.0fms p90=%6.0fms p99=%6.0fms \
+           max=%6.0fms@,"
+          (Algo.to_string a)
+          (Telemetry.Histogram.count h)
+          (1000.0 *. Telemetry.Histogram.mean h)
+          (1000.0 *. Telemetry.Histogram.quantile h 0.50)
+          (1000.0 *. Telemetry.Histogram.quantile h 0.90)
+          (1000.0 *. Telemetry.Histogram.quantile h 0.99)
+          (1000.0 *. Telemetry.Histogram.max_value h))
+    (merged_response_hists s);
+  Format.fprintf ppf "@]"
+
 let series_to_csv (s : Experiments.series) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     "figure,write_prob,algo,throughput,resp_ms,resp_ci_ms,commits,aborts,\
      deadlocks,msgs_per_commit,kbytes_per_commit,disk_ios,server_cpu,\
      client_cpu,disk_util,net_util,deescalations,merges,page_grants,\
-     object_grants\n";
+     object_grants,resp_p50_ms,resp_p90_ms,resp_p99_ms,lock_wait_p99_ms,\
+     cb_round_p99_ms\n";
   List.iter
     (fun (p : Experiments.point) ->
       List.iter
         (fun (a, (r : Runner.result)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "%s,%.3f,%s,%.4f,%.1f,%.1f,%d,%d,%d,%.2f,%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d\n"
+               "%s,%.3f,%s,%.4f,%.1f,%.1f,%d,%d,%d,%.2f,%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f\n"
                s.spec.Experiments.id p.write_prob (Algo.to_string a)
                r.Runner.throughput
                (1000.0 *. r.Runner.resp_mean)
@@ -79,7 +165,12 @@ let series_to_csv (s : Experiments.series) =
                r.Runner.disk_ios r.Runner.server_cpu_util
                r.Runner.client_cpu_util r.Runner.disk_util r.Runner.net_util
                r.Runner.deescalations r.Runner.merges
-               r.Runner.page_write_grants r.Runner.object_write_grants))
+               r.Runner.page_write_grants r.Runner.object_write_grants
+               (1000.0 *. r.Runner.resp_p50)
+               (1000.0 *. r.Runner.resp_p90)
+               (1000.0 *. r.Runner.resp_p99)
+               (1000.0 *. r.Runner.lock_wait_p99)
+               (1000.0 *. r.Runner.cb_round_p99)))
         p.results)
     s.points;
   Buffer.contents buf
@@ -129,21 +220,25 @@ let fault_series_to_csv (s : Experiments.fault_series) =
   Buffer.add_string buf
     "rate,algo,throughput,resp_ms,commits,aborts,deadlocks,crashes,\
      crash_aborts,msg_losses,msg_dups,retransmits,disk_stalls,\
-     faults_injected,recoveries,recovery_ms\n";
+     faults_injected,recoveries,recovery_ms,resp_p50_ms,resp_p99_ms,\
+     lock_wait_p99_ms\n";
   List.iter
     (fun (p : Experiments.fault_point) ->
       List.iter
         (fun (a, (r : Runner.result)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "%.3f,%s,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f\n"
+               "%.3f,%s,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f\n"
                p.rate (Algo.to_string a) r.Runner.throughput
                (1000.0 *. r.Runner.resp_mean)
                r.Runner.commits r.Runner.aborts r.Runner.deadlocks
                r.Runner.crashes r.Runner.crash_aborts r.Runner.msg_losses
                r.Runner.msg_dups r.Runner.retransmits r.Runner.disk_stalls
                r.Runner.faults_injected r.Runner.recoveries
-               (1000.0 *. r.Runner.recovery_mean)))
+               (1000.0 *. r.Runner.recovery_mean)
+               (1000.0 *. r.Runner.resp_p50)
+               (1000.0 *. r.Runner.resp_p99)
+               (1000.0 *. r.Runner.lock_wait_p99)))
         p.fresults)
     s.fpoints;
   Buffer.contents buf

@@ -9,8 +9,24 @@ val pp_series : Format.formatter -> Experiments.series -> unit
 val pp_series_detail : Format.formatter -> Experiments.series -> unit
 (** Per-cell auxiliary metrics: messages/commit, aborts, utilizations. *)
 
+val pp_percentiles : Format.formatter -> Runner.result -> unit
+(** Histogram-derived latency percentiles for one run: response
+    p50/p90/p99, lock-wait p99, callback round-trip p99, and per
+    message class p99 (classes with at least one sample). *)
+
+val pp_series_percentiles : Format.formatter -> Experiments.series -> unit
+(** Response-time p50/p90/p99 per cell, plus a per-algorithm summary of
+    the histograms merged across the series' write probabilities. *)
+
+val merged_response_hists :
+  Experiments.series -> (Algo.t * Telemetry.Histogram.t) list
+(** Per algorithm, the response histograms of every point merged in
+    point order (deterministic for any pool's execution order). *)
+
 val series_to_csv : Experiments.series -> string
-(** CSV with header [write_prob,algo,throughput,resp_ms,resp_ci_ms,...]. *)
+(** CSV with header [write_prob,algo,throughput,resp_ms,resp_ci_ms,...]
+    ending in the percentile fields
+    [resp_p50_ms,resp_p90_ms,resp_p99_ms,lock_wait_p99_ms,cb_round_p99_ms]. *)
 
 val pp_fault_series : Format.formatter -> Experiments.fault_series -> unit
 (** Fault-rate sweep: throughput table (one row per storm rate) plus a
@@ -18,8 +34,8 @@ val pp_fault_series : Format.formatter -> Experiments.fault_series -> unit
     stalls, recovery latency). *)
 
 val fault_series_to_csv : Experiments.fault_series -> string
-(** CSV with header [rate,algo,throughput,...,recovery_ms] — a separate
-    schema from {!series_to_csv}, which is unchanged. *)
+(** CSV with header [rate,algo,throughput,...,lock_wait_p99_ms] — a
+    separate schema from {!series_to_csv}. *)
 
 val pp_figure5 : Format.formatter -> (int * (float * float) list) list -> unit
 

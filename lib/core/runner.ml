@@ -41,6 +41,13 @@ type result = {
   recovery_mean : float;
   oracle_commits : int;
   oracle_ops : int;
+  resp_p50 : float;
+  resp_p90 : float;
+  resp_p99 : float;
+  lock_wait_p99 : float;
+  cb_round_p99 : float;
+  hists : Metrics.hist_snapshot;
+  timeline : Telemetry.Timeline.t option;
 }
 
 exception Oracle_failed of string * string
@@ -139,6 +146,13 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
       (match sys.oracle with
       | Some o -> Oracle.History.op_count o
       | None -> 0);
+    resp_p50 = Metrics.response_quantile m 0.50;
+    resp_p90 = Metrics.response_quantile m 0.90;
+    resp_p99 = Metrics.response_quantile m 0.99;
+    lock_wait_p99 = Metrics.lock_wait_quantile m 0.99;
+    cb_round_p99 = Metrics.cb_round_quantile m 0.99;
+    hists = Metrics.snapshot_hists m;
+    timeline = Option.map Tl.timeline sys.timeline;
   }
 
 let pp_result ppf r =

@@ -47,6 +47,17 @@ type result = {
       (** committed transactions the serializability oracle checked
           (whole run, including warmup); 0 when the oracle is off *)
   oracle_ops : int;  (** read/write operations recorded by the oracle *)
+  resp_p50 : float;
+      (** response-time percentiles from the always-on log-bucketed
+          histogram (see {!Telemetry.Histogram} for the error bound) *)
+  resp_p90 : float;
+  resp_p99 : float;
+  lock_wait_p99 : float;
+  cb_round_p99 : float;  (** callback round-trip p99 *)
+  hists : Metrics.hist_snapshot;
+      (** the full histograms, for merging across sweep cells *)
+  timeline : Telemetry.Timeline.t option;
+      (** the event timeline, present iff [cfg.timeline] *)
 }
 
 exception Oracle_failed of string * string

@@ -114,6 +114,8 @@ let do_callbacks sys ~writer ~kind ~targets =
     List.iter
       (fun target ->
         Proc.spawn engine (fun () ->
+            let t0 = Engine.now engine in
+            Model.tl_hook sys (fun x -> Tl.callback_sent x ~target ~now:t0);
             let rec round () =
               Netlayer.control sys ~cls:Metrics.M_callback ~src:Netlayer.Server
                 ~dst:(Netlayer.Client target);
@@ -124,7 +126,14 @@ let do_callbacks sys ~writer ~kind ~targets =
               match result with
               | Cb.Not_cached when copy_registered sys kind target ->
                 round ()
-              | result -> Gather.add gather (target, result)
+              | result ->
+                (* One full round-trip per target: post to processed
+                   ack, re-sends and blocking at the target included —
+                   the latency a writer actually waits out. *)
+                let now = Engine.now engine in
+                Metrics.note_cb_round sys.metrics ~duration:(now -. t0);
+                Model.tl_hook sys (fun x -> Tl.callback_ack x ~target ~now);
+                Gather.add gather (target, result)
             in
             round ()))
       targets;
@@ -220,6 +229,8 @@ let deescalate_page sys p holder =
             objs;
           Lock_table.release sys.server.plocks p ~txn:holder;
           Metrics.note_deescalation sys.metrics ~objects:n;
+          Model.tl_hook sys (fun x ->
+              Tl.deescalate x ~page:p ~now:(Engine.now sys.engine));
           Trace.event sys "txn %d deescalated page %d -> %d object locks"
             holder p n
         end
@@ -542,6 +553,8 @@ let write_rpc sys txn oid =
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_page_write_grant sys.metrics;
+        Model.tl_hook sys (fun x ->
+            Tl.page_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
         reply W_page))
   | Algo.OS -> (
     if not (acquire_obj_lock sys txn oid) then reply W_aborted
@@ -555,6 +568,8 @@ let write_rpc sys txn oid =
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
+        Model.tl_hook sys (fun x ->
+            Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
         reply W_obj)
   | Algo.PS_OO -> (
     if not (acquire_obj_lock sys txn oid) then reply W_aborted
@@ -569,6 +584,8 @@ let write_rpc sys txn oid =
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
+        Model.tl_hook sys (fun x ->
+            Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
         reply W_obj)
   | Algo.PS_OA -> (
     if not (acquire_obj_lock sys txn oid) then reply W_aborted
@@ -583,6 +600,8 @@ let write_rpc sys txn oid =
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
+        Model.tl_hook sys (fun x ->
+            Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
         reply W_obj)
   | Algo.PS_AA -> (
     match deescalate_loop sys txn p with
@@ -626,10 +645,14 @@ let write_rpc sys txn oid =
           Metrics.note_page_write_grant sys.metrics;
           Trace.event sys "txn %d escalated to page write lock on %d" txn.tid
             p;
+          Model.tl_hook sys (fun x ->
+              Tl.escalate x ~page:p ~now:(Engine.now sys.engine));
           reply W_page
         end
         else begin
           Metrics.note_object_write_grant sys.metrics;
+          Model.tl_hook sys (fun x ->
+              Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
           reply W_obj
         end
     end)

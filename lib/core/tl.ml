@@ -1,0 +1,135 @@
+(* Track layout and interned event names for the simulation's timeline
+   recorder.  One Tl.t per run, created by Model when Config.timeline
+   is set; every hook below is pure observation (see lib/telemetry).
+
+   Track discipline keeps each track's spans non-overlapping by
+   construction, which the Perfetto exporter and the conformance test
+   rely on:
+   - client tracks carry "txn" spans (a client runs at most one
+     transaction at a time) and "down" spans (crash..restart, which
+     never overlaps a txn span because the crash hook closes any open
+     transaction first);
+   - CPU tracks carry "busy" spans recorded on idle<->busy edges;
+   - disk and network tracks carry one-shot Complete spans whose
+     [start, finish] intervals the resource already serializes;
+   - the server track carries only instants. *)
+
+type t = {
+  tl : Telemetry.Timeline.t;
+  trk_server : int;
+  trk_server_cpu : int;
+  trk_disks : int array;
+  trk_net : int;
+  trk_clients : int array;
+  trk_client_cpus : int array;
+  mutable txn_open : bool array;  (* per client: a txn span is open *)
+  n_txn : int;
+  n_down : int;
+  n_commit : int;
+  n_abort : int;
+  n_crash : int;
+  n_restart : int;
+  n_pw_grant : int;
+  n_ow_grant : int;
+  n_deesc : int;
+  n_esc : int;
+  n_cb : int;
+  n_cb_ack : int;
+  n_cb_blocked : int;
+}
+
+let timeline t = t.tl
+let trk_server_cpu t = t.trk_server_cpu
+let trk_client_cpus t = t.trk_client_cpus
+let trk_disks t = t.trk_disks
+let trk_net t = t.trk_net
+
+let create ~num_clients ~disks ~capacity =
+  let tl = Telemetry.Timeline.create ~capacity () in
+  let trk_server = Telemetry.Timeline.define_track tl "server" in
+  let trk_server_cpu = Telemetry.Timeline.define_track tl "server-cpu" in
+  let trk_disks =
+    Array.init disks (fun i ->
+        Telemetry.Timeline.define_track tl (Printf.sprintf "disk%d" i))
+  in
+  let trk_net = Telemetry.Timeline.define_track tl "net" in
+  let trk_clients =
+    Array.init num_clients (fun i ->
+        Telemetry.Timeline.define_track tl (Printf.sprintf "client%d" i))
+  in
+  let trk_client_cpus =
+    Array.init num_clients (fun i ->
+        Telemetry.Timeline.define_track tl (Printf.sprintf "client%d-cpu" i))
+  in
+  let n s = Telemetry.Timeline.intern tl s in
+  {
+    tl;
+    trk_server;
+    trk_server_cpu;
+    trk_disks;
+    trk_net;
+    trk_clients;
+    trk_client_cpus;
+    txn_open = Array.make num_clients false;
+    n_txn = n "txn";
+    n_down = n "down";
+    n_commit = n "commit";
+    n_abort = n "abort";
+    n_crash = n "crash";
+    n_restart = n "restart";
+    n_pw_grant = n "page-write-grant";
+    n_ow_grant = n "object-write-grant";
+    n_deesc = n "deescalate";
+    n_esc = n "escalate";
+    n_cb = n "callback";
+    n_cb_ack = n "callback-ack";
+    n_cb_blocked = n "callback-blocked";
+  }
+
+(* Client lifecycle -------------------------------------------------- *)
+
+let txn_begin t ~client ~tid ~now =
+  Telemetry.Timeline.span_begin t.tl ~track:t.trk_clients.(client) ~name:t.n_txn
+    ~arg:tid now;
+  t.txn_open.(client) <- true
+
+let close_txn t ~client ~mark ~tid ~now =
+  if t.txn_open.(client) then begin
+    Telemetry.Timeline.span_end t.tl ~track:t.trk_clients.(client) now;
+    Telemetry.Timeline.instant t.tl ~track:t.trk_clients.(client) ~name:mark
+      ~arg:tid now;
+    t.txn_open.(client) <- false
+  end
+
+let txn_commit t ~client ~tid ~now = close_txn t ~client ~mark:t.n_commit ~tid ~now
+let txn_abort t ~client ~tid ~now = close_txn t ~client ~mark:t.n_abort ~tid ~now
+
+let crash t ~client ~now =
+  (* A crash mid-transaction closes the open txn span before the down
+     span begins, so spans on the client track never overlap. *)
+  close_txn t ~client ~mark:t.n_crash ~tid:(-1) ~now;
+  Telemetry.Timeline.instant t.tl ~track:t.trk_clients.(client) ~name:t.n_crash
+    now;
+  Telemetry.Timeline.span_begin t.tl ~track:t.trk_clients.(client)
+    ~name:t.n_down now
+
+let restart t ~client ~now =
+  Telemetry.Timeline.span_end t.tl ~track:t.trk_clients.(client) now;
+  Telemetry.Timeline.instant t.tl ~track:t.trk_clients.(client)
+    ~name:t.n_restart now
+
+let cb_blocked t ~client ~writer ~now =
+  Telemetry.Timeline.instant t.tl ~track:t.trk_clients.(client)
+    ~name:t.n_cb_blocked ~arg:writer now
+
+(* Server instants --------------------------------------------------- *)
+
+let server_instant t name ~arg ~now =
+  Telemetry.Timeline.instant t.tl ~track:t.trk_server ~name ~arg now
+
+let page_write_grant t ~tid ~now = server_instant t t.n_pw_grant ~arg:tid ~now
+let object_write_grant t ~tid ~now = server_instant t t.n_ow_grant ~arg:tid ~now
+let deescalate t ~page ~now = server_instant t t.n_deesc ~arg:page ~now
+let escalate t ~page ~now = server_instant t t.n_esc ~arg:page ~now
+let callback_sent t ~target ~now = server_instant t t.n_cb ~arg:target ~now
+let callback_ack t ~target ~now = server_instant t t.n_cb_ack ~arg:target ~now

@@ -1,0 +1,36 @@
+(** Timeline track layout and hook helpers for the simulation.
+
+    Wraps a {!Telemetry.Timeline} with the run's track set (server
+    instants, server CPU, one track per disk, the network, and per
+    client a lifecycle track plus a CPU track) and pre-interned event
+    names.  Created by {!Model.create} when [Config.timeline] is set;
+    all hooks are pure observation, so a run records byte-identical
+    results with or without a timeline attached. *)
+
+type t
+
+val create : num_clients:int -> disks:int -> capacity:int -> t
+val timeline : t -> Telemetry.Timeline.t
+
+val trk_server_cpu : t -> int
+val trk_client_cpus : t -> int array
+val trk_disks : t -> int array
+val trk_net : t -> int
+
+val txn_begin : t -> client:int -> tid:int -> now:float -> unit
+val txn_commit : t -> client:int -> tid:int -> now:float -> unit
+val txn_abort : t -> client:int -> tid:int -> now:float -> unit
+
+val crash : t -> client:int -> now:float -> unit
+(** Closes any open transaction span, then opens the client's "down"
+    span — the recovery epoch, ended by {!restart}. *)
+
+val restart : t -> client:int -> now:float -> unit
+val cb_blocked : t -> client:int -> writer:int -> now:float -> unit
+
+val page_write_grant : t -> tid:int -> now:float -> unit
+val object_write_grant : t -> tid:int -> now:float -> unit
+val deescalate : t -> page:int -> now:float -> unit
+val escalate : t -> page:int -> now:float -> unit
+val callback_sent : t -> target:int -> now:float -> unit
+val callback_ack : t -> target:int -> now:float -> unit

@@ -5,6 +5,7 @@ val run_spec :
   ?seed:int ->
   ?time_scale:float ->
   ?oracle:bool ->
+  ?timeline:bool ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
   Oodb_core.Experiments.spec ->
@@ -12,13 +13,14 @@ val run_spec :
 (** Describe the figure's cells as jobs and run them on {!Pool} with
     [jobs] workers ([~jobs:1] reproduces the sequential driver
     byte-for-byte).  [oracle] attaches the serializability oracle to
-    every cell.  [progress] receives one line per completed cell, in
-    completion order. *)
+    every cell; [timeline] the event-timeline recorder.  [progress]
+    receives one line per completed cell, in completion order. *)
 
 val run_specs :
   ?seed:int ->
   ?time_scale:float ->
   ?oracle:bool ->
+  ?timeline:bool ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
   Oodb_core.Experiments.spec list ->

@@ -2,6 +2,16 @@ open Simcore
 
 type job = { mutable rem : float; resume : unit Proc.resumer }
 
+(* Optional timeline observer: one "busy" span per idle->busy->idle
+   cycle, recorded on the edges [update_busy] already detects for the
+   time-weighted utilization.  Pure observation — no events, no RNG. *)
+type tl_state = {
+  ttl : Telemetry.Timeline.t;
+  track : int;
+  n_busy : int;
+  mutable was_busy : bool;
+}
+
 type t = {
   engine : Engine.t;
   cpu_name : string;
@@ -18,6 +28,7 @@ type t = {
   mutable last_progress : float; (* when users' remaining work was last updated *)
   mutable gen : int; (* invalidates stale user-completion events *)
   busy : Stats.Time_weighted.t;
+  mutable tl : tl_state option;
 }
 
 let create engine ~name ~mips =
@@ -34,6 +45,7 @@ let create engine ~name ~mips =
     last_progress = Engine.now engine;
     gen = 0;
     busy = Stats.Time_weighted.create ~now:(Engine.now engine);
+    tl = None;
   }
 
 let name t = t.cpu_name
@@ -41,8 +53,28 @@ let name t = t.cpu_name
 let is_busy t = t.sys_active || t.n_users > 0
 
 let update_busy t =
-  Stats.Time_weighted.update t.busy ~now:(Engine.now t.engine)
-    (if is_busy t then 1.0 else 0.0)
+  let now = Engine.now t.engine in
+  let b = is_busy t in
+  Stats.Time_weighted.update t.busy ~now (if b then 1.0 else 0.0);
+  match t.tl with
+  | Some s when s.was_busy <> b ->
+    if b then Telemetry.Timeline.span_begin s.ttl ~track:s.track ~name:s.n_busy now
+    else Telemetry.Timeline.span_end s.ttl ~track:s.track now;
+    s.was_busy <- b
+  | Some _ | None -> ()
+
+let attach_timeline t ~timeline ~track =
+  let s =
+    {
+      ttl = timeline;
+      track;
+      n_busy = Telemetry.Timeline.intern timeline "busy";
+      was_busy = false;
+    }
+  in
+  t.tl <- Some s;
+  (* If attached while already busy, open the span now. *)
+  update_busy t
 
 (* Charge elapsed processor-shared progress to every active user job.
    No progress is made while a system request is active. *)

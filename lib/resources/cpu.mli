@@ -35,3 +35,8 @@ val reset_stats : t -> unit
 
 val active_users : t -> int
 (** Number of user-class jobs currently in service (for tests). *)
+
+val attach_timeline : t -> timeline:Telemetry.Timeline.t -> track:int -> unit
+(** Record a "busy" span on [track] for every idle->busy->idle cycle
+    (detected on the same edges as the utilization integral).  Pure
+    observation: no events, no RNG draws. *)

@@ -10,6 +10,10 @@ type t = {
   ios : Stats.Counter.t;
   mutable busy_time : float;
   mutable stats_since : float;
+  mutable tl : (Telemetry.Timeline.t * int * int) option;
+      (* (timeline, track, "io" name): one Complete span per I/O; the
+         [free_at] FIFO already serializes the [start, finish]
+         intervals, so the track's spans never overlap. *)
 }
 
 let create engine ~rng ?faults ~min_time ~max_time () =
@@ -25,7 +29,11 @@ let create engine ~rng ?faults ~min_time ~max_time () =
     ios = Stats.Counter.create ();
     busy_time = 0.0;
     stats_since = Engine.now engine;
+    tl = None;
   }
+
+let attach_timeline t ~timeline ~track =
+  t.tl <- Some (timeline, track, Telemetry.Timeline.intern timeline "io")
 
 (* A transient stall delays the request before it enters the service
    queue; the bounded retry re-issues it until the stall clears (or the
@@ -55,6 +63,10 @@ let io t =
   t.free_at <- finish;
   t.busy_time <- t.busy_time +. service;
   Stats.Counter.incr t.ios;
+  (match t.tl with
+  | Some (tl, track, name) ->
+    Telemetry.Timeline.complete tl ~track ~name ~t0:start ~t1:finish ()
+  | None -> ());
   Proc.hold t.engine (finish -. now)
 
 let io_count t = Stats.Counter.value t.ios

@@ -28,3 +28,8 @@ val io : t -> unit
 val io_count : t -> int
 val utilization : t -> float
 val reset_stats : t -> unit
+
+val attach_timeline : t -> timeline:Telemetry.Timeline.t -> track:int -> unit
+(** Record one "io" Complete span per I/O on [track], covering the
+    [start, finish] service interval (queueing excluded).  The FIFO
+    discipline keeps the track's spans non-overlapping. *)

@@ -11,6 +11,13 @@ let create engine ~rng ?faults ~disks ~min_time ~max_time () =
 
 let io t = Disk.io (Rng.pick t.rng t.disks)
 
+let attach_timeline t ~timeline ~tracks =
+  if Array.length tracks <> Array.length t.disks then
+    invalid_arg "Disk_array.attach_timeline: track count mismatch";
+  Array.iteri
+    (fun i d -> Disk.attach_timeline d ~timeline ~track:tracks.(i))
+    t.disks
+
 let io_count t =
   Array.fold_left (fun acc d -> acc + Disk.io_count d) 0 t.disks
 

@@ -25,3 +25,8 @@ val utilization : t -> float
 (** Mean utilization across the disks. *)
 
 val reset_stats : t -> unit
+
+val attach_timeline :
+  t -> timeline:Telemetry.Timeline.t -> tracks:int array -> unit
+(** One track per disk, in disk order; raises [Invalid_argument] on a
+    length mismatch.  See {!Disk.attach_timeline}. *)

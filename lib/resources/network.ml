@@ -8,6 +8,9 @@ type t = {
   bytes : Stats.Counter.t;
   mutable busy_time : float;
   mutable stats_since : float;
+  mutable tl : (Telemetry.Timeline.t * int * int) option;
+      (* (timeline, track, "xfer" name): one Complete span per
+         transfer, arg = payload bytes; serialized by [free_at]. *)
 }
 
 let create engine ~bandwidth_mbits =
@@ -20,7 +23,11 @@ let create engine ~bandwidth_mbits =
     bytes = Stats.Counter.create ();
     busy_time = 0.0;
     stats_since = Engine.now engine;
+    tl = None;
   }
+
+let attach_timeline t ~timeline ~track =
+  t.tl <- Some (timeline, track, Telemetry.Timeline.intern timeline "xfer")
 
 let transfer t ~bytes =
   if bytes < 0 then invalid_arg "Network.transfer: negative size";
@@ -32,6 +39,10 @@ let transfer t ~bytes =
   t.busy_time <- t.busy_time +. service;
   Stats.Counter.incr t.msgs;
   Stats.Counter.add t.bytes bytes;
+  (match t.tl with
+  | Some (tl, track, name) ->
+    Telemetry.Timeline.complete tl ~track ~name ~arg:bytes ~t0:start ~t1:finish ()
+  | None -> ());
   Proc.hold t.engine (finish -. now)
 
 let messages t = Stats.Counter.value t.msgs

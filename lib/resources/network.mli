@@ -16,3 +16,7 @@ val messages : t -> int
 val bytes_sent : t -> int
 val utilization : t -> float
 val reset_stats : t -> unit
+
+val attach_timeline : t -> timeline:Telemetry.Timeline.t -> track:int -> unit
+(** Record one "xfer" Complete span (arg = payload bytes) per transfer
+    on [track], covering the on-the-wire interval. *)

@@ -1,0 +1,117 @@
+(* Chrome trace-event JSON ("JSON Array Format" variant with an object
+   wrapper), loadable by Perfetto and chrome://tracing.  One simulated
+   second maps to one trace second (timestamps are microseconds).  Each
+   timeline track becomes a thread of pid 1, named via "thread_name"
+   metadata.
+
+   Ring overwrite can orphan an [End] whose [Begin] was dropped, and
+   the run can finish with spans still open (a transaction in flight, a
+   busy CPU).  Orphan ends are dropped (counted in [`dropped_ends]);
+   open begins are closed with synthetic ends at [close_at]. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let us t = t *. 1e6
+
+let to_buffer ?(process_name = "oodbsim") ?close_at tl buf =
+  let close_at =
+    match close_at with Some c -> c | None -> Timeline.last_time tl
+  in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  emit
+    (Printf.sprintf
+       "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+       (escape process_name));
+  for trk = 0 to Timeline.num_tracks tl - 1 do
+    emit
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+         (trk + 1)
+         (escape (Timeline.track_name tl trk)));
+    (* sort_index pins viewer row order to track definition order *)
+    emit
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}"
+         (trk + 1) trk)
+  done;
+  let depth = Array.make (max 1 (Timeline.num_tracks tl)) 0 in
+  let dropped_ends = ref 0 in
+  let args_field arg =
+    if arg < 0 then "" else Printf.sprintf ",\"args\":{\"id\":%d}" arg
+  in
+  Timeline.iter tl (fun ~kind ~track ~name ~arg ~t0 ~t1 ->
+      let tid = track + 1 in
+      match kind with
+      | Timeline.Instant ->
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\",\"name\":\"%s\"%s}"
+             tid (us t0)
+             (escape (Timeline.name_of tl name))
+             (args_field arg))
+      | Timeline.Begin ->
+        depth.(track) <- depth.(track) + 1;
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\"%s}"
+             tid (us t0)
+             (escape (Timeline.name_of tl name))
+             (args_field arg))
+      | Timeline.End ->
+        if depth.(track) = 0 then incr dropped_ends
+        else begin
+          depth.(track) <- depth.(track) - 1;
+          emit (Printf.sprintf "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f}" tid (us t0))
+        end
+      | Timeline.Complete ->
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"name\":\"%s\"%s}"
+             tid (us t0)
+             (us (t1 -. t0))
+             (escape (Timeline.name_of tl name))
+             (args_field arg)));
+  (* Close spans still open at the end of the recording. *)
+  Array.iteri
+    (fun track d ->
+      for _ = 1 to d do
+        emit
+          (Printf.sprintf "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f}"
+             (track + 1) (us close_at))
+      done)
+    depth;
+  Buffer.add_string buf "\n]}\n";
+  !dropped_ends
+
+let to_json ?process_name ?close_at tl =
+  let buf = Buffer.create 65536 in
+  let _dropped = to_buffer ?process_name ?close_at tl buf in
+  Buffer.contents buf
+
+let write_file ?process_name ?close_at ~path tl =
+  let buf = Buffer.create 65536 in
+  let dropped = to_buffer ?process_name ?close_at tl buf in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  dropped

@@ -1,0 +1,20 @@
+(** Chrome/Perfetto trace-event exporter for {!Timeline}.
+
+    Produces the JSON trace-event format understood by
+    [ui.perfetto.dev] and [chrome://tracing]: one process (pid 1), one
+    thread per track (tid = track id + 1, named with [thread_name]
+    metadata), simulated seconds exported as trace microseconds.
+    Spans become ["B"]/["E"] pairs, one-shot spans ["X"] complete
+    events, instants ["i"].
+
+    [End] entries whose [Begin] was lost to ring overwrite are dropped;
+    spans still open when the recording stops are closed with synthetic
+    ends at [close_at] (default: the latest timestamp recorded), so the
+    emitted trace always has matched begin/end per track. *)
+
+val to_json : ?process_name:string -> ?close_at:float -> Timeline.t -> string
+
+val write_file :
+  ?process_name:string -> ?close_at:float -> path:string -> Timeline.t -> int
+(** Returns the number of orphan [End] entries dropped (spans whose
+    beginning was overwritten by ring wrap). *)

@@ -1,0 +1,132 @@
+type kind = Instant | Begin | End | Complete
+
+let kind_code = function Instant -> 0 | Begin -> 1 | End -> 2 | Complete -> 3
+let kind_of_code = function
+  | 0 -> Instant
+  | 1 -> Begin
+  | 2 -> End
+  | _ -> Complete
+
+type t = {
+  capacity : int;
+  kinds : Bytes.t;
+  tracks : int array;
+  names : int array;
+  args : int array;  (* -1 = absent *)
+  t0s : float array;
+  t1s : float array;
+  mutable written : int;  (* total ever recorded; slot = written mod capacity *)
+  mutable track_names : string array;
+  mutable num_tracks : int;
+  mutable name_table : string array;
+  mutable num_names : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Timeline.create: capacity < 1";
+  {
+    capacity;
+    kinds = Bytes.make capacity '\000';
+    tracks = Array.make capacity 0;
+    names = Array.make capacity (-1);
+    args = Array.make capacity (-1);
+    t0s = Array.make capacity 0.0;
+    t1s = Array.make capacity 0.0;
+    written = 0;
+    track_names = Array.make 8 "";
+    num_tracks = 0;
+    name_table = Array.make 16 "";
+    num_names = 0;
+  }
+
+let grow a n = Array.append a (Array.make (Array.length a * 2) n)
+
+let define_track t name =
+  if t.num_tracks = Array.length t.track_names then
+    t.track_names <- grow t.track_names "";
+  t.track_names.(t.num_tracks) <- name;
+  t.num_tracks <- t.num_tracks + 1;
+  t.num_tracks - 1
+
+let num_tracks t = t.num_tracks
+let track_name t i = t.track_names.(i)
+
+let intern t name =
+  let rec find i = if i >= t.num_names then -1
+    else if String.equal t.name_table.(i) name then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then i
+  else begin
+    if t.num_names = Array.length t.name_table then
+      t.name_table <- grow t.name_table "";
+    t.name_table.(t.num_names) <- name;
+    t.num_names <- t.num_names + 1;
+    t.num_names - 1
+  end
+
+let name_of t i = if i < 0 then "" else t.name_table.(i)
+
+let push t kind ~track ~name ~arg ~t0 ~t1 =
+  let s = t.written mod t.capacity in
+  Bytes.unsafe_set t.kinds s (Char.unsafe_chr (kind_code kind));
+  t.tracks.(s) <- track;
+  t.names.(s) <- name;
+  t.args.(s) <- arg;
+  t.t0s.(s) <- t0;
+  t.t1s.(s) <- t1;
+  t.written <- t.written + 1
+
+let instant t ~track ~name ?(arg = -1) now =
+  push t Instant ~track ~name ~arg ~t0:now ~t1:now
+
+let span_begin t ~track ~name ?(arg = -1) now =
+  push t Begin ~track ~name ~arg ~t0:now ~t1:now
+
+let span_end t ~track now =
+  push t End ~track ~name:(-1) ~arg:(-1) ~t0:now ~t1:now
+
+let complete t ~track ~name ?(arg = -1) ~t0 ~t1 () =
+  push t Complete ~track ~name ~arg ~t0 ~t1
+
+let recorded t = t.written
+let length t = if t.written < t.capacity then t.written else t.capacity
+let dropped t = if t.written < t.capacity then 0 else t.written - t.capacity
+
+let clear t = t.written <- 0
+
+let iter t f =
+  let first = if t.written < t.capacity then 0 else t.written - t.capacity in
+  for e = first to t.written - 1 do
+    let s = e mod t.capacity in
+    f
+      ~kind:(kind_of_code (Char.code (Bytes.get t.kinds s)))
+      ~track:t.tracks.(s) ~name:t.names.(s) ~arg:t.args.(s) ~t0:t.t0s.(s)
+      ~t1:t.t1s.(s)
+  done
+
+let last_time t =
+  let m = ref 0.0 in
+  iter t (fun ~kind:_ ~track:_ ~name:_ ~arg:_ ~t0:_ ~t1 ->
+      if t1 > !m then m := t1);
+  !m
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "timeline: %d tracks, %d recorded, %d dropped\n"
+       t.num_tracks t.written (dropped t));
+  iter t (fun ~kind ~track ~name ~arg ~t0 ~t1 ->
+      let k, times =
+        match kind with
+        | Instant -> ("i", Printf.sprintf "%.6f" t0)
+        | Begin -> ("b", Printf.sprintf "%.6f" t0)
+        | End -> ("e", Printf.sprintf "%.6f" t0)
+        | Complete -> ("x", Printf.sprintf "%.6f %.6f" t0 t1)
+      in
+      let a = if arg < 0 then "" else Printf.sprintf " #%d" arg in
+      let n = if name < 0 then "-" else name_of t name in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s%s\n" times (track_name t track) k n a));
+  Buffer.contents buf

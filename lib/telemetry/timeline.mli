@@ -1,0 +1,66 @@
+(** Ring-buffered binary timeline recorder (a flight recorder).
+
+    Entries are spans ([Begin]/[End] pairs on a track, or a one-shot
+    [Complete] with both endpoints known at record time) and point
+    [Instant]s, stamped with simulated time and stored
+    structure-of-arrays in a fixed-capacity ring: once full, the oldest
+    entries are overwritten, so the recorder keeps the *tail* of the
+    run at constant memory and never allocates on the record path.
+    Event names are interned to small ints up front; the optional
+    [arg] carries a transaction/page/byte-count id.
+
+    Recording is pure observation — no RNG, no scheduled events — so a
+    run with a timeline attached is byte-identical to one without. *)
+
+type t
+type kind = Instant | Begin | End | Complete
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 entries (~2.4 MB). *)
+
+val define_track : t -> string -> int
+(** Register a track (one row in the viewer); returns its id.  Track
+    ids are dense, in definition order. *)
+
+val num_tracks : t -> int
+val track_name : t -> int -> string
+
+val intern : t -> string -> int
+(** Intern an event name; call once per hook site, not per event. *)
+
+val name_of : t -> int -> string
+
+val instant : t -> track:int -> name:int -> ?arg:int -> float -> unit
+val span_begin : t -> track:int -> name:int -> ?arg:int -> float -> unit
+
+val span_end : t -> track:int -> float -> unit
+(** Close the innermost open span on [track]. *)
+
+val complete :
+  t -> track:int -> name:int -> ?arg:int -> t0:float -> t1:float -> unit -> unit
+(** A whole span in one entry; use when the end time is known when the
+    work is issued (disk I/O, network transfer). *)
+
+val recorded : t -> int
+(** Total entries ever recorded, including overwritten ones. *)
+
+val length : t -> int
+(** Entries currently held (at most the capacity). *)
+
+val dropped : t -> int
+(** Entries lost to ring overwrite: [recorded - length]. *)
+
+val clear : t -> unit
+
+val iter :
+  t ->
+  (kind:kind -> track:int -> name:int -> arg:int -> t0:float -> t1:float -> unit) ->
+  unit
+(** Surviving entries, oldest first.  [name] and [arg] are [-1] when
+    absent; for non-[Complete] kinds [t1 = t0]. *)
+
+val last_time : t -> float
+(** Latest timestamp held, 0.0 when empty. *)
+
+val dump : t -> string
+(** Compact text form (one line per entry), for goldens and diffing. *)

@@ -20,4 +20,6 @@ let () =
       ("runner", Test_runner.suite);
       ("oracle", Test_oracle.suite);
       ("harness", Test_harness.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("report", Test_report.suite);
     ]

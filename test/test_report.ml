@@ -1,0 +1,163 @@
+(* CSV schema round-trip: every row of both exporters must carry
+   exactly as many fields as its header — including the percentile
+   columns — so downstream plotting scripts never mis-align. *)
+
+open Oodb_core
+
+let split_csv line = String.split_on_char ',' line
+
+let lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let check_arity ~what csv =
+  match lines csv with
+  | [] -> Alcotest.failf "%s: empty CSV" what
+  | header :: rows ->
+    let width = List.length (split_csv header) in
+    Alcotest.(check bool) (what ^ ": header non-trivial") true (width > 10);
+    List.iteri
+      (fun i row ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s: row %d arity matches header" what i)
+          width
+          (List.length (split_csv row)))
+      rows;
+    (header, rows)
+
+let contains_field header f = List.mem f (split_csv header)
+
+(* One small real run, reused for every cell: the schema, not the
+   numbers, is under test. *)
+let result =
+  lazy
+    (let cfg = Config.default in
+     let params =
+       Workload.Presets.make Workload.Presets.Hotcold
+         ~db_pages:cfg.Config.db_pages
+         ~objects_per_page:cfg.Config.objects_per_page
+         ~num_clients:cfg.Config.num_clients ~locality:Workload.Presets.Low
+         ~write_prob:0.1
+     in
+     Runner.run ~warmup:3.0 ~measure:10.0 ~cfg ~algo:Algo.PS_AA ~params ())
+
+let mk_series () =
+  let spec =
+    { (Option.get (Experiments.find "fig3")) with
+      Experiments.write_probs = [ 0.05; 0.1 ] }
+  in
+  let r = Lazy.force result in
+  let point write_prob =
+    {
+      Experiments.write_prob;
+      results = List.map (fun a -> (a, { r with Runner.algo = a })) Algo.all;
+    }
+  in
+  { Experiments.spec; points = List.map point spec.Experiments.write_probs }
+
+let mk_fault_series () =
+  let r = Lazy.force result in
+  let rates = [ 0.0; 0.01 ] in
+  let point rate =
+    {
+      Experiments.rate;
+      fresults = List.map (fun a -> (a, { r with Runner.algo = a })) Algo.all;
+    }
+  in
+  { Experiments.frates = rates; fpoints = List.map point rates }
+
+let test_series_csv () =
+  let series = mk_series () in
+  let csv = Report.series_to_csv series in
+  let header, rows = check_arity ~what:"series_to_csv" csv in
+  Alcotest.(check int) "one row per (wp, algo) cell"
+    (2 * List.length Algo.all)
+    (List.length rows);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "header has %s" f)
+        true
+        (contains_field header f))
+    [
+      "figure"; "write_prob"; "algo"; "throughput"; "resp_ms";
+      "resp_p50_ms"; "resp_p90_ms"; "resp_p99_ms"; "lock_wait_p99_ms";
+      "cb_round_p99_ms";
+    ];
+  (* The percentile cells are real numbers, parseable and ordered. *)
+  let idx name =
+    let rec go i = function
+      | [] -> Alcotest.failf "no %s column" name
+      | f :: _ when f = name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 (split_csv header)
+  in
+  let p50_i = idx "resp_p50_ms" and p99_i = idx "resp_p99_ms" in
+  List.iter
+    (fun row ->
+      let fields = Array.of_list (split_csv row) in
+      let p50 = float_of_string fields.(p50_i)
+      and p99 = float_of_string fields.(p99_i) in
+      Alcotest.(check bool) "p50 <= p99 in CSV" true (p50 <= p99))
+    rows
+
+let test_fault_series_csv () =
+  let csv = Report.fault_series_to_csv (mk_fault_series ()) in
+  let header, rows = check_arity ~what:"fault_series_to_csv" csv in
+  Alcotest.(check int) "one row per (rate, algo) cell"
+    (2 * List.length Algo.all)
+    (List.length rows);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "header has %s" f)
+        true
+        (contains_field header f))
+    [
+      "rate"; "algo"; "throughput"; "faults_injected"; "recoveries";
+      "resp_p50_ms"; "resp_p99_ms"; "lock_wait_p99_ms";
+    ]
+
+let test_percentile_report_renders () =
+  let r = Lazy.force result in
+  let s = Format.asprintf "%a" Report.pp_percentiles r in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions response percentiles" true
+    (contains "response p50/p90/p99");
+  Alcotest.(check bool) "mentions lock wait" true (contains "lock wait p99");
+  let series = mk_series () in
+  let sp = Format.asprintf "%a" Report.pp_series_percentiles series in
+  Alcotest.(check bool) "series percentiles render" true
+    (String.length sp > 100)
+
+let test_merged_hists () =
+  let series = mk_series () in
+  let merged = Report.merged_response_hists series in
+  Alcotest.(check int) "one merged histogram per algorithm"
+    (List.length Algo.all) (List.length merged);
+  let r = Lazy.force result in
+  let per_cell =
+    Telemetry.Histogram.count r.Runner.hists.Metrics.h_response
+  in
+  List.iter
+    (fun ((a : Algo.t), h) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: merged count = sum of cells" (Algo.to_string a))
+        (2 * per_cell)
+        (Telemetry.Histogram.count h))
+    merged
+
+let suite =
+  [
+    Alcotest.test_case "series CSV arity + percentile columns" `Quick
+      test_series_csv;
+    Alcotest.test_case "fault series CSV arity" `Quick test_fault_series_csv;
+    Alcotest.test_case "percentile reports render" `Quick
+      test_percentile_report_renders;
+    Alcotest.test_case "merged histograms across a series" `Quick
+      test_merged_hists;
+  ]
