@@ -1,0 +1,72 @@
+(* Sharded-server benchmark: the fig3 reference cell (PS-AA, write
+   probability 0.1) at 1, 2 and 4 partitioned servers, reporting
+   simulator events/sec (host-side cost of the topology) alongside the
+   simulated throughput and response p99 (model-side effect).
+
+   Each line of output is a JSON object; paste the numbers into
+   BENCH_shard.json (see that file for the recording convention).
+
+   SHARD_BENCH_MEASURE scales the simulated measurement window in
+   seconds (default 60; CI smoke uses 5).
+
+   Regenerating BENCH_shard.json:
+
+     dune build bench/shard_bench.exe
+     for i in 1 2 3 4 5; do
+       SHARD_BENCH_MEASURE=120 ./_build/default/bench/shard_bench.exe
+     done
+
+   Take the best events_per_sec per servers count (best-of-5 suppresses
+   scheduler noise on a busy 1-core container).  For the regression
+   check against the unsharded code, build the pre-shard commit's
+   oodbsim in a worktree and alternate it run-for-run against the new
+   binary at --servers 1 on the same cell, so both see the same machine
+   conditions; the servers=1 event schedule is byte-identical, making
+   wall time the only degree of freedom. *)
+
+open Oodb_core
+
+let measure_s =
+  match Sys.getenv_opt "SHARD_BENCH_MEASURE" with
+  | Some s -> (try max 1.0 (float_of_string s) with _ -> 60.0)
+  | None -> 60.0
+
+let warmup_s = 5.0
+let seed = 42
+
+let cell ~servers =
+  let spec = Option.get (Experiments.find "fig3") in
+  let cfg = { (Experiments.cfg_of spec) with Config.servers } in
+  let params = Experiments.params_of spec ~write_prob:0.1 in
+  let sys = Model.create ~cfg ~algo:Algo.PS_AA ~params ~seed in
+  Netlayer.install_edge_exchange sys;
+  Client.start sys;
+  Crash.install sys;
+  let engine = sys.Model.engine in
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  Simcore.Engine.run_until engine warmup_s;
+  Metrics.reset sys.Model.metrics ~now:warmup_s;
+  Simcore.Engine.run_until engine (warmup_s +. measure_s);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  sys.Model.live <- false;
+  let m = sys.Model.metrics in
+  let commits = Metrics.commits m in
+  assert (commits > 0);
+  let events = Simcore.Engine.events_processed engine in
+  Printf.printf
+    "{\"bench\": \"shard_cell\", \"servers\": %d, \"events\": %d, \"wall_s\": \
+     %.4f, \"events_per_sec\": %.0f, \"commits\": %d, \"tps\": %.2f, \
+     \"resp_p99_ms\": %.1f}\n\
+     %!"
+    servers events wall_s
+    (float_of_int events /. wall_s)
+    commits
+    (Metrics.throughput m ~now:(warmup_s +. measure_s))
+    (1000.0 *. Metrics.response_quantile m 0.99)
+
+let () =
+  Printf.printf
+    "# shard_bench: measure=%.0fs sim (SHARD_BENCH_MEASURE to change)\n%!"
+    measure_s;
+  List.iter (fun servers -> cell ~servers) [ 1; 2; 4 ]

@@ -58,6 +58,18 @@ let write_series_timelines ~dir ~id (series : Experiments.series) =
         p.Experiments.results)
     series.Experiments.points
 
+let write_shard_timelines ~dir (series : Experiments.shard_series) =
+  mkdir_p dir;
+  List.iter
+    (fun (p : Experiments.shard_point) ->
+      List.iter
+        (fun (algo, r) ->
+          write_timeline ~dir ~id:"shardsweep"
+            ~coord:(Printf.sprintf "srv%d" p.Experiments.servers)
+            algo r)
+        p.Experiments.sresults)
+    series.Experiments.spoints
+
 let write_fault_timelines ~dir (series : Experiments.fault_series) =
   mkdir_p dir;
   List.iter
@@ -98,6 +110,22 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
     | None -> true
     | Some dir ->
       write_csv ~dir ~id:"faultsweep" (Report.fault_series_to_csv series))
+  | "shardsweep" ->
+    let progress j r =
+      Format.printf "  %s@.%!" (Experiments.progress_line j r)
+    in
+    let jobs =
+      Experiments.shard_jobs ~time_scale ~oracle
+        ~timeline:(timeline_dir <> None) ()
+    in
+    let results = Harness.Pool.run ~jobs:njobs ~progress jobs in
+    let series = Experiments.shard_series_of_results results in
+    Format.printf "%a@." Report.pp_shard_series series;
+    Option.iter (fun dir -> write_shard_timelines ~dir series) timeline_dir;
+    (match csv_dir with
+    | None -> true
+    | Some dir ->
+      write_csv ~dir ~id:"shardsweep" (Report.shard_series_to_csv series))
   | id -> (
     match Experiments.find id with
     | None ->
@@ -121,7 +149,8 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
 
 let all_ids =
   [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
-    "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "faultsweep" ]
+    "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "faultsweep";
+    "shardsweep" ]
 
 let run ids time_scale oracle timeline_dir percentiles njobs csv_dir detail =
   let ids = if ids = [] then all_ids else ids in
@@ -154,8 +183,8 @@ let ids_t =
     value & pos_all string []
     & info [] ~docv:"ID"
         ~doc:
-          "Experiment ids (fig3..fig14, table1, table2, faultsweep); all \
-           when omitted")
+          "Experiment ids (fig3..fig14, table1, table2, faultsweep, \
+           shardsweep); all when omitted")
 
 let time_scale_t =
   Arg.(

@@ -34,6 +34,18 @@ let workload_conv =
   Arg.conv
     (parse, fun ppf w -> Format.pp_print_string ppf (Workload.Presets.name_to_string w))
 
+let partition_conv =
+  let parse = function
+    | "hash" -> Ok Oodb_core.Config.Hash
+    | "range" -> Ok Oodb_core.Config.Range
+    | s -> Error (`Msg (Printf.sprintf "unknown partition policy %S (hash|range)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p ->
+        Format.pp_print_string ppf
+          (match p with Oodb_core.Config.Hash -> "hash" | Oodb_core.Config.Range -> "range") )
+
 let locality_conv =
   let parse = function
     | "low" -> Ok Workload.Presets.Low
@@ -90,9 +102,10 @@ let timeline_path base ~multi ~label =
     in
     Filename.concat dir (Printf.sprintf "%s-%s%s" stem label ext)
 
-let run algo workload locality write_probs clients db_scale seed njobs warmup
-    measure verbose trace oracle oracle_dump_dir timeline_file percentiles
-    crash_rate restart_delay msg_loss msg_dup disk_stall max_events =
+let run algo workload locality write_probs clients db_scale servers partition
+    seed njobs warmup measure verbose trace oracle oracle_dump_dir
+    timeline_file percentiles crash_rate restart_delay msg_loss msg_dup
+    disk_stall max_events =
   if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
   let write_probs = if write_probs = [] then [ 0.1 ] else write_probs in
   let faults =
@@ -111,6 +124,8 @@ let run algo workload locality write_probs clients db_scale seed njobs warmup
       {
         Config.default with
         num_clients = clients;
+        servers;
+        partition;
         faults;
         oracle;
         timeline = timeline_file <> None;
@@ -197,6 +212,25 @@ let clients_t =
 
 let scale_t =
   Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Database/buffer scale factor")
+
+let servers_t =
+  Arg.(
+    value & opt int 1
+    & info [ "servers" ] ~docv:"N"
+        ~doc:
+          "Number of partitioned page servers (default 1, the paper's \
+           singleton topology; each server owns the pages its partition \
+           maps to, with cross-server callback forwarding and distributed \
+           deadlock detection)")
+
+let partition_t =
+  Arg.(
+    value
+    & opt partition_conv Oodb_core.Config.Hash
+    & info [ "partition" ]
+        ~doc:
+          "Page-to-server placement policy: $(b,hash) (page mod servers) or \
+           $(b,range) (contiguous page ranges)")
 
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed")
@@ -315,7 +349,7 @@ let cmd =
     (Cmd.info "oodbsim" ~doc)
     Term.(
       const run $ algo_t $ workload_t $ locality_t $ wp_t $ clients_t $ scale_t
-      $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t $ oracle_t
+      $ servers_t $ partition_t $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t $ oracle_t
       $ oracle_dump_dir_t $ timeline_t $ percentiles_t $ crash_rate_t
       $ restart_delay_t $ msg_loss_t $ msg_dup_t $ disk_stall_t $ max_events_t)
 

@@ -21,14 +21,14 @@ let run_until_cond engine ~deadline cond =
 
 let dump_locks label sys =
   let page_holder =
-    match Locking.Lock_table.holder sys.Model.server.plocks 0 with
+    match Locking.Lock_table.holder sys.Model.servers.(0).plocks 0 with
     | Some t -> Printf.sprintf "txn %d" t
     | None -> "-"
   in
   let obj_locks =
     List.concat_map
       (fun slot ->
-        match Locking.Lock_table.holder sys.Model.server.olocks (oid 0 slot) with
+        match Locking.Lock_table.holder sys.Model.servers.(0).olocks (oid 0 slot) with
         | Some t -> [ Printf.sprintf "0.%d->txn %d" slot t ]
         | None -> [])
       [ 0; 1; 2; 3; 4; 5 ]

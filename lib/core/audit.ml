@@ -18,21 +18,28 @@ let dump_state sys =
         | Some t -> Printf.sprintf "(txn %d)" t.tid
         | None -> ""))
     sys.clients;
-  add "\n  waits-for:";
-  List.iter
-    (fun (txn, blockers, info) ->
-      add " %d->[%s]%s" txn
-        (String.concat "," (List.map string_of_int blockers))
-        (if info = "" then "" else "(" ^ info ^ ")"))
-    (Locking.Waits_for.dump sys.server.wfg);
-  add "\n  page-lock queues:";
-  List.iter
-    (fun (txn, desc) -> add " %d@%s" txn desc)
-    (Locking.Lock_table.dump_waiting sys.server.plocks string_of_int);
-  add "\n  object-lock queues:";
-  List.iter
-    (fun (txn, desc) -> add " %d@%s" txn desc)
-    (Locking.Lock_table.dump_waiting sys.server.olocks oid_str);
+  Array.iter
+    (fun sv ->
+      let tag =
+        if Array.length sys.servers = 1 then ""
+        else Printf.sprintf " s%d" sv.sid
+      in
+      add "\n %s waits-for:" tag;
+      List.iter
+        (fun (txn, blockers, info) ->
+          add " %d->[%s]%s" txn
+            (String.concat "," (List.map string_of_int blockers))
+            (if info = "" then "" else "(" ^ info ^ ")"))
+        (Locking.Waits_for.dump sv.wfg);
+      add "\n %s page-lock queues:" tag;
+      List.iter
+        (fun (txn, desc) -> add " %d@%s" txn desc)
+        (Locking.Lock_table.dump_waiting sv.plocks string_of_int);
+      add "\n %s object-lock queues:" tag;
+      List.iter
+        (fun (txn, desc) -> add " %d@%s" txn desc)
+        (Locking.Lock_table.dump_waiting sv.olocks oid_str))
+    sys.servers;
   Buffer.contents b
 
 let violation sys ~context fmt =
@@ -48,29 +55,38 @@ let violation sys ~context fmt =
    transaction.  A crashed client's transactions are ended during crash
    reclamation, so this also proves no dead client holds locks. *)
 let check_lock_liveness sys ~context =
-  let wfg = sys.server.wfg in
-  let check_txn what show item txn =
-    if not (Locking.Waits_for.is_active wfg txn) then
-      violation sys ~context "%s %s by ended transaction %d" what (show item)
-        txn
-  in
-  Locking.Lock_table.iter_holders sys.server.plocks (fun p h ->
-      check_txn "page lock held" string_of_int p h);
-  Locking.Lock_table.iter_holders sys.server.olocks (fun o h ->
-      check_txn "object lock held" oid_str o h);
-  Locking.Lock_table.iter_waiters sys.server.plocks (fun p w ->
-      check_txn "page-lock wait queued" string_of_int p w);
-  Locking.Lock_table.iter_waiters sys.server.olocks (fun o w ->
-      check_txn "object-lock wait queued" oid_str o w)
+  Array.iter
+    (fun sv ->
+      (* begin/end_txn are replicated to every partition, so each
+         server's own graph knows the full active set. *)
+      let wfg = sv.wfg in
+      let check_txn what show item txn =
+        if not (Locking.Waits_for.is_active wfg txn) then
+          violation sys ~context "%s %s by ended transaction %d" what
+            (show item) txn
+      in
+      Locking.Lock_table.iter_holders sv.plocks (fun p h ->
+          check_txn "page lock held" string_of_int p h);
+      Locking.Lock_table.iter_holders sv.olocks (fun o h ->
+          check_txn "object lock held" oid_str o h);
+      Locking.Lock_table.iter_waiters sv.plocks (fun p w ->
+          check_txn "page-lock wait queued" string_of_int p w);
+      Locking.Lock_table.iter_waiters sv.olocks (fun o w ->
+          check_txn "object-lock wait queued" oid_str o w))
+    sys.servers
 
 (* Invariant 2: granularity compatibility — a page write lock excludes
    object write locks on the same page by other transactions. *)
 let check_lock_compat sys ~context =
-  Locking.Lock_table.iter_holders sys.server.plocks (fun p h ->
-      if Model.page_has_foreign_obj_lock sys p ~tid:h then
-        violation sys ~context
-          "page %d write-locked by txn %d while a foreign object lock exists"
-          p h)
+  Array.iter
+    (fun sv ->
+      Locking.Lock_table.iter_holders sv.plocks (fun p h ->
+          if Model.page_has_foreign_obj_lock sys p ~tid:h then
+            violation sys ~context
+              "page %d write-locked by txn %d while a foreign object lock \
+               exists"
+              p h))
+    sys.servers
 
 (* Invariant 3: callback coverage — every copy cached at an up client is
    registered (>= 1 reference; a second in-flight reference is legal).
@@ -84,7 +100,8 @@ let check_copy_coverage ?only sys ~context =
           Lru.iter c.cache (fun p _ ->
               if
                 not
-                  (Locking.Copy_table.holds sys.server.pcopies p ~client:c.cid)
+                  (Locking.Copy_table.holds (Model.server_of sys p).pcopies p
+                     ~client:c.cid)
               then
                 violation sys ~context
                   "client %d caches page %d without a copy registration" c.cid
@@ -93,7 +110,9 @@ let check_copy_coverage ?only sys ~context =
           Lru.iter c.ocache (fun o _ ->
               if
                 not
-                  (Locking.Copy_table.holds sys.server.ocopies o ~client:c.cid)
+                  (Locking.Copy_table.holds
+                     (Model.server_of sys o.Ids.Oid.page).ocopies o
+                     ~client:c.cid)
               then
                 violation sys ~context
                   "client %d caches object %s without a copy registration"
@@ -107,8 +126,8 @@ let check_copy_coverage ?only sys ~context =
                   let o = Ids.Oid.make ~page:p ~slot in
                   if
                     not
-                      (Locking.Copy_table.holds sys.server.ocopies o
-                         ~client:c.cid)
+                      (Locking.Copy_table.holds
+                         (Model.server_of sys p).ocopies o ~client:c.cid)
                   then
                     violation sys ~context
                       "client %d caches available object %s without a copy \
@@ -134,12 +153,15 @@ let check_crashed_clients sys ~context =
           violation sys ~context
             "crashed client %d retains %d pages / %d objects in cache" c.cid
             (Lru.size c.cache) (Lru.size c.ocache);
-        let pc =
-          Locking.Copy_table.client_copies sys.server.pcopies ~client:c.cid
+        let count table_of =
+          Array.fold_left
+            (fun acc sv ->
+              acc
+              + Locking.Copy_table.client_copies (table_of sv) ~client:c.cid)
+            0 sys.servers
         in
-        let oc =
-          Locking.Copy_table.client_copies sys.server.ocopies ~client:c.cid
-        in
+        let pc = count (fun sv -> sv.pcopies) in
+        let oc = count (fun sv -> sv.ocopies) in
         if pc > 0 || oc > 0 then
           violation sys ~context
             "crashed client %d still registered for %d pages / %d objects"
@@ -150,11 +172,14 @@ let check_crashed_clients sys ~context =
 (* Invariant 5: deadlock detection runs at every edge addition, so no
    cycle survives between events. *)
 let check_acyclic sys ~context =
-  match Locking.Waits_for.any_cycle sys.server.wfg with
-  | None -> ()
-  | Some cycle ->
-    violation sys ~context "waits-for cycle left unbroken: [%s]"
-      (String.concat " -> " (List.map string_of_int cycle))
+  Array.iter
+    (fun sv ->
+      match Locking.Waits_for.any_cycle sv.wfg with
+      | None -> ()
+      | Some cycle ->
+        violation sys ~context "waits-for cycle left unbroken: [%s]"
+          (String.concat " -> " (List.map string_of_int cycle)))
+    sys.servers
 
 (* Invariant 6: write isolation — no object sits in the updated set of
    two live transactions. *)

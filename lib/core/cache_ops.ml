@@ -8,12 +8,13 @@ open Model
    (Srv.reply_page), so a fresh copy in transit keeps its own
    reference even while its predecessor is being dropped. *)
 let release_page_copy_refs sys cid p (entry : page_entry) =
+  let sv = Model.server_of sys p in
   if Algo.page_grain_copies sys.algo then
-    Locking.Copy_table.unregister sys.server.pcopies p ~client:cid
+    Locking.Copy_table.unregister sv.pcopies p ~client:cid
   else
     for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
       if not (Ids.Int_set.mem slot entry.unavailable) then
-        Locking.Copy_table.unregister sys.server.ocopies
+        Locking.Copy_table.unregister sv.ocopies
           (Ids.Oid.make ~page:p ~slot) ~client:cid
     done
 
@@ -50,7 +51,8 @@ let drop_object sys c oid =
   match Lru.remove c.ocache oid with
   | None -> ()
   | Some _ ->
-    Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid;
+    Locking.Copy_table.unregister
+      (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:c.cid;
     Model.oracle_hook sys (fun o ->
         Oracle.History.drop_copy o ~client:c.cid ~oid)
 
@@ -63,7 +65,8 @@ let mark_unavailable sys c oid =
       (* Under object-grain copy tracking the mark retires this copy's
          reference for the object. *)
       if not (Algo.page_grain_copies sys.algo) then
-        Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid;
+        Locking.Copy_table.unregister
+          (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:c.cid;
       Model.oracle_hook sys (fun o ->
           Oracle.History.drop_copy o ~client:c.cid ~oid)
     end
@@ -106,7 +109,8 @@ let install_object sys c oid =
   | Some entry ->
     (* Already cached: the shipment added a duplicate reference at the
        server; the merged copy keeps a single one. *)
-    Locking.Copy_table.unregister sys.server.ocopies oid ~client:c.cid;
+    Locking.Copy_table.unregister
+      (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:c.cid;
     if not entry.odirty then
       Model.oracle_hook sys (fun o ->
           Oracle.History.install_copy o ~client:c.cid ~oid);
@@ -117,7 +121,8 @@ let install_object sys c oid =
     match Lru.add c.ocache oid { odirty = false } with
     | None -> None
     | Some (victim, ventry) ->
-      Locking.Copy_table.unregister sys.server.ocopies victim ~client:c.cid;
+      Locking.Copy_table.unregister
+        (Model.server_of sys victim.Ids.Oid.page).ocopies victim ~client:c.cid;
       Model.oracle_hook sys (fun o ->
           Oracle.History.drop_copy o ~client:c.cid ~oid:victim);
       if ventry.odirty then Some victim else None)

@@ -11,19 +11,22 @@ type kind =
 type result = Purged | Marked | Not_cached
 
 (* Block behind the client's running transaction: the remote writer now
-   waits (transitively) on it, which the deadlock detector must see. *)
-let wait_for_txn_end sys c ~writer ~blocking =
+   waits (transitively) on it, which the deadlock detector must see.
+   The edge lands in the writing server's graph ([sv], the owner of the
+   contested page); detection runs on the cluster union, so a cycle
+   closed through another partition's graph is still found. *)
+let wait_for_txn_end sys sv c ~writer ~blocking =
   Trace.event sys "callback for txn %d blocked behind txn %d at client %d"
     writer blocking c.cid;
   Metrics.note_callback_blocked sys.metrics;
   Model.tl_hook sys (fun x ->
       Tl.cb_blocked x ~client:c.cid ~writer ~now:(Engine.now sys.engine));
-  Locking.Waits_for.add_blocker sys.server.wfg writer blocking;
-  ignore (Locking.Waits_for.check_deadlock sys.server.wfg ~from:writer);
+  Locking.Waits_for.add_blocker sv.Model.wfg writer blocking;
+  ignore (Locking.Waits_for.check_deadlock sv.Model.wfg ~from:writer);
   Proc.suspend sys.engine (fun resume ->
       c.end_hooks <- (fun () -> resume (Ok ())) :: c.end_hooks)
 
-let handle sys ~client:cid ~writer kind =
+let handle sys ~sv ~client:cid ~writer kind =
   let c = sys.clients.(cid) in
   Resources.Cpu.system c.ccpu sys.cfg.Config.lock_inst;
   let rec attempt () =
@@ -33,7 +36,7 @@ let handle sys ~client:cid ~writer kind =
       else
         match c.running with
         | Some txn when page_in_use txn p ->
-          wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+          wait_for_txn_end sys sv c ~writer ~blocking:txn.tid;
           attempt ()
         | Some _ | None ->
           Cache_ops.drop_page sys c p ~discard_dirty:false;
@@ -43,7 +46,7 @@ let handle sys ~client:cid ~writer kind =
       else
         match c.running with
         | Some txn when obj_in_use txn o ->
-          wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+          wait_for_txn_end sys sv c ~writer ~blocking:txn.tid;
           attempt ()
         | Some _ | None ->
           Cache_ops.drop_object sys c o;
@@ -51,7 +54,7 @@ let handle sys ~client:cid ~writer kind =
     | Mark_obj o -> (
       match c.running with
       | Some txn when obj_in_use txn o ->
-        wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+        wait_for_txn_end sys sv c ~writer ~blocking:txn.tid;
         attempt ()
       | Some _ | None ->
         if Lru.mem c.cache o.Ids.Oid.page then begin
@@ -65,7 +68,7 @@ let handle sys ~client:cid ~writer kind =
       else
         match c.running with
         | Some txn when obj_in_use txn o ->
-          wait_for_txn_end sys c ~writer ~blocking:txn.tid;
+          wait_for_txn_end sys sv c ~writer ~blocking:txn.tid;
           attempt ()
         | Some txn when page_in_use txn p ->
           (* Another object on the page is in use: de-escalated

@@ -27,7 +27,14 @@ type result =
   | Not_cached  (** the copy was already gone *)
 
 val handle :
-  Model.sys -> client:int -> writer:Locking.Lock_types.txn -> kind -> result
+  Model.sys ->
+  sv:Model.server ->
+  client:int ->
+  writer:Locking.Lock_types.txn ->
+  kind ->
+  result
 (** Process one callback at [client] on behalf of the waiting [writer]
-    transaction.  May block the calling fiber behind the client's
-    running transaction. *)
+    transaction, whose wait is registered at [sv] — the server owning
+    the contested page.  May block the calling fiber behind the
+    client's running transaction; the resulting waits-for edge is added
+    to [sv]'s graph. *)

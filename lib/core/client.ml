@@ -111,12 +111,11 @@ let assert_update_invariants sys c txn oid =
                oid.Ids.Oid.page oid.Ids.Oid.slot txn.tid c.cid t.tid other.cid)
         | Some _ | None -> ())
     sys.clients;
+  let sv = Model.server_of sys oid.Ids.Oid.page in
   let holds_page =
-    Locking.Lock_table.held_by sys.server.plocks oid.Ids.Oid.page ~txn:txn.tid
+    Locking.Lock_table.held_by sv.plocks oid.Ids.Oid.page ~txn:txn.tid
   in
-  let holds_obj =
-    Locking.Lock_table.held_by sys.server.olocks oid ~txn:txn.tid
-  in
+  let holds_obj = Locking.Lock_table.held_by sv.olocks oid ~txn:txn.tid in
   let covered =
     match sys.algo with
     | Algo.PS -> holds_page
@@ -304,8 +303,12 @@ let rec attempt sys c ops ~first_started ~restarts =
       Tl.txn_begin x ~client:c.cid ~tid:txn.tid ~now:txn.started);
   if restarts = 0 then Trace.txn sys ~tid:txn.tid ~client:c.cid "start"
   else Trace.txn sys ~tid:txn.tid ~client:c.cid "restart #%d" restarts;
-  Locking.Waits_for.begin_txn sys.server.wfg txn.tid
-    ~start:(Engine.now sys.engine);
+  (* Start times are replicated on every server's graph so any of them
+     can pick a deadlock victim locally (see Waits_for.link). *)
+  let start = Engine.now sys.engine in
+  Array.iter
+    (fun sv -> Locking.Waits_for.begin_txn sv.wfg txn.tid ~start)
+    sys.servers;
   match
     Array.iter (exec_op sys c txn) ops;
     commit sys c txn

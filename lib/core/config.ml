@@ -1,5 +1,6 @@
 type commit_mode = Ship_pages | Redo_at_server
 type update_mode = Merge | Write_token
+type partition = Hash | Range
 
 type t = {
   num_clients : int;
@@ -30,6 +31,8 @@ type t = {
   size_change_prob : float;
   overflow_prob : float;
   forward_inst : float;
+  servers : int;
+  partition : partition;
   faults : Faults.profile;
   oracle : bool;
   cb_drop_every : int;
@@ -67,6 +70,8 @@ let default =
     size_change_prob = 0.0;
     overflow_prob = 0.0;
     forward_inst = 2_000.0;
+    servers = 1;
+    partition = Hash;
     faults = Faults.off;
     oracle = false;
     cb_drop_every = 0;
@@ -111,6 +116,8 @@ let validate t =
   check (t.size_change_prob >= 0.0 && t.size_change_prob <= 1.0)
     "size_change_prob";
   check (t.overflow_prob >= 0.0 && t.overflow_prob <= 1.0) "overflow_prob";
+  check (t.servers >= 1) "servers";
+  check (t.servers <= t.db_pages) "servers vs db_pages";
   check (t.cb_drop_every >= 0) "cb_drop_every";
   check (t.timeline_cap > 0) "timeline_cap";
   Faults.validate t.faults
@@ -158,7 +165,13 @@ let pp ppf t =
       (1000.0 *. p.Faults.disk_stall_time)
       p.Faults.disk_stall_retries
   end;
-  (* Likewise the oracle and sabotage rows: absent at defaults. *)
+  (* Likewise the topology, oracle and sabotage rows: absent at
+     defaults, so the singleton-server table stays byte-identical. *)
+  if t.servers > 1 then begin
+    f "NumServers         %d@," t.servers;
+    f "Partition          %s@,"
+      (match t.partition with Hash -> "hash" | Range -> "range")
+  end;
   if t.oracle then f "SerializabilityOracle on@,";
   if t.cb_drop_every > 0 then f "CallbackDropEvery   %d (sabotage)@," t.cb_drop_every;
   if t.timeline then f "Timeline           on (%d entries)@," t.timeline_cap;

@@ -22,6 +22,12 @@ type update_mode =
           server on token transfer ([Moha91] / Section 6.1, the paper's
           future work) *)
 
+type partition =
+  | Hash  (** page [p] lives at server [p mod servers] *)
+  | Range
+      (** contiguous page ranges: server [p * servers / db_pages]
+          (clamped) *)
+
 type t = {
   num_clients : int;  (** client workstations (10) *)
   client_mips : float;  (** client CPU, MIPS (15) *)
@@ -61,6 +67,11 @@ type t = {
       (** probability a size-changing update overflows its page when
           installed, requiring forwarding *)
   forward_inst : float;  (** server CPU to forward an overflowed object *)
+  servers : int;
+      (** number of partitioned page servers (1 = the paper's singleton
+          topology; each server owns the pages its partition maps to and
+          runs its own CPU, disks, buffer, lock/copy tables) *)
+  partition : partition;  (** page-to-server placement policy *)
   faults : Faults.profile;
       (** fault-injection rates and timing (default {!Faults.off}: no
           crashes, no message loss/duplication, no disk stalls) *)

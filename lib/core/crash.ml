@@ -27,8 +27,10 @@ let crash_client sys cid =
       Model.oracle_hook sys (fun o -> Oracle.History.abort o ~tid:txn.tid);
       (* The wait must be cancelled before the transaction is ended:
          cancellation dequeues its pending lock/callback/token request
-         and schedules the fiber's abort resumption. *)
-      Waits_for.cancel_wait sys.server.wfg txn.tid;
+         and schedules the fiber's abort resumption.  The graphs are
+         linked, so cancelling through any member finds the wait
+         wherever it is registered. *)
+      Waits_for.cancel_wait sys.servers.(0).wfg txn.tid;
       Srv.release_txn_locks sys txn;
       c.running <- None
     | None -> ());
@@ -47,16 +49,20 @@ let crash_client sys cid =
     Model.oracle_hook sys (fun o -> Oracle.History.purge_client o ~client:cid);
     (* Purging also clears references for copies still in transit, so a
        pending callback's resend loop terminates instead of re-calling a
-       site that will never install the copy. *)
-    ignore (Copy_table.purge_client sys.server.pcopies ~client:cid);
-    ignore (Copy_table.purge_client sys.server.ocopies ~client:cid);
-    (* Write tokens owned by the site return to the server pool. *)
-    let owned =
-      Hashtbl.fold
-        (fun p (oc, _) acc -> if oc = cid then p :: acc else acc)
-        sys.server.token_owner []
-    in
-    List.iter (Hashtbl.remove sys.server.token_owner) owned;
+       site that will never install the copy.  Every partition may hold
+       registrations for the site, so sweep them all. *)
+    Array.iter
+      (fun sv ->
+        ignore (Copy_table.purge_client sv.pcopies ~client:cid);
+        ignore (Copy_table.purge_client sv.ocopies ~client:cid);
+        (* Write tokens owned by the site return to the server pool. *)
+        let owned =
+          Hashtbl.fold
+            (fun p (oc, _) acc -> if oc = cid then p :: acc else acc)
+            sv.token_owner []
+        in
+        List.iter (Hashtbl.remove sv.token_owner) owned)
+      sys.servers;
     Faults.run_hook sys.faults "client-crash"
   end
 

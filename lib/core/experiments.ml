@@ -76,10 +76,13 @@ let params_of spec ~write_prob =
     ~num_clients:cfg.Config.num_clients ~locality:spec.locality ~write_prob
 
 (* Jobs are listed write-probability-major, algorithm-minor;
-   [series_of_results] relies on that order to reassemble points. *)
+   [series_of_results] relies on that order to reassemble points.
+   [servers]/[partition] shard the page server without touching the
+   seed: a job's seed derives from its description alone, so the same
+   cell at a different server count replays the same client streams. *)
 let jobs_of_spec ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false)
-    ?(timeline = false) spec =
-  let cfg = { (cfg_of spec) with Config.oracle; timeline } in
+    ?(timeline = false) ?(servers = 1) ?(partition = Config.Hash) spec =
+  let cfg = { (cfg_of spec) with Config.oracle; timeline; servers; partition } in
   let warmup = spec.warmup *. time_scale in
   let measure = spec.measure *. time_scale in
   List.concat_map
@@ -179,12 +182,71 @@ let fault_series_of_results results =
         fault_rates chunks;
   }
 
+(* --- Shard sweep (partitioned-server experiment) ----------------------- *)
+
+(* Fig3's wp=0.1 cell rerun at increasing partition counts.  servers=1
+   is the reference point and must reproduce the plain fig3 numbers. *)
+let shard_counts = [ 1; 2; 4 ]
+
+let shard_write_prob = 0.1
+
+type shard_point = { servers : int; sresults : (Algo.t * Runner.result) list }
+type shard_series = { scounts : int list; spoints : shard_point list }
+
+let shard_base () = Option.get (find "fig3")
+
+let shard_jobs ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false)
+    ?(timeline = false) ?(partition = Config.Hash) ?max_events () =
+  let spec = shard_base () in
+  let params = params_of spec ~write_prob:shard_write_prob in
+  List.concat_map
+    (fun n ->
+      let cfg =
+        { (cfg_of spec) with Config.oracle; timeline; servers = n; partition }
+      in
+      List.map
+        (fun algo ->
+          Job.make ~base_seed:seed ?max_events ~sweep:"shardsweep"
+            ~label:(Printf.sprintf "srv=%d %-5s" n (Algo.to_string algo))
+            ~cfg ~algo ~params ~warmup:(spec.warmup *. time_scale)
+            ~measure:(spec.measure *. time_scale) ())
+        Algo.all)
+    shard_counts
+
+let shard_series_of_results results =
+  let algos = List.length Algo.all in
+  let rec chunk = function
+    | [] -> []
+    | rs ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> invalid_arg "Experiments.shard_series_of_results: missing"
+        | r :: rest ->
+          let c, rest = take (n - 1) rest in
+          (r :: c, rest)
+      in
+      let point, rest = take algos rs in
+      point :: chunk rest
+  in
+  let chunks = chunk results in
+  if List.length chunks <> List.length shard_counts then
+    invalid_arg "Experiments.shard_series_of_results: result/count mismatch";
+  {
+    scounts = shard_counts;
+    spoints =
+      List.map2
+        (fun servers rs -> { servers; sresults = List.combine Algo.all rs })
+        shard_counts chunks;
+  }
+
 let progress_line (j : Job.t) (r : Runner.result) =
   Printf.sprintf "%s %s: %.2f tps" j.Job.sweep j.Job.label r.Runner.throughput
 
-let run_spec ?seed ?time_scale ?oracle ?timeline ?(progress = fun _ -> ())
-    spec =
-  let jobs = jobs_of_spec ?seed ?time_scale ?oracle ?timeline spec in
+let run_spec ?seed ?time_scale ?oracle ?timeline ?servers ?partition
+    ?(progress = fun _ -> ()) spec =
+  let jobs =
+    jobs_of_spec ?seed ?time_scale ?oracle ?timeline ?servers ?partition spec
+  in
   let results =
     List.map
       (fun j ->

@@ -37,10 +37,15 @@ val jobs_of_spec :
   ?time_scale:float ->
   ?oracle:bool ->
   ?timeline:bool ->
+  ?servers:int ->
+  ?partition:Config.partition ->
   spec ->
   Job.t list
 (** Describe every (write probability, algorithm) cell of the figure
-    as a {!Job.t}, write-probability-major.  [time_scale] multiplies
+    as a {!Job.t}, write-probability-major.
+    [servers]/[partition] (defaults 1/[Hash]) shard the page server;
+    neither enters the seed key, so a cell replays the same client
+    request streams at any partition count.  [time_scale] multiplies
     both warm-up and measurement windows (e.g. 0.25 for a quick
     look); [oracle] attaches the serializability oracle and
     [timeline] the event-timeline recorder (both default false;
@@ -76,6 +81,31 @@ val fault_jobs :
 
 val fault_series_of_results : Runner.result list -> fault_series
 
+(** {2 Shard sweep}
+
+    The partitioned-server experiment: fig3's wp=0.1 cell rerun for
+    every protocol at increasing server counts.  servers=1 is the
+    singleton reference point and reproduces the plain fig3 numbers
+    byte-for-byte. *)
+
+val shard_counts : int list
+
+type shard_point = { servers : int; sresults : (Algo.t * Runner.result) list }
+type shard_series = { scounts : int list; spoints : shard_point list }
+
+val shard_jobs :
+  ?seed:int ->
+  ?time_scale:float ->
+  ?oracle:bool ->
+  ?timeline:bool ->
+  ?partition:Config.partition ->
+  ?max_events:int ->
+  unit ->
+  Job.t list
+(** Server-count-major, algorithm-minor, like {!jobs_of_spec}. *)
+
+val shard_series_of_results : Runner.result list -> shard_series
+
 val progress_line : Job.t -> Runner.result -> string
 (** One-line completion message for a cell ("fig3 wp=0.05 PS-AA: ... tps"). *)
 
@@ -84,6 +114,8 @@ val run_spec :
   ?time_scale:float ->
   ?oracle:bool ->
   ?timeline:bool ->
+  ?servers:int ->
+  ?partition:Config.partition ->
   ?progress:(string -> unit) ->
   spec ->
   series

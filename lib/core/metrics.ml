@@ -15,6 +15,8 @@ type msg_class =
   | M_commit_reply
   | M_abort
   | M_abort_reply
+  | M_cb_forward
+  | M_edge_exchange
 
 let msg_class_name = function
   | M_read_req -> "read_req"
@@ -31,12 +33,15 @@ let msg_class_name = function
   | M_commit_reply -> "commit_reply"
   | M_abort -> "abort"
   | M_abort_reply -> "abort_reply"
+  | M_cb_forward -> "cb_forward"
+  | M_edge_exchange -> "edge_exchange"
 
 let all_msg_classes =
   [
     M_read_req; M_read_reply; M_write_req; M_write_reply; M_callback;
     M_callback_reply; M_deescalate; M_deescalate_reply; M_dirty_data;
     M_commit_data; M_commit; M_commit_reply; M_abort; M_abort_reply;
+    M_cb_forward; M_edge_exchange;
   ]
 
 let class_index = function
@@ -54,6 +59,10 @@ let class_index = function
   | M_commit_reply -> 11
   | M_abort -> 12
   | M_abort_reply -> 13
+  | M_cb_forward -> 14
+  | M_edge_exchange -> 15
+
+let num_msg_classes = 16
 
 type t = {
   mutable window_start : float;
@@ -95,7 +104,7 @@ type hist_snapshot = {
 let create () =
   {
     window_start = 0.0;
-    msg_counts = Array.make 14 0;
+    msg_counts = Array.make num_msg_classes 0;
     total_bytes = 0;
     commit_count = 0;
     abort_count = 0;
@@ -117,7 +126,8 @@ let create () =
     response_hist = Telemetry.Histogram.create ();
     lock_wait_hist = Telemetry.Histogram.create ();
     cb_round_hist = Telemetry.Histogram.create ();
-    msg_latency_hists = Array.init 14 (fun _ -> Telemetry.Histogram.create ());
+    msg_latency_hists =
+      Array.init num_msg_classes (fun _ -> Telemetry.Histogram.create ());
   }
 
 let note_msg t cls ~bytes =

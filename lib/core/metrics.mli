@@ -22,6 +22,11 @@ type msg_class =
   | M_commit_reply
   | M_abort
   | M_abort_reply
+  | M_cb_forward
+      (** callback forwarded owner-server → home-server (servers > 1) *)
+  | M_edge_exchange
+      (** waits-for edge shipped server → deadlock coordinator
+          (servers > 1) *)
 
 val msg_class_name : msg_class -> string
 val all_msg_classes : msg_class list

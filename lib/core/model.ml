@@ -39,6 +39,7 @@ type client = {
 }
 
 type server = {
+  sid : int;
   scpu : Resources.Cpu.t;
   sdisks : Resources.Disk_array.t;
   sbuffer : Buffer_pool.t;
@@ -61,7 +62,7 @@ type sys = {
   algo : Algo.t;
   params : Workload.Wparams.t;
   net : Resources.Network.t;
-  server : server;
+  servers : server array;
   clients : client array;
   metrics : Metrics.t;
   faults : Faults.t;
@@ -88,11 +89,35 @@ let fresh_tid sys =
   sys.next_tid <- tid + 1;
   tid
 
+(* Partition map: every page has exactly one owning server; all of the
+   page's state (buffer slot, locks, copies, version, token) lives
+   there.  The map is a pure function of the page id so clients, Cb and
+   Crash can route without consulting any server. *)
+let num_servers sys = Array.length sys.servers
+
+let owner_sid sys p =
+  let n = Array.length sys.servers in
+  if n = 1 then 0
+  else
+    match sys.cfg.Config.partition with
+    | Config.Hash -> p mod n
+    | Config.Range -> min (n - 1) (p * n / sys.cfg.Config.db_pages)
+
+let server_of sys p = sys.servers.(owner_sid sys p)
+
+(* A client's home server relays callbacks from remote partitions (the
+   client keeps one session channel instead of n). *)
+let home_sid sys cid = cid mod Array.length sys.servers
+let home_server sys cid = sys.servers.(home_sid sys cid)
+
 let page_version sys p =
-  match Hashtbl.find_opt sys.server.versions p with Some v -> v | None -> 0
+  match Hashtbl.find_opt (server_of sys p).versions p with
+  | Some v -> v
+  | None -> 0
 
 let bump_page_version sys p ~by =
-  if by > 0 then Hashtbl.replace sys.server.versions p (page_version sys p + by)
+  if by > 0 then
+    Hashtbl.replace (server_of sys p).versions p (page_version sys p + by)
 
 let client_txn sys cid = sys.clients.(cid).running
 
@@ -130,12 +155,13 @@ let unindex_obj_lock server oid =
       else Hashtbl.replace server.olocks_by_page p m)
 
 let foreign_locked_slots sys p ~tid =
-  match Hashtbl.find_opt sys.server.olocks_by_page p with
+  let sv = server_of sys p in
+  match Hashtbl.find_opt sv.olocks_by_page p with
   | None -> Ids.Int_set.empty
   | Some m ->
     Ids.Oid_map.fold
       (fun oid _count acc ->
-        match Locking.Lock_table.holder sys.server.olocks oid with
+        match Locking.Lock_table.holder sv.olocks oid with
         | Some h when h <> tid -> Ids.Int_set.add oid.Ids.Oid.slot acc
         | Some _ | None -> acc)
       m Ids.Int_set.empty
@@ -158,30 +184,46 @@ let create ~cfg ~algo ~params ~seed =
     Faults.create ~profile:cfg.Config.faults
       ~seed:(Rng.key_seed ~seed ~key:"fault-layer")
   in
-  let wfg = Locking.Waits_for.create () in
-  let server =
-    {
-      scpu =
-        Resources.Cpu.create engine ~name:"server" ~mips:cfg.Config.server_mips;
-      sdisks =
-        Resources.Disk_array.create engine ~rng:(Rng.split rng) ~faults
-          ~disks:cfg.Config.server_disks ~min_time:cfg.Config.min_disk_time
-          ~max_time:cfg.Config.max_disk_time ();
-      sbuffer = Buffer_pool.create ~capacity:(Config.server_buf_pages cfg);
-      plocks = Locking.Lock_table.create engine ~waits_for:wfg ~lock_name:"page";
-      olocks =
-        Locking.Lock_table.create engine ~waits_for:wfg ~lock_name:"object";
-      pcopies = Locking.Copy_table.create ~clients:cfg.Config.num_clients;
-      ocopies = Locking.Copy_table.create ~clients:cfg.Config.num_clients;
-      wfg;
-      versions = Hashtbl.create 1024;
-      olocks_by_page = Hashtbl.create 256;
-      deesc_inflight = Hashtbl.create 16;
-      token_owner = Hashtbl.create 256;
-      srv_rng = Rng.split rng;
-      cb_drop_clock = 0;
-    }
+  let n_servers = cfg.Config.servers in
+  (* RNG split order: for each server its disk stream then its local
+     stream, then one stream per client — at servers=1 this is the
+     historical order (disk, server, clients), keeping every run
+     byte-identical to the singleton topology. *)
+  let servers =
+    Array.init n_servers (fun sid ->
+        let wfg = Locking.Waits_for.create () in
+        {
+          sid;
+          scpu =
+            Resources.Cpu.create engine
+              ~name:
+                (if n_servers = 1 then "server"
+                 else Printf.sprintf "server%d" sid)
+              ~mips:cfg.Config.server_mips;
+          sdisks =
+            Resources.Disk_array.create engine ~rng:(Rng.split rng) ~faults
+              ~disks:cfg.Config.server_disks ~min_time:cfg.Config.min_disk_time
+              ~max_time:cfg.Config.max_disk_time ();
+          sbuffer = Buffer_pool.create ~capacity:(Config.server_buf_pages cfg);
+          plocks =
+            Locking.Lock_table.create engine ~waits_for:wfg ~lock_name:"page";
+          olocks =
+            Locking.Lock_table.create engine ~waits_for:wfg ~lock_name:"object";
+          pcopies = Locking.Copy_table.create ~clients:cfg.Config.num_clients;
+          ocopies = Locking.Copy_table.create ~clients:cfg.Config.num_clients;
+          wfg;
+          versions = Hashtbl.create 1024;
+          olocks_by_page = Hashtbl.create 256;
+          deesc_inflight = Hashtbl.create 16;
+          token_owner = Hashtbl.create 256;
+          srv_rng = Rng.split rng;
+          cb_drop_clock = 0;
+        })
   in
+  (* Link the per-server waits-for graphs into one cluster so cycle
+     detection sees the union (distributed deadlock detection with an
+     idealized coordinator; see DESIGN.md). *)
+  Locking.Waits_for.link (Array.map (fun sv -> sv.wfg) servers);
   let clients =
     Array.init cfg.Config.num_clients (fun cid ->
         {
@@ -204,8 +246,8 @@ let create ~cfg ~algo ~params ~seed =
   let timeline =
     if cfg.Config.timeline then
       Some
-        (Tl.create ~num_clients:cfg.Config.num_clients
-           ~disks:cfg.Config.server_disks ~capacity:cfg.Config.timeline_cap)
+        (Tl.create ~servers:n_servers ~num_clients:cfg.Config.num_clients
+           ~disks:cfg.Config.server_disks ~capacity:cfg.Config.timeline_cap ())
     else None
   in
   let sys =
@@ -217,7 +259,7 @@ let create ~cfg ~algo ~params ~seed =
       net =
         Resources.Network.create engine
           ~bandwidth_mbits:cfg.Config.network_mbits;
-      server;
+      servers;
       clients;
       metrics = Metrics.create ();
       faults;
@@ -238,15 +280,18 @@ let create ~cfg ~algo ~params ~seed =
   | None -> ()
   | Some tlx ->
     let tl = Tl.timeline tlx in
-    Resources.Cpu.attach_timeline server.scpu ~timeline:tl
-      ~track:(Tl.trk_server_cpu tlx);
+    Array.iter
+      (fun sv ->
+        Resources.Cpu.attach_timeline sv.scpu ~timeline:tl
+          ~track:(Tl.trk_server_cpu tlx ~sid:sv.sid);
+        Resources.Disk_array.attach_timeline sv.sdisks ~timeline:tl
+          ~tracks:(Tl.trk_disks tlx ~sid:sv.sid))
+      servers;
     Array.iteri
       (fun i c ->
         Resources.Cpu.attach_timeline c.ccpu ~timeline:tl
           ~track:(Tl.trk_client_cpus tlx).(i))
       clients;
-    Resources.Disk_array.attach_timeline server.sdisks ~timeline:tl
-      ~tracks:(Tl.trk_disks tlx);
     Resources.Network.attach_timeline sys.net ~timeline:tl
       ~track:(Tl.trk_net tlx));
   sys

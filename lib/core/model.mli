@@ -58,6 +58,7 @@ type client = {
 }
 
 type server = {
+  sid : int;  (** this server's index in [sys.servers] *)
   scpu : Resources.Cpu.t;
   sdisks : Resources.Disk_array.t;
   sbuffer : Buffer_pool.t;
@@ -93,7 +94,9 @@ type sys = {
   algo : Algo.t;
   params : Workload.Wparams.t;
   net : Resources.Network.t;
-  server : server;
+  servers : server array;
+      (** the partitioned page servers; index 0 doubles as the deadlock
+          coordinator when there is more than one *)
   clients : client array;
   metrics : Metrics.t;
   faults : Faults.t;  (** fault-injection state (streams, counters, hook) *)
@@ -122,6 +125,26 @@ val txn_live : sys -> txn -> bool
     client crashed while one of their fibers was suspended. *)
 
 val fresh_tid : sys -> int
+
+(** {2 Partition map}
+
+    Each page is owned by exactly one server: all of its server-side
+    state (buffer slot, locks, copy registrations, version counter,
+    update token) lives there.  Clients additionally have a {e home}
+    server — the one relaying callbacks from remote partitions to
+    them. *)
+
+val num_servers : sys -> int
+
+val owner_sid : sys -> Ids.page -> int
+(** The page's owning server under [cfg.partition] ([Hash]: [p mod n];
+    [Range]: contiguous ranges of [db_pages / n] pages). *)
+
+val server_of : sys -> Ids.page -> server
+val home_sid : sys -> int -> int
+(** A client's home server: [cid mod n]. *)
+
+val home_server : sys -> int -> server
 
 val page_version : sys -> Ids.page -> int
 val bump_page_version : sys -> Ids.page -> by:int -> unit

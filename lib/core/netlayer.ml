@@ -1,11 +1,11 @@
 open Model
 open Simcore
 
-type endpoint = Client of int | Server
+type endpoint = Client of int | Server of int
 
 let cpu_of sys = function
   | Client c -> sys.clients.(c).ccpu
-  | Server -> sys.server.scpu
+  | Server s -> sys.servers.(s).scpu
 
 (* The fault-free path below is kept byte-for-byte identical to the
    original transport: when message faults are disabled no extra RNG
@@ -67,3 +67,26 @@ let page_data sys ~cls ~src ~dst =
 
 let objs_data sys ~cls ~src ~dst ~count =
   send sys ~cls ~src ~dst ~bytes:(Config.objs_msg_bytes sys.cfg ~count)
+
+(* Distributed deadlock detection cost model: whenever a server's local
+   waits-for graph gains an edge it ships that edge to the designated
+   coordinator (server 0).  Detection itself runs synchronously on the
+   union of the linked graphs (Waits_for.link) — the coordinator is
+   idealized as always current, so no deadlock can hide between
+   exchanges — but each exchange still pays one control message of CPU
+   and wire time.  The send is spawned on its own fiber because edges
+   appear inside lock-acquire paths that must not suspend, and it is
+   fire-and-forget: nothing waits on it.  With one server there is no
+   coordinator traffic and no hook, preserving byte-identity. *)
+let install_edge_exchange sys =
+  if Array.length sys.servers > 1 then
+    Array.iter
+      (fun sv ->
+        let sid = sv.Model.sid in
+        if sid <> 0 then
+          Locking.Waits_for.set_exchange_hook sv.Model.wfg (fun _txn ->
+              Proc.spawn sys.engine (fun () ->
+                  control sys ~cls:Metrics.M_edge_exchange ~src:(Server sid)
+                    ~dst:(Server 0))))
+      sys.servers
+

@@ -13,7 +13,7 @@
     idempotently.  With faults disabled the transport is byte-for-byte
     the original reliable path. *)
 
-type endpoint = Client of int | Server
+type endpoint = Client of int | Server of int
 
 val send :
   Model.sys ->
@@ -41,3 +41,11 @@ val objs_data :
   count:int ->
   unit
 (** A message carrying [count] objects. *)
+
+val install_edge_exchange : Model.sys -> unit
+(** With more than one server, hook every non-coordinator server's
+    waits-for graph so each new wait edge ships one
+    [M_edge_exchange] control message to the coordinator (server 0) on
+    a spawned fiber.  Cycle detection itself runs on the union of the
+    linked graphs, so the exchange is pure cost accounting.  No-op at
+    [servers = 1]. *)

@@ -144,8 +144,8 @@ let pp_series_percentiles ppf (s : Experiments.series) =
 let series_to_csv (s : Experiments.series) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "figure,write_prob,algo,throughput,resp_ms,resp_ci_ms,commits,aborts,\
-     deadlocks,msgs_per_commit,kbytes_per_commit,disk_ios,server_cpu,\
+    "figure,write_prob,algo,servers,throughput,resp_ms,resp_ci_ms,commits,\
+     aborts,deadlocks,msgs_per_commit,kbytes_per_commit,disk_ios,server_cpu,\
      client_cpu,disk_util,net_util,deescalations,merges,page_grants,\
      object_grants,resp_p50_ms,resp_p90_ms,resp_p99_ms,lock_wait_p99_ms,\
      cb_round_p99_ms\n";
@@ -155,9 +155,9 @@ let series_to_csv (s : Experiments.series) =
         (fun (a, (r : Runner.result)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "%s,%.3f,%s,%.4f,%.1f,%.1f,%d,%d,%d,%.2f,%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f\n"
+               "%s,%.3f,%s,%d,%.4f,%.1f,%.1f,%d,%d,%d,%.2f,%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f\n"
                s.spec.Experiments.id p.write_prob (Algo.to_string a)
-               r.Runner.throughput
+               r.Runner.n_servers r.Runner.throughput
                (1000.0 *. r.Runner.resp_mean)
                (1000.0 *. r.Runner.resp_ci90)
                r.Runner.commits r.Runner.aborts r.Runner.deadlocks
@@ -241,6 +241,71 @@ let fault_series_to_csv (s : Experiments.fault_series) =
                (1000.0 *. r.Runner.lock_wait_p99)))
         p.fresults)
     s.fpoints;
+  Buffer.contents buf
+
+(* --- Shard sweep --------------------------------------------------------- *)
+
+let shard_throughput (p : Experiments.shard_point) algo =
+  match List.assoc_opt algo p.Experiments.sresults with
+  | Some r -> r.Runner.throughput
+  | None -> nan
+
+let pp_shard_series ppf (s : Experiments.shard_series) =
+  Format.fprintf ppf
+    "@[<v>shardsweep: partitioned page server (HOTCOLD low, wp=0.10)@,";
+  Format.fprintf ppf "throughput (transactions/second)@,";
+  Format.fprintf ppf "%8s" "servers";
+  List.iter (fun a -> Format.fprintf ppf "%9s" (Algo.to_string a)) Algo.all;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (p : Experiments.shard_point) ->
+      Format.fprintf ppf "%8d" p.servers;
+      List.iter
+        (fun a -> Format.fprintf ppf "%9.2f" (shard_throughput p a))
+        Algo.all;
+      Format.fprintf ppf "@,")
+    s.spoints;
+  Format.fprintf ppf "shard detail@,";
+  List.iter
+    (fun (p : Experiments.shard_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Format.fprintf ppf
+            "srv=%d %-6s tput=%6.2f commits=%5d aborts=%4d dlk=%3d \
+             msgs/c=%6.1f fwd=%5d edges=%5d srvCPU=%4.2f disk=%4.2f \
+             net=%4.2f@,"
+            p.servers (Algo.to_string a) r.Runner.throughput r.Runner.commits
+            r.Runner.aborts r.Runner.deadlocks r.Runner.msgs_per_commit
+            r.Runner.cb_forwards r.Runner.edge_exchanges
+            r.Runner.server_cpu_util r.Runner.disk_util r.Runner.net_util)
+        p.sresults)
+    s.spoints;
+  Format.fprintf ppf "@]"
+
+let shard_series_to_csv (s : Experiments.shard_series) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "servers,algo,throughput,resp_ms,commits,aborts,deadlocks,\
+     msgs_per_commit,cb_forwards,edge_exchanges,disk_ios,server_cpu,\
+     disk_util,net_util,resp_p50_ms,resp_p99_ms,lock_wait_p99_ms\n";
+  List.iter
+    (fun (p : Experiments.shard_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%d,%s,%.4f,%.1f,%d,%d,%d,%.2f,%d,%d,%d,%.3f,%.3f,%.3f,%.1f,%.1f,%.1f\n"
+               p.servers (Algo.to_string a) r.Runner.throughput
+               (1000.0 *. r.Runner.resp_mean)
+               r.Runner.commits r.Runner.aborts r.Runner.deadlocks
+               r.Runner.msgs_per_commit r.Runner.cb_forwards
+               r.Runner.edge_exchanges r.Runner.disk_ios
+               r.Runner.server_cpu_util r.Runner.disk_util r.Runner.net_util
+               (1000.0 *. r.Runner.resp_p50)
+               (1000.0 *. r.Runner.resp_p99)
+               (1000.0 *. r.Runner.lock_wait_p99)))
+        p.sresults)
+    s.spoints;
   Buffer.contents buf
 
 let pp_figure5 ppf curves =

@@ -24,7 +24,7 @@ val merged_response_hists :
     point order (deterministic for any pool's execution order). *)
 
 val series_to_csv : Experiments.series -> string
-(** CSV with header [write_prob,algo,throughput,resp_ms,resp_ci_ms,...]
+(** CSV with header [write_prob,algo,servers,throughput,resp_ms,...]
     ending in the percentile fields
     [resp_p50_ms,resp_p90_ms,resp_p99_ms,lock_wait_p99_ms,cb_round_p99_ms]. *)
 
@@ -36,6 +36,14 @@ val pp_fault_series : Format.formatter -> Experiments.fault_series -> unit
 val fault_series_to_csv : Experiments.fault_series -> string
 (** CSV with header [rate,algo,throughput,...,lock_wait_p99_ms] — a
     separate schema from {!series_to_csv}. *)
+
+val pp_shard_series : Format.formatter -> Experiments.shard_series -> unit
+(** Shard sweep: throughput table (one row per server count) plus a
+    per-cell detail listing (callback forwards, edge exchanges,
+    aggregate server CPU/disk utilization). *)
+
+val shard_series_to_csv : Experiments.shard_series -> string
+(** CSV with header [servers,algo,throughput,...,lock_wait_p99_ms]. *)
 
 val pp_figure5 : Format.formatter -> (int * (float * float) list) list -> unit
 

@@ -46,6 +46,9 @@ type result = {
   resp_p99 : float;
   lock_wait_p99 : float;
   cb_round_p99 : float;
+  n_servers : int;
+  cb_forwards : int;
+  edge_exchanges : int;
   hists : Metrics.hist_snapshot;
   timeline : Telemetry.Timeline.t option;
 }
@@ -58,14 +61,23 @@ let () =
     | _ -> None)
 
 let reset_resource_stats sys =
-  Resources.Cpu.reset_stats sys.server.scpu;
+  Array.iter
+    (fun sv ->
+      Resources.Cpu.reset_stats sv.scpu;
+      Resources.Disk_array.reset_stats sv.sdisks)
+    sys.servers;
   Array.iter (fun c -> Resources.Cpu.reset_stats c.ccpu) sys.clients;
-  Resources.Disk_array.reset_stats sys.server.sdisks;
   Resources.Network.reset_stats sys.net
+
+let total_deadlocks sys =
+  Array.fold_left
+    (fun acc sv -> acc + Locking.Waits_for.deadlocks sv.wfg)
+    0 sys.servers
 
 let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
     ~algo ~params () =
   let sys = Model.create ~cfg ~algo ~params ~seed in
+  Netlayer.install_edge_exchange sys;
   Audit.install sys;
   Client.start sys;
   Crash.install sys;
@@ -73,7 +85,7 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
   Metrics.reset sys.metrics ~now:warmup;
   reset_resource_stats sys;
   Faults.reset_counters sys.faults;
-  let deadlocks_at_warmup = Locking.Waits_for.deadlocks sys.server.wfg in
+  let deadlocks_at_warmup = total_deadlocks sys in
   let stop = warmup +. measure in
   Engine.run_until ?max_events sys.engine stop;
   sys.live <- false;
@@ -108,16 +120,27 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
     resp_batches = Metrics.response_batches m;
     commits;
     aborts = Metrics.aborts m;
-    deadlocks = Locking.Waits_for.deadlocks sys.server.wfg - deadlocks_at_warmup;
+    deadlocks = total_deadlocks sys - deadlocks_at_warmup;
     messages = Metrics.messages m;
     msgs_per_commit = Metrics.msgs_per_commit m;
     kbytes_per_commit =
       (if commits = 0 then 0.0
        else float_of_int (Metrics.bytes m) /. 1024.0 /. float_of_int commits);
-    disk_ios = Resources.Disk_array.io_count sys.server.sdisks;
-    server_cpu_util = Resources.Cpu.utilization sys.server.scpu;
+    disk_ios =
+      Array.fold_left
+        (fun acc sv -> acc + Resources.Disk_array.io_count sv.sdisks)
+        0 sys.servers;
+    server_cpu_util =
+      Array.fold_left
+        (fun acc sv -> acc +. Resources.Cpu.utilization sv.scpu)
+        0.0 sys.servers
+      /. float_of_int (Array.length sys.servers);
     client_cpu_util = clients_util;
-    disk_util = Resources.Disk_array.utilization sys.server.sdisks;
+    disk_util =
+      Array.fold_left
+        (fun acc sv -> acc +. Resources.Disk_array.utilization sv.sdisks)
+        0.0 sys.servers
+      /. float_of_int (Array.length sys.servers);
     net_util = Resources.Network.utilization sys.net;
     lock_waits = Metrics.lock_waits m;
     avg_lock_wait = Metrics.avg_lock_wait m;
@@ -151,6 +174,9 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
     resp_p99 = Metrics.response_quantile m 0.99;
     lock_wait_p99 = Metrics.lock_wait_quantile m 0.99;
     cb_round_p99 = Metrics.cb_round_quantile m 0.99;
+    n_servers = Array.length sys.servers;
+    cb_forwards = Metrics.messages_of m Metrics.M_cb_forward;
+    edge_exchanges = Metrics.messages_of m Metrics.M_edge_exchange;
     hists = Metrics.snapshot_hists m;
     timeline = Option.map Tl.timeline sys.timeline;
   }
@@ -169,6 +195,12 @@ let pp_result ppf r =
     r.client_cpu_util r.disk_util r.net_util r.lock_waits
     (1000.0 *. r.avg_lock_wait) r.callback_blocks r.merges r.deescalations
     r.page_write_grants r.object_write_grants;
+  (* The shard line appears only for a partitioned server, so
+     single-server output stays byte-identical to the unsharded build. *)
+  if r.n_servers > 1 then
+    Format.fprintf ppf
+      "@\nshards: %d servers, callback forwards %d, edge exchanges %d"
+      r.n_servers r.cb_forwards r.edge_exchanges;
   (* Fault metrics appear only when faults fired, so fault-free output
      stays byte-identical to a build without the fault layer. *)
   if r.faults_injected > 0 then

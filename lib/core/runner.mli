@@ -54,6 +54,13 @@ type result = {
   resp_p99 : float;
   lock_wait_p99 : float;
   cb_round_p99 : float;  (** callback round-trip p99 *)
+  n_servers : int;  (** number of server partitions in the run *)
+  cb_forwards : int;
+      (** cross-server callback forwarding legs (0 when [n_servers = 1]
+          or every contested page is owned by the client's home server) *)
+  edge_exchanges : int;
+      (** waits-for edge-exchange control messages sent to the
+          deadlock coordinator (server 0); 0 when [n_servers = 1] *)
   hists : Metrics.hist_snapshot;
       (** the full histograms, for merging across sweep cells *)
   timeline : Telemetry.Timeline.t option;

@@ -10,7 +10,7 @@ type read_reply =
 
 type write_reply = W_page | W_obj | W_aborted
 
-let scharge sys instr = Resources.Cpu.system sys.server.scpu instr
+let scharge sv instr = Resources.Cpu.system sv.scpu instr
 
 (* Server-side zombie guard.  An RPC executes in the requesting client's
    fiber; if that client crashes while the fiber is suspended on a
@@ -22,35 +22,40 @@ let scharge sys instr = Resources.Cpu.system sys.server.scpu instr
 let txn_dead sys txn = not (Model.txn_live sys txn)
 
 (* One physical I/O: initiation CPU then the disk itself. *)
-let disk_io sys =
-  scharge sys sys.cfg.Config.disk_overhead_inst;
-  Resources.Disk_array.io sys.server.sdisks
+let disk_io sys sv =
+  scharge sv sys.cfg.Config.disk_overhead_inst;
+  Resources.Disk_array.io sv.sdisks
 
-(* Ensure a page is resident, paying the read (and any dirty
-   write-back).  [read_from_disk:false] installs a full incoming page
-   copy, which needs no read. *)
+(* Ensure a page is resident at its owning server, paying the read (and
+   any dirty write-back).  [read_from_disk:false] installs a full
+   incoming page copy, which needs no read. *)
 let buffer_page sys p ~read_from_disk =
-  match Buffer_pool.access sys.server.sbuffer p with
+  let sv = server_of sys p in
+  match Buffer_pool.access sv.sbuffer p with
   | Buffer_pool.Hit -> ()
   | Buffer_pool.Miss evicted ->
     (match evicted with
-    | Some (_victim, true) -> disk_io sys (* write back dirty victim *)
+    | Some (_victim, true) -> disk_io sys sv (* write back dirty victim *)
     | Some (_, false) | None -> ());
-    if read_from_disk then disk_io sys
+    if read_from_disk then disk_io sys sv
 
 (* Release from the lock tables' own per-transaction maps, not the
    client's mirror: a deadlock victim may hold locks the server granted
    moments before the abort reply, which the client never recorded.
    Idempotent, so it is safe both as normal termination and as the
    cleanup path for a transaction whose locks crash recovery already
-   reclaimed. *)
+   reclaimed.  Sweeps every partition: a transaction may hold locks at
+   any server whose pages it touched. *)
 let release_txn_locks sys txn =
-  List.iter
-    (fun o -> unindex_obj_lock sys.server o)
-    (Lock_table.locks_of sys.server.olocks ~txn:txn.tid);
-  Lock_table.release_all sys.server.olocks ~txn:txn.tid;
-  Lock_table.release_all sys.server.plocks ~txn:txn.tid;
-  Waits_for.end_txn sys.server.wfg txn.tid
+  Array.iter
+    (fun sv ->
+      List.iter
+        (fun o -> unindex_obj_lock sv o)
+        (Lock_table.locks_of sv.olocks ~txn:txn.tid);
+      Lock_table.release_all sv.olocks ~txn:txn.tid;
+      Lock_table.release_all sv.plocks ~txn:txn.tid;
+      Waits_for.end_txn sv.wfg txn.tid)
+    sys.servers
 
 (* Blocking lock-table request with wait-time accounting. *)
 let locked_acquire sys table item ~txn ~kind =
@@ -62,6 +67,10 @@ let locked_acquire sys table item ~txn ~kind =
 
 (* --- Callbacks ------------------------------------------------------- *)
 
+let page_of_kind = function
+  | Cb.Purge_page p -> p
+  | Cb.Purge_obj o | Cb.Mark_obj o | Cb.Adaptive o -> o.Ids.Oid.page
+
 (* The copy tables are maintained exactly and exclusively by the
    client-side cache operations (install/drop/mark, with piggybacked
    deregistration), so a callback acknowledgement never mutates them:
@@ -69,25 +78,32 @@ let locked_acquire sys table item ~txn ~kind =
    the item while the ack is in transit, erasing a registration the
    client legitimately holds. *)
 let copy_registered sys kind target =
+  let sv = server_of sys (page_of_kind kind) in
   match kind with
-  | Cb.Purge_page p -> Copy_table.holds sys.server.pcopies p ~client:target
-  | Cb.Adaptive o ->
-    Copy_table.holds sys.server.pcopies o.Ids.Oid.page ~client:target
-  | Cb.Purge_obj o | Cb.Mark_obj o ->
-    Copy_table.holds sys.server.ocopies o ~client:target
+  | Cb.Purge_page p -> Copy_table.holds sv.pcopies p ~client:target
+  | Cb.Adaptive o -> Copy_table.holds sv.pcopies o.Ids.Oid.page ~client:target
+  | Cb.Purge_obj o | Cb.Mark_obj o -> Copy_table.holds sv.ocopies o ~client:target
 
 (* Issue callbacks to [targets] and wait for all acknowledgements.  The
-   writer's wait is registered in the waits-for graph (the per-client
-   handlers add the actual edges as they discover local conflicts); if
-   the writer is chosen as a deadlock victim meanwhile, the wait resolves
-   to [`Aborted] and the stragglers complete harmlessly in the
-   background.
+   writer's wait is registered in the owning server's waits-for graph
+   (the per-client handlers add the actual edges as they discover local
+   conflicts); if the writer is chosen as a deadlock victim meanwhile,
+   the wait resolves to [`Aborted] and the stragglers complete
+   harmlessly in the background.
+
+   When a target's home server differs from the owning server (only
+   possible at servers > 1), the callback is forwarded: the owner sends
+   an [M_cb_forward] control message to the home server, which relays
+   the callback to the client over its session channel and ships the
+   acknowledgement back the same way, charging [forward_inst] relay CPU.
+   At servers=1 owner and home always coincide and the path is
+   byte-identical to the singleton transport.
 
    A [Not_cached] result while the server still has the target
    registered means the copy was in transit to the client when the
    callback arrived; the callback is re-sent so the conflict is resolved
    against the installed copy rather than silently ignored. *)
-let do_callbacks sys ~writer ~kind ~targets =
+let do_callbacks sys sv ~writer ~kind ~targets =
   (* Sabotage knob for oracle negative tests: silently skip every Nth
      callback target, leaving its stale copy registered and readable —
      exactly the class of protocol bug the serializability oracle
@@ -98,31 +114,46 @@ let do_callbacks sys ~writer ~kind ~targets =
     else
       List.filter
         (fun _ ->
-          let s = sys.server in
-          s.cb_drop_clock <- s.cb_drop_clock + 1;
-          s.cb_drop_clock mod every <> 0)
+          sv.cb_drop_clock <- sv.cb_drop_clock + 1;
+          sv.cb_drop_clock mod every <> 0)
         targets
   in
   if targets = [] then `Acks []
   else begin
     let engine = sys.engine in
+    let owner = sv.sid in
     let gather = Gather.create engine (List.length targets) in
     let outcome = Ivar.create engine in
-    Waits_for.set_wait ~info:"callback-gather" sys.server.wfg writer ~blockers:[]
+    Waits_for.set_wait ~info:"callback-gather" sv.wfg writer ~blockers:[]
       ~cancel:(fun () ->
         if not (Ivar.is_full outcome) then Ivar.fill outcome `Aborted);
     List.iter
       (fun target ->
         Proc.spawn engine (fun () ->
+            let home = home_sid sys target in
             let t0 = Engine.now engine in
-            Model.tl_hook sys (fun x -> Tl.callback_sent x ~target ~now:t0);
+            Model.tl_hook sys (fun x ->
+                Tl.callback_sent x ~sid:owner ~target ~now:t0);
             let rec round () =
-              Netlayer.control sys ~cls:Metrics.M_callback ~src:Netlayer.Server
-                ~dst:(Netlayer.Client target);
-              let result = Cb.handle sys ~client:target ~writer kind in
+              if home <> owner then begin
+                (* Cross-partition leg: owner -> home relay. *)
+                Netlayer.control sys ~cls:Metrics.M_cb_forward
+                  ~src:(Netlayer.Server owner) ~dst:(Netlayer.Server home);
+                Resources.Cpu.system sys.servers.(home).scpu
+                  sys.cfg.Config.forward_inst;
+                Model.tl_hook sys (fun x ->
+                    Tl.callback_forward x ~sid:home ~target
+                      ~now:(Engine.now engine))
+              end;
+              Netlayer.control sys ~cls:Metrics.M_callback
+                ~src:(Netlayer.Server home) ~dst:(Netlayer.Client target);
+              let result = Cb.handle sys ~sv ~client:target ~writer kind in
               Netlayer.control sys ~cls:Metrics.M_callback_reply
-                ~src:(Netlayer.Client target) ~dst:Netlayer.Server;
-              scharge sys sys.cfg.Config.register_copy_inst;
+                ~src:(Netlayer.Client target) ~dst:(Netlayer.Server home);
+              if home <> owner then
+                Netlayer.control sys ~cls:Metrics.M_cb_forward
+                  ~src:(Netlayer.Server home) ~dst:(Netlayer.Server owner);
+              scharge sv sys.cfg.Config.register_copy_inst;
               match result with
               | Cb.Not_cached when copy_registered sys kind target ->
                 round ()
@@ -132,7 +163,8 @@ let do_callbacks sys ~writer ~kind ~targets =
                    the latency a writer actually waits out. *)
                 let now = Engine.now engine in
                 Metrics.note_cb_round sys.metrics ~duration:(now -. t0);
-                Model.tl_hook sys (fun x -> Tl.callback_ack x ~target ~now);
+                Model.tl_hook sys (fun x ->
+                    Tl.callback_ack x ~sid:owner ~target ~now);
                 Gather.add gather (target, result)
             in
             round ()))
@@ -142,7 +174,7 @@ let do_callbacks sys ~writer ~kind ~targets =
         if not (Ivar.is_full outcome) then Ivar.fill outcome (`Acks results));
     let r = Ivar.read outcome in
     (match r with
-    | `Acks _ -> Waits_for.clear_wait sys.server.wfg writer
+    | `Acks _ -> Waits_for.clear_wait sv.wfg writer
     | `Aborted -> ());
     r
   end
@@ -151,15 +183,15 @@ let do_callbacks sys ~writer ~kind ~targets =
    have grown its object; a grown object overflows its page with some
    probability, costing forwarding work and an extra I/O to update the
    anchor page of the forwarded object. *)
-let maybe_overflow sys ~objects =
+let maybe_overflow sys sv ~objects =
   let cfg = sys.cfg in
   let p_over = cfg.Config.size_change_prob *. cfg.Config.overflow_prob in
   if p_over > 0.0 then
     for _ = 1 to objects do
-      if Rng.bool sys.server.srv_rng ~p:p_over then begin
+      if Rng.bool sv.srv_rng ~p:p_over then begin
         Metrics.note_overflow sys.metrics;
-        scharge sys cfg.Config.forward_inst;
-        disk_io sys
+        scharge sv cfg.Config.forward_inst;
+        disk_io sys sv
       end
     done
 
@@ -177,9 +209,11 @@ let client_of_txn sys tid =
 
 (* Ask the holder of a page write lock to de-escalate: it registers
    object write locks for the objects it has updated on the page and
-   gives up the page lock (Section 3.3.3). *)
+   gives up the page lock (Section 3.3.3).  Runs at the page's owning
+   server. *)
 let deescalate_page sys p holder =
-  match Hashtbl.find_opt sys.server.deesc_inflight p with
+  let sv = server_of sys p in
+  match Hashtbl.find_opt sv.deesc_inflight p with
   | Some inflight ->
     (* Another request already triggered this de-escalation; just wait
        for it to finish. *)
@@ -189,9 +223,9 @@ let deescalate_page sys p holder =
     | None -> () (* holder finished in the meantime *)
     | Some hc ->
       let inflight = Ivar.create sys.engine in
-      Hashtbl.replace sys.server.deesc_inflight p inflight;
-      Netlayer.control sys ~cls:Metrics.M_deescalate ~src:Netlayer.Server
-        ~dst:(Netlayer.Client hc.cid);
+      Hashtbl.replace sv.deesc_inflight p inflight;
+      Netlayer.control sys ~cls:Metrics.M_deescalate
+        ~src:(Netlayer.Server sv.sid) ~dst:(Netlayer.Client hc.cid);
       (* Client side: atomically convert the local bookkeeping so any
          further updates at the holder request proper object locks. *)
       Resources.Cpu.system hc.ccpu sys.cfg.Config.lock_inst;
@@ -207,10 +241,10 @@ let deescalate_page sys p holder =
         | _ -> Ids.Oid_set.empty
       in
       Netlayer.control sys ~cls:Metrics.M_deescalate_reply
-        ~src:(Netlayer.Client hc.cid) ~dst:Netlayer.Server;
+        ~src:(Netlayer.Client hc.cid) ~dst:(Netlayer.Server sv.sid);
       let n = Ids.Oid_set.cardinal objs in
       if n > 0 then begin
-        scharge sys (float_of_int n *. sys.cfg.Config.deescalate_inst);
+        scharge sv (float_of_int n *. sys.cfg.Config.deescalate_inst);
         (* The holder may have committed or aborted while the reply (or
            the CPU charge above) was pending — its server-side locks are
            then already gone even though the client-side [running] field
@@ -218,24 +252,22 @@ let deescalate_page sys p holder =
            such a transaction would leak them forever, so the precise
            guard is that the page write lock is still held; no suspension
            can occur between this check and the lock surgery below. *)
-        let holder_alive =
-          Lock_table.holder sys.server.plocks p = Some holder
-        in
+        let holder_alive = Lock_table.holder sv.plocks p = Some holder in
         if holder_alive then begin
           Ids.Oid_set.iter
             (fun o ->
-              Lock_table.force_grant sys.server.olocks o ~txn:holder;
-              index_obj_lock sys.server o)
+              Lock_table.force_grant sv.olocks o ~txn:holder;
+              index_obj_lock sv o)
             objs;
-          Lock_table.release sys.server.plocks p ~txn:holder;
+          Lock_table.release sv.plocks p ~txn:holder;
           Metrics.note_deescalation sys.metrics ~objects:n;
           Model.tl_hook sys (fun x ->
-              Tl.deescalate x ~page:p ~now:(Engine.now sys.engine));
+              Tl.deescalate x ~sid:sv.sid ~page:p ~now:(Engine.now sys.engine));
           Trace.event sys "txn %d deescalated page %d -> %d object locks"
             holder p n
         end
       end;
-      Hashtbl.remove sys.server.deesc_inflight p;
+      Hashtbl.remove sv.deesc_inflight p;
       Ivar.fill inflight ())
 
 (* Repeat until the page carries no foreign page-grain write lock.  Each
@@ -246,14 +278,15 @@ let deescalate_page sys p holder =
    spinning at the same simulated instant.  Returns [Aborted] if the
    requester loses a deadlock while probing. *)
 let rec deescalate_loop sys txn p =
-  match Lock_table.holder sys.server.plocks p with
+  let sv = server_of sys p in
+  match Lock_table.holder sv.plocks p with
   | Some h when h <> txn.tid -> (
     match client_of_txn sys h with
     | Some _ ->
       deescalate_page sys p h;
       deescalate_loop sys txn p
     | None -> (
-      match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Probe with
+      match locked_acquire sys sv.plocks p ~txn ~kind:Lock_types.Probe with
       | Lock_types.Aborted -> Lock_types.Aborted
       | Lock_types.Granted -> deescalate_loop sys txn p))
   | Some _ | None -> Lock_types.Granted
@@ -264,11 +297,12 @@ let rec deescalate_loop sys txn p =
    a writer must own the page's update token.  Taking the token from a
    transaction with uncommitted updates on the page blocks until that
    transaction terminates (with a deadlock-detectable wait); taking it
-   from an idle owner bounces the page through the server — the
+   from an idle owner bounces the page through its owning server — the
    communication cost the paper cites as the approach's weakness. *)
 let acquire_token sys txn p =
+  let sv = server_of sys p in
   let rec go () =
-    match Hashtbl.find_opt sys.server.token_owner p with
+    match Hashtbl.find_opt sv.token_owner p with
     | Some (owner_client, owner_tid) when owner_client <> txn.client -> (
       (* The owning transaction counts as live as long as it runs: its
          first update may not be recorded yet when its lock grant and a
@@ -294,24 +328,24 @@ let acquire_token sys txn p =
               in
               let oc = sys.clients.(owner_client) in
               oc.end_hooks <- (fun () -> fire `Retry) :: oc.end_hooks;
-              Waits_for.set_wait ~info:"token" sys.server.wfg txn.tid
+              Waits_for.set_wait ~info:"token" sv.wfg txn.tid
                 ~blockers:[ t.tid ] ~cancel:(fun () -> fire `Aborted);
-              ignore (Waits_for.check_deadlock sys.server.wfg ~from:txn.tid))
+              ignore (Waits_for.check_deadlock sv.wfg ~from:txn.tid))
         in
         match outcome with
         | `Aborted -> Lock_types.Aborted
         | `Retry ->
-          Waits_for.clear_wait sys.server.wfg txn.tid;
+          Waits_for.clear_wait sv.wfg txn.tid;
           go ())
       | None ->
         (* Idle owner: bounce the latest copy of the page through the
            server to the new owner. *)
         Metrics.note_token_bounce sys.metrics;
         Netlayer.page_data sys ~cls:Metrics.M_dirty_data
-          ~src:(Netlayer.Client owner_client) ~dst:Netlayer.Server;
+          ~src:(Netlayer.Client owner_client) ~dst:(Netlayer.Server sv.sid);
         buffer_page sys p ~read_from_disk:false;
-        Netlayer.page_data sys ~cls:Metrics.M_dirty_data ~src:Netlayer.Server
-          ~dst:(Netlayer.Client txn.client);
+        Netlayer.page_data sys ~cls:Metrics.M_dirty_data
+          ~src:(Netlayer.Server sv.sid) ~dst:(Netlayer.Client txn.client);
         if txn_dead sys txn then Lock_types.Aborted
         else begin
           (* The bounce refreshed the new owner's copy. *)
@@ -320,13 +354,13 @@ let acquire_token sys txn p =
             entry.fetch_version <- page_version sys p;
             Cache_ops.oracle_note_page_copy sys txn.client p entry
           | None -> ());
-          Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
+          Hashtbl.replace sv.token_owner p (txn.client, txn.tid);
           Lock_types.Granted
         end)
     | Some _ | None ->
       if txn_dead sys txn then Lock_types.Aborted
       else begin
-        Hashtbl.replace sys.server.token_owner p (txn.client, txn.tid);
+        Hashtbl.replace sv.token_owner p (txn.client, txn.tid);
         Lock_types.Granted
       end
   in
@@ -335,33 +369,32 @@ let acquire_token sys txn p =
 
 (* --- Read requests ---------------------------------------------------- *)
 
-let reply_abort_read sys txn =
-  Netlayer.control sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+let reply_abort_read sys sv txn =
+  Netlayer.control sys ~cls:Metrics.M_read_reply ~src:(Netlayer.Server sv.sid)
     ~dst:(Netlayer.Client txn.client);
   R_aborted
 
 (* Registration must not happen for a crashed requester: the copy table
    would name a site whose cache no longer exists. *)
 let rec reply_page_live sys txn p =
-  scharge sys sys.cfg.Config.register_copy_inst;
+  let sv = server_of sys p in
+  scharge sv sys.cfg.Config.register_copy_inst;
   (* The registration charge suspends the server fiber, so the
      requester can crash (and be purged) during it — re-check before
      registering, or the copy table would name a site whose cache no
      longer exists. *)
-  if txn_dead sys txn then reply_abort_read sys txn
-  else if Lock_table.conflicts sys.server.plocks p ~txn:txn.tid then begin
+  if txn_dead sys txn then reply_abort_read sys sv txn
+  else if Lock_table.conflicts sv.plocks p ~txn:txn.tid then begin
     (* A page-grain writer won its lock while the copy was being
        prepared (disk read, CPU charges) and collected its callback
        targets from the copy table — which cannot name this requester
        yet.  Shipping now would hand out a copy nobody will ever call
        back: wait for the writer to drain and rebuild the reply from
        the post-write state. *)
-    match
-      locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Probe
-    with
-    | Lock_types.Aborted -> reply_abort_read sys txn
+    match locked_acquire sys sv.plocks p ~txn ~kind:Lock_types.Probe with
+    | Lock_types.Aborted -> reply_abort_read sys sv txn
     | Lock_types.Granted ->
-      if txn_dead sys txn then reply_abort_read sys txn
+      if txn_dead sys txn then reply_abort_read sys sv txn
       else reply_page_live sys txn p
   end
   else begin
@@ -379,7 +412,7 @@ let rec reply_page_live sys txn p =
     in
     (match sys.algo with
     | Algo.PS | Algo.PS_OA | Algo.PS_AA ->
-      Copy_table.register sys.server.pcopies p ~client:txn.client
+      Copy_table.register sv.pcopies p ~client:txn.client
     | Algo.PS_OO ->
       (* Object-grain copy tracking: register every available object the
          page copy confers, before the reply leaves the server, so a
@@ -387,60 +420,57 @@ let rec reply_page_live sys txn p =
          calls this client back. *)
       for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
         if not (Ids.Int_set.mem slot unavailable) then
-          Copy_table.register sys.server.ocopies (Ids.Oid.make ~page:p ~slot)
+          Copy_table.register sv.ocopies (Ids.Oid.make ~page:p ~slot)
             ~client:txn.client
       done
     | Algo.OS -> assert false);
     let version = page_version sys p in
-    Netlayer.page_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
-      ~dst:(Netlayer.Client txn.client);
+    Netlayer.page_data sys ~cls:Metrics.M_read_reply
+      ~src:(Netlayer.Server sv.sid) ~dst:(Netlayer.Client txn.client);
     R_page { unavailable; version }
   end
 
 let reply_page sys txn p =
-  if txn_dead sys txn then reply_abort_read sys txn
+  if txn_dead sys txn then reply_abort_read sys (server_of sys p) txn
   else reply_page_live sys txn p
 
 let read_rpc sys txn oid =
   let p = oid.Ids.Oid.page in
+  let sv = server_of sys p in
   Netlayer.control sys ~cls:Metrics.M_read_req
-    ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server;
-  scharge sys sys.cfg.Config.lock_inst;
-  if txn_dead sys txn then reply_abort_read sys txn
+    ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sv.sid);
+  scharge sv sys.cfg.Config.lock_inst;
+  if txn_dead sys txn then reply_abort_read sys sv txn
   else
   match sys.algo with
   | Algo.PS -> (
-    match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Probe with
-    | Lock_types.Aborted -> reply_abort_read sys txn
+    match locked_acquire sys sv.plocks p ~txn ~kind:Lock_types.Probe with
+    | Lock_types.Aborted -> reply_abort_read sys sv txn
     | Lock_types.Granted ->
       buffer_page sys p ~read_from_disk:true;
       reply_page sys txn p)
   | Algo.OS -> (
-    match
-      locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
-    with
-    | Lock_types.Aborted -> reply_abort_read sys txn
-    | Lock_types.Granted when txn_dead sys txn -> reply_abort_read sys txn
+    match locked_acquire sys sv.olocks oid ~txn ~kind:Lock_types.Probe with
+    | Lock_types.Aborted -> reply_abort_read sys sv txn
+    | Lock_types.Granted when txn_dead sys txn -> reply_abort_read sys sv txn
     | Lock_types.Granted ->
       buffer_page sys p ~read_from_disk:true;
       let rec reply_objs () =
-        scharge sys sys.cfg.Config.register_copy_inst;
+        scharge sv sys.cfg.Config.register_copy_inst;
         (* The charge suspends; re-check before registering (see
            [reply_page]). *)
-        if txn_dead sys txn then reply_abort_read sys txn
-        else if Lock_table.conflicts sys.server.olocks oid ~txn:txn.tid
-        then begin
+        if txn_dead sys txn then reply_abort_read sys sv txn
+        else if Lock_table.conflicts sv.olocks oid ~txn:txn.tid then begin
           (* A writer of the requested object won its lock during the
              disk read or the charge and has already collected its
              callback targets; this in-transit copy would never be
              called back.  Wait for the writer to drain and rebuild. *)
           match
-            locked_acquire sys sys.server.olocks oid ~txn
-              ~kind:Lock_types.Probe
+            locked_acquire sys sv.olocks oid ~txn ~kind:Lock_types.Probe
           with
-          | Lock_types.Aborted -> reply_abort_read sys txn
+          | Lock_types.Aborted -> reply_abort_read sys sv txn
           | Lock_types.Granted ->
-            if txn_dead sys txn then reply_abort_read sys txn
+            if txn_dead sys txn then reply_abort_read sys sv txn
             else reply_objs ()
         end
         else begin
@@ -462,52 +492,47 @@ let read_rpc sys txn oid =
                   else
                     let o = Ids.Oid.make ~page:p ~slot in
                     if Ids.Oid.equal o oid then Some o
-                    else if
-                      Lock_table.conflicts sys.server.olocks o ~txn:txn.tid
-                    then None
+                    else if Lock_table.conflicts sv.olocks o ~txn:txn.tid then
+                      None
                     else Some o)
                 (List.init g Fun.id)
             end
           in
           List.iter
-            (fun o ->
-              Copy_table.register sys.server.ocopies o ~client:txn.client)
+            (fun o -> Copy_table.register sv.ocopies o ~client:txn.client)
             group;
-          Netlayer.objs_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
-            ~dst:(Netlayer.Client txn.client) ~count:(List.length group);
+          Netlayer.objs_data sys ~cls:Metrics.M_read_reply
+            ~src:(Netlayer.Server sv.sid) ~dst:(Netlayer.Client txn.client)
+            ~count:(List.length group);
           R_objs group
         end
       in
       reply_objs ())
   | Algo.PS_OO | Algo.PS_OA -> (
-    match
-      locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
-    with
-    | Lock_types.Aborted -> reply_abort_read sys txn
+    match locked_acquire sys sv.olocks oid ~txn ~kind:Lock_types.Probe with
+    | Lock_types.Aborted -> reply_abort_read sys sv txn
     | Lock_types.Granted ->
       buffer_page sys p ~read_from_disk:true;
       reply_page sys txn p)
   | Algo.PS_AA -> (
     match deescalate_loop sys txn p with
-    | Lock_types.Aborted -> reply_abort_read sys txn
+    | Lock_types.Aborted -> reply_abort_read sys sv txn
     | Lock_types.Granted -> (
-      match
-        locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Probe
-      with
-      | Lock_types.Aborted -> reply_abort_read sys txn
+      match locked_acquire sys sv.olocks oid ~txn ~kind:Lock_types.Probe with
+      | Lock_types.Aborted -> reply_abort_read sys sv txn
       | Lock_types.Granted -> (
         (* A fresh page-grain lock cannot normally appear while we were
            queued (our requested object was free), but stay defensive. *)
         match deescalate_loop sys txn p with
-        | Lock_types.Aborted -> reply_abort_read sys txn
+        | Lock_types.Aborted -> reply_abort_read sys sv txn
         | Lock_types.Granted ->
           buffer_page sys p ~read_from_disk:true;
           reply_page sys txn p)))
 
 (* --- Write requests ---------------------------------------------------- *)
 
-let reply_write sys txn cls reply =
-  Netlayer.control sys ~cls ~src:Netlayer.Server
+let reply_write sys sv txn cls reply =
+  Netlayer.control sys ~cls ~src:(Netlayer.Server sv.sid)
     ~dst:(Netlayer.Client txn.client);
   reply
 
@@ -516,20 +541,21 @@ let reply_write sys txn cls reply =
    nothing, while a freshly granted lock is immediately visible to any
    reply computed in the same instant — there is no window between the
    queue grant and the indexing. *)
-let acquire_obj_lock sys txn oid =
-  index_obj_lock sys.server oid;
-  match locked_acquire sys sys.server.olocks oid ~txn ~kind:Lock_types.Lock with
+let acquire_obj_lock sys sv txn oid =
+  index_obj_lock sv oid;
+  match locked_acquire sys sv.olocks oid ~txn ~kind:Lock_types.Lock with
   | Lock_types.Aborted ->
-    unindex_obj_lock sys.server oid;
+    unindex_obj_lock sv oid;
     false
   | Lock_types.Granted -> true
 
 let write_rpc sys txn oid =
   let p = oid.Ids.Oid.page in
+  let sv = server_of sys p in
   Netlayer.control sys ~cls:Metrics.M_write_req
-    ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server;
-  scharge sys sys.cfg.Config.lock_inst;
-  let reply = reply_write sys txn Metrics.M_write_reply in
+    ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sv.sid);
+  scharge sv sys.cfg.Config.lock_inst;
+  let reply = reply_write sys sv txn Metrics.M_write_reply in
   (* A write grant that lands after the requester crashed would leak the
      lock forever: the crash already released the transaction's locks,
      and nothing will release this one.  Undo and report an abort. *)
@@ -541,74 +567,86 @@ let write_rpc sys txn oid =
   else
   match sys.algo with
   | Algo.PS -> (
-    match locked_acquire sys sys.server.plocks p ~txn ~kind:Lock_types.Lock with
+    match locked_acquire sys sv.plocks p ~txn ~kind:Lock_types.Lock with
     | Lock_types.Aborted -> reply W_aborted
     | Lock_types.Granted when txn_dead sys txn -> reply_dead ()
     | Lock_types.Granted -> (
       let targets =
-        Copy_table.holders_except sys.server.pcopies p ~client:txn.client
+        Copy_table.holders_except sv.pcopies p ~client:txn.client
       in
-      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Purge_page p) ~targets with
+      match
+        do_callbacks sys sv ~writer:txn.tid ~kind:(Cb.Purge_page p) ~targets
+      with
       | `Aborted -> reply W_aborted
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_page_write_grant sys.metrics;
         Model.tl_hook sys (fun x ->
-            Tl.page_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
+            Tl.page_write_grant x ~sid:sv.sid ~tid:txn.tid
+              ~now:(Engine.now sys.engine));
         reply W_page))
   | Algo.OS -> (
-    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    if not (acquire_obj_lock sys sv txn oid) then reply W_aborted
     else if txn_dead sys txn then reply_dead ()
     else
       let targets =
-        Copy_table.holders_except sys.server.ocopies oid ~client:txn.client
+        Copy_table.holders_except sv.ocopies oid ~client:txn.client
       in
-      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Purge_obj oid) ~targets with
+      match
+        do_callbacks sys sv ~writer:txn.tid ~kind:(Cb.Purge_obj oid) ~targets
+      with
       | `Aborted -> reply W_aborted
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
         Model.tl_hook sys (fun x ->
-            Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
+            Tl.object_write_grant x ~sid:sv.sid ~tid:txn.tid
+              ~now:(Engine.now sys.engine));
         reply W_obj)
   | Algo.PS_OO -> (
-    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    if not (acquire_obj_lock sys sv txn oid) then reply W_aborted
     else if txn_dead sys txn then reply_dead ()
     else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
     else
       let targets =
-        Copy_table.holders_except sys.server.ocopies oid ~client:txn.client
+        Copy_table.holders_except sv.ocopies oid ~client:txn.client
       in
-      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Mark_obj oid) ~targets with
+      match
+        do_callbacks sys sv ~writer:txn.tid ~kind:(Cb.Mark_obj oid) ~targets
+      with
       | `Aborted -> reply W_aborted
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
         Model.tl_hook sys (fun x ->
-            Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
+            Tl.object_write_grant x ~sid:sv.sid ~tid:txn.tid
+              ~now:(Engine.now sys.engine));
         reply W_obj)
   | Algo.PS_OA -> (
-    if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    if not (acquire_obj_lock sys sv txn oid) then reply W_aborted
     else if txn_dead sys txn then reply_dead ()
     else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
     else
       let targets =
-        Copy_table.holders_except sys.server.pcopies p ~client:txn.client
+        Copy_table.holders_except sv.pcopies p ~client:txn.client
       in
-      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets with
+      match
+        do_callbacks sys sv ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets
+      with
       | `Aborted -> reply W_aborted
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks _ ->
         Metrics.note_object_write_grant sys.metrics;
         Model.tl_hook sys (fun x ->
-            Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
+            Tl.object_write_grant x ~sid:sv.sid ~tid:txn.tid
+              ~now:(Engine.now sys.engine));
         reply W_obj)
   | Algo.PS_AA -> (
     match deescalate_loop sys txn p with
     | Lock_types.Aborted -> reply W_aborted
     | Lock_types.Granted ->
     if txn_dead sys txn then reply_dead ()
-    else if not (acquire_obj_lock sys txn oid) then reply W_aborted
+    else if not (acquire_obj_lock sys sv txn oid) then reply W_aborted
     else if txn_dead sys txn then reply_dead ()
     else if acquire_token sys txn p = Lock_types.Aborted then reply W_aborted
     else begin
@@ -618,9 +656,11 @@ let write_rpc sys txn oid =
       if txn_dead sys txn then reply_dead ()
       else
       let targets =
-        Copy_table.holders_except sys.server.pcopies p ~client:txn.client
+        Copy_table.holders_except sv.pcopies p ~client:txn.client
       in
-      match do_callbacks sys ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets with
+      match
+        do_callbacks sys sv ~writer:txn.tid ~kind:(Cb.Adaptive oid) ~targets
+      with
       | `Aborted -> reply W_aborted
       | `Acks _ when txn_dead sys txn -> reply_dead ()
       | `Acks results ->
@@ -633,10 +673,9 @@ let write_rpc sys txn oid =
         in
         if
           all_purged
-          && Copy_table.holders_except sys.server.pcopies p ~client:txn.client
-             = []
+          && Copy_table.holders_except sv.pcopies p ~client:txn.client = []
           && (not (page_has_foreign_obj_lock sys p ~tid:txn.tid))
-          && Lock_table.try_acquire sys.server.plocks p ~txn:txn.tid
+          && Lock_table.try_acquire sv.plocks p ~txn:txn.tid
                ~kind:Lock_types.Lock
         then begin
           (* Nobody was using the page: escalate to a page write lock
@@ -646,13 +685,14 @@ let write_rpc sys txn oid =
           Trace.event sys "txn %d escalated to page write lock on %d" txn.tid
             p;
           Model.tl_hook sys (fun x ->
-              Tl.escalate x ~page:p ~now:(Engine.now sys.engine));
+              Tl.escalate x ~sid:sv.sid ~page:p ~now:(Engine.now sys.engine));
           reply W_page
         end
         else begin
           Metrics.note_object_write_grant sys.metrics;
           Model.tl_hook sys (fun x ->
-              Tl.object_write_grant x ~tid:txn.tid ~now:(Engine.now sys.engine));
+              Tl.object_write_grant x ~sid:sv.sid ~tid:txn.tid
+                ~now:(Engine.now sys.engine));
           reply W_obj
         end
     end)
@@ -660,6 +700,7 @@ let write_rpc sys txn oid =
 (* --- Update installation and transaction termination ------------------ *)
 
 let ship_dirty_page sys txn p ~dirty ~fetch_version ~at_commit =
+  let sv = server_of sys p in
   Model.oracle_hook sys (fun o ->
       Ids.Int_set.iter
         (fun slot ->
@@ -667,7 +708,7 @@ let ship_dirty_page sys txn p ~dirty ~fetch_version ~at_commit =
         dirty);
   let cls = if at_commit then Metrics.M_commit_data else Metrics.M_dirty_data in
   Netlayer.page_data sys ~cls ~src:(Netlayer.Client txn.client)
-    ~dst:Netlayer.Server;
+    ~dst:(Netlayer.Server sv.sid);
   let n = Ids.Int_set.cardinal dirty in
   let merge_needed =
     (* Under the write-token discipline only one client at a time
@@ -681,12 +722,12 @@ let ship_dirty_page sys txn p ~dirty ~fetch_version ~at_commit =
     (* Another transaction updated the page since this copy was
        fetched: merge object by object against the server's copy. *)
     buffer_page sys p ~read_from_disk:true;
-    scharge sys (sys.cfg.Config.copy_merge_inst *. float_of_int n);
+    scharge sv (sys.cfg.Config.copy_merge_inst *. float_of_int n);
     Metrics.note_merge sys.metrics ~objects:n
   end
   else buffer_page sys p ~read_from_disk:false;
-  Buffer_pool.mark_dirty sys.server.sbuffer p;
-  maybe_overflow sys ~objects:n
+  Buffer_pool.mark_dirty sv.sbuffer p;
+  maybe_overflow sys sv ~objects:n
 
 let ship_dirty_objs sys txn oids ~at_commit =
   match oids with
@@ -697,23 +738,43 @@ let ship_dirty_objs sys txn oids ~at_commit =
     let cls =
       if at_commit then Metrics.M_commit_data else Metrics.M_dirty_data
     in
-    Netlayer.objs_data sys ~cls ~src:(Netlayer.Client txn.client)
-      ~dst:Netlayer.Server ~count:(List.length oids);
-    let pages =
-      List.sort_uniq compare (List.map (fun o -> o.Ids.Oid.page) oids)
+    (* One message per owning server (one total in the singleton
+       topology), each carrying that partition's objects. *)
+    let by_server = Hashtbl.create 4 in
+    List.iter
+      (fun o ->
+        let sid = owner_sid sys o.Ids.Oid.page in
+        let prev =
+          match Hashtbl.find_opt by_server sid with Some l -> l | None -> []
+        in
+        Hashtbl.replace by_server sid (o :: prev))
+      oids;
+    let sids =
+      List.sort_uniq compare (List.map (fun o -> owner_sid sys o.Ids.Oid.page) oids)
     in
     List.iter
-      (fun p ->
-        (* Installing an object into a page requires the page frame. *)
-        buffer_page sys p ~read_from_disk:true;
-        Buffer_pool.mark_dirty sys.server.sbuffer p)
-      pages;
-    maybe_overflow sys ~objects:(List.length oids)
+      (fun sid ->
+        let sv = sys.servers.(sid) in
+        let group = List.rev (Hashtbl.find by_server sid) in
+        Netlayer.objs_data sys ~cls ~src:(Netlayer.Client txn.client)
+          ~dst:(Netlayer.Server sid) ~count:(List.length group);
+        let pages =
+          List.sort_uniq compare (List.map (fun o -> o.Ids.Oid.page) group)
+        in
+        List.iter
+          (fun p ->
+            (* Installing an object into a page requires the page frame. *)
+            buffer_page sys p ~read_from_disk:true;
+            Buffer_pool.mark_dirty sv.sbuffer p)
+          pages;
+        maybe_overflow sys sv ~objects:(List.length group))
+      sids
 
 (* Redo-at-server commit processing: the client ships log records, not
-   pages, and the server replays each update onto its own copy.  This
-   saves the page-sized commit messages but moves the update CPU work
-   onto the server (the data-shipping offload concern of Section 6.1). *)
+   pages, and each owning server replays the updates of its partition
+   onto its own copy.  This saves the page-sized commit messages but
+   moves the update CPU work onto the servers (the data-shipping
+   offload concern of Section 6.1). *)
 let ship_redo_log sys txn =
   let n = Ids.Oid_set.cardinal txn.updated in
   if n > 0 then begin
@@ -721,11 +782,6 @@ let ship_redo_log sys txn =
         Ids.Oid_set.iter
           (fun oid -> Oracle.History.ship o ~tid:txn.tid ~oid)
           txn.updated);
-    let bytes =
-      (n * sys.cfg.Config.log_record_bytes) + Config.control_bytes sys.cfg
-    in
-    Netlayer.send sys ~cls:Metrics.M_commit_data
-      ~src:(Netlayer.Client txn.client) ~dst:Netlayer.Server ~bytes;
     let by_page = Hashtbl.create 16 in
     Ids.Oid_set.iter
       (fun o ->
@@ -733,14 +789,38 @@ let ship_redo_log sys txn =
         Hashtbl.replace by_page p
           (1 + Option.value ~default:0 (Hashtbl.find_opt by_page p)))
       txn.updated;
-    Hashtbl.iter
-      (fun p count ->
-        buffer_page sys p ~read_from_disk:true;
-        scharge sys
-          (float_of_int count *. sys.cfg.Config.redo_per_object_inst);
-        Buffer_pool.mark_dirty sys.server.sbuffer p)
-      by_page;
-    maybe_overflow sys ~objects:n
+    (* Table order, partitioned by owner while preserving the relative
+       page order within each partition — with one server this is
+       exactly the historical single-message, table-order replay. *)
+    let page_counts =
+      List.rev (Hashtbl.fold (fun p c acc -> (p, c) :: acc) by_page [])
+    in
+    let sids =
+      List.sort_uniq compare
+        (List.map (fun (p, _) -> owner_sid sys p) page_counts)
+    in
+    List.iter
+      (fun sid ->
+        let sv = sys.servers.(sid) in
+        let mine =
+          List.filter (fun (p, _) -> owner_sid sys p = sid) page_counts
+        in
+        let objs = List.fold_left (fun acc (_, c) -> acc + c) 0 mine in
+        let bytes =
+          (objs * sys.cfg.Config.log_record_bytes)
+          + Config.control_bytes sys.cfg
+        in
+        Netlayer.send sys ~cls:Metrics.M_commit_data
+          ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid) ~bytes;
+        List.iter
+          (fun (p, count) ->
+            buffer_page sys p ~read_from_disk:true;
+            scharge sv
+              (float_of_int count *. sys.cfg.Config.redo_per_object_inst);
+            Buffer_pool.mark_dirty sv.sbuffer p)
+          mine;
+        maybe_overflow sys sv ~objects:objs)
+      sids
   end
 
 let bump_versions sys txn =
@@ -753,10 +833,36 @@ let bump_versions sys txn =
     txn.updated;
   Hashtbl.iter (fun p n -> bump_page_version sys p ~by:n) counts
 
+(* Commit/abort participants: every server owning a page the transaction
+   touched (read or write, either grain), in server order.  A
+   transaction that never got far enough to touch anything still
+   notifies its client's home server, preserving the historical
+   one-round-trip termination; at servers=1 the participant list is
+   always [[0]]. *)
+let participants sys txn =
+  let n = Array.length sys.servers in
+  let hit = Array.make n false in
+  let add p = hit.(owner_sid sys p) <- true in
+  let addo o = add o.Ids.Oid.page in
+  Ids.Page_set.iter add txn.read_pages;
+  Ids.Page_set.iter add txn.wpages;
+  Ids.Oid_set.iter addo txn.read_objs;
+  Ids.Oid_set.iter addo txn.wobjs;
+  Ids.Oid_set.iter addo txn.updated;
+  let out = ref [] in
+  for sid = n - 1 downto 0 do
+    if hit.(sid) then out := sid :: !out
+  done;
+  if !out = [] then [ home_sid sys txn.client ] else !out
+
 let commit_rpc sys txn =
-  Netlayer.control sys ~cls:Metrics.M_commit ~src:(Netlayer.Client txn.client)
-    ~dst:Netlayer.Server;
-  scharge sys sys.cfg.Config.lock_inst;
+  let parts = participants sys txn in
+  List.iter
+    (fun sid ->
+      Netlayer.control sys ~cls:Metrics.M_commit
+        ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid);
+      scharge sys.servers.(sid) sys.cfg.Config.lock_inst)
+    parts;
   (* A transaction whose client crashed mid-commit does not commit: its
      updates are discarded (no version bumps).  Its locks are still
      released — crash reclamation usually already did, in which case
@@ -769,13 +875,23 @@ let commit_rpc sys txn =
     Model.oracle_hook sys (fun o -> Oracle.History.commit o ~tid:txn.tid)
   end;
   release_txn_locks sys txn;
-  Netlayer.control sys ~cls:Metrics.M_commit_reply ~src:Netlayer.Server
-    ~dst:(Netlayer.Client txn.client)
+  List.iter
+    (fun sid ->
+      Netlayer.control sys ~cls:Metrics.M_commit_reply
+        ~src:(Netlayer.Server sid) ~dst:(Netlayer.Client txn.client))
+    parts
 
 let abort_rpc sys txn =
-  Netlayer.control sys ~cls:Metrics.M_abort ~src:(Netlayer.Client txn.client)
-    ~dst:Netlayer.Server;
-  scharge sys sys.cfg.Config.lock_inst;
+  let parts = participants sys txn in
+  List.iter
+    (fun sid ->
+      Netlayer.control sys ~cls:Metrics.M_abort
+        ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid);
+      scharge sys.servers.(sid) sys.cfg.Config.lock_inst)
+    parts;
   release_txn_locks sys txn;
-  Netlayer.control sys ~cls:Metrics.M_abort_reply ~src:Netlayer.Server
-    ~dst:(Netlayer.Client txn.client)
+  List.iter
+    (fun sid ->
+      Netlayer.control sys ~cls:Metrics.M_abort_reply
+        ~src:(Netlayer.Server sid) ~dst:(Netlayer.Client txn.client))
+    parts

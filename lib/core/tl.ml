@@ -12,13 +12,18 @@
    - CPU tracks carry "busy" spans recorded on idle<->busy edges;
    - disk and network tracks carry one-shot Complete spans whose
      [start, finish] intervals the resource already serializes;
-   - the server track carries only instants. *)
+   - server tracks carry only instants.
+
+   With a partitioned topology (servers > 1) each server gets its own
+   instant track, CPU track, and disk tracks, prefixed "s<sid>-"; the
+   singleton layout keeps the historical unprefixed names, so existing
+   traces and their goldens are unchanged. *)
 
 type t = {
   tl : Telemetry.Timeline.t;
-  trk_server : int;
-  trk_server_cpu : int;
-  trk_disks : int array;
+  trk_servers : int array;  (* per-server instant track *)
+  trk_server_cpus : int array;
+  trk_disks : int array array;  (* per server, per disk *)
   trk_net : int;
   trk_clients : int array;
   trk_client_cpus : int array;
@@ -36,21 +41,34 @@ type t = {
   n_cb : int;
   n_cb_ack : int;
   n_cb_blocked : int;
+  n_cb_forward : int;
 }
 
 let timeline t = t.tl
-let trk_server_cpu t = t.trk_server_cpu
+let trk_server_cpu t ~sid = t.trk_server_cpus.(sid)
 let trk_client_cpus t = t.trk_client_cpus
-let trk_disks t = t.trk_disks
+let trk_disks t ~sid = t.trk_disks.(sid)
 let trk_net t = t.trk_net
 
-let create ~num_clients ~disks ~capacity =
+let create ?(servers = 1) ~num_clients ~disks ~capacity () =
   let tl = Telemetry.Timeline.create ~capacity () in
-  let trk_server = Telemetry.Timeline.define_track tl "server" in
-  let trk_server_cpu = Telemetry.Timeline.define_track tl "server-cpu" in
+  let sname sid base =
+    if servers = 1 then base else Printf.sprintf "s%d-%s" sid base
+  in
+  (* Definition order fixes the track ids: all server-side tracks in
+     server order, then the network, then the clients — at servers=1
+     this is byte-identical to the historical layout. *)
+  let trk_servers = Array.make servers 0 in
+  let trk_server_cpus = Array.make servers 0 in
   let trk_disks =
-    Array.init disks (fun i ->
-        Telemetry.Timeline.define_track tl (Printf.sprintf "disk%d" i))
+    Array.init servers (fun sid ->
+        trk_servers.(sid) <-
+          Telemetry.Timeline.define_track tl (sname sid "server");
+        trk_server_cpus.(sid) <-
+          Telemetry.Timeline.define_track tl (sname sid "server-cpu");
+        Array.init disks (fun i ->
+            Telemetry.Timeline.define_track tl
+              (sname sid (Printf.sprintf "disk%d" i))))
   in
   let trk_net = Telemetry.Timeline.define_track tl "net" in
   let trk_clients =
@@ -64,8 +82,8 @@ let create ~num_clients ~disks ~capacity =
   let n s = Telemetry.Timeline.intern tl s in
   {
     tl;
-    trk_server;
-    trk_server_cpu;
+    trk_servers;
+    trk_server_cpus;
     trk_disks;
     trk_net;
     trk_clients;
@@ -84,6 +102,7 @@ let create ~num_clients ~disks ~capacity =
     n_cb = n "callback";
     n_cb_ack = n "callback-ack";
     n_cb_blocked = n "callback-blocked";
+    n_cb_forward = n "callback-forward";
   }
 
 (* Client lifecycle -------------------------------------------------- *)
@@ -124,12 +143,23 @@ let cb_blocked t ~client ~writer ~now =
 
 (* Server instants --------------------------------------------------- *)
 
-let server_instant t name ~arg ~now =
-  Telemetry.Timeline.instant t.tl ~track:t.trk_server ~name ~arg now
+let server_instant t ~sid name ~arg ~now =
+  Telemetry.Timeline.instant t.tl ~track:t.trk_servers.(sid) ~name ~arg now
 
-let page_write_grant t ~tid ~now = server_instant t t.n_pw_grant ~arg:tid ~now
-let object_write_grant t ~tid ~now = server_instant t t.n_ow_grant ~arg:tid ~now
-let deescalate t ~page ~now = server_instant t t.n_deesc ~arg:page ~now
-let escalate t ~page ~now = server_instant t t.n_esc ~arg:page ~now
-let callback_sent t ~target ~now = server_instant t t.n_cb ~arg:target ~now
-let callback_ack t ~target ~now = server_instant t t.n_cb_ack ~arg:target ~now
+let page_write_grant t ~sid ~tid ~now =
+  server_instant t ~sid t.n_pw_grant ~arg:tid ~now
+
+let object_write_grant t ~sid ~tid ~now =
+  server_instant t ~sid t.n_ow_grant ~arg:tid ~now
+
+let deescalate t ~sid ~page ~now = server_instant t ~sid t.n_deesc ~arg:page ~now
+let escalate t ~sid ~page ~now = server_instant t ~sid t.n_esc ~arg:page ~now
+
+let callback_sent t ~sid ~target ~now =
+  server_instant t ~sid t.n_cb ~arg:target ~now
+
+let callback_ack t ~sid ~target ~now =
+  server_instant t ~sid t.n_cb_ack ~arg:target ~now
+
+let callback_forward t ~sid ~target ~now =
+  server_instant t ~sid t.n_cb_forward ~arg:target ~now

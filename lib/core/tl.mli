@@ -1,20 +1,28 @@
 (** Timeline track layout and hook helpers for the simulation.
 
-    Wraps a {!Telemetry.Timeline} with the run's track set (server
-    instants, server CPU, one track per disk, the network, and per
-    client a lifecycle track plus a CPU track) and pre-interned event
-    names.  Created by {!Model.create} when [Config.timeline] is set;
-    all hooks are pure observation, so a run records byte-identical
-    results with or without a timeline attached. *)
+    Wraps a {!Telemetry.Timeline} with the run's track set (per-server
+    instant tracks, server CPUs, one track per disk, the network, and
+    per client a lifecycle track plus a CPU track) and pre-interned
+    event names.  Created by {!Model.create} when [Config.timeline] is
+    set; all hooks are pure observation, so a run records byte-identical
+    results with or without a timeline attached.
+
+    At [servers = 1] the track names are the historical unprefixed ones
+    ("server", "server-cpu", "disk0", ...); with a partitioned topology
+    each server's tracks carry an "s<sid>-" prefix so Perfetto traces
+    distinguish the partitions. *)
 
 type t
 
-val create : num_clients:int -> disks:int -> capacity:int -> t
+val create :
+  ?servers:int -> num_clients:int -> disks:int -> capacity:int -> unit -> t
+(** [disks] is the per-server disk count. *)
+
 val timeline : t -> Telemetry.Timeline.t
 
-val trk_server_cpu : t -> int
+val trk_server_cpu : t -> sid:int -> int
 val trk_client_cpus : t -> int array
-val trk_disks : t -> int array
+val trk_disks : t -> sid:int -> int array
 val trk_net : t -> int
 
 val txn_begin : t -> client:int -> tid:int -> now:float -> unit
@@ -28,9 +36,12 @@ val crash : t -> client:int -> now:float -> unit
 val restart : t -> client:int -> now:float -> unit
 val cb_blocked : t -> client:int -> writer:int -> now:float -> unit
 
-val page_write_grant : t -> tid:int -> now:float -> unit
-val object_write_grant : t -> tid:int -> now:float -> unit
-val deescalate : t -> page:int -> now:float -> unit
-val escalate : t -> page:int -> now:float -> unit
-val callback_sent : t -> target:int -> now:float -> unit
-val callback_ack : t -> target:int -> now:float -> unit
+val page_write_grant : t -> sid:int -> tid:int -> now:float -> unit
+val object_write_grant : t -> sid:int -> tid:int -> now:float -> unit
+val deescalate : t -> sid:int -> page:int -> now:float -> unit
+val escalate : t -> sid:int -> page:int -> now:float -> unit
+val callback_sent : t -> sid:int -> target:int -> now:float -> unit
+val callback_ack : t -> sid:int -> target:int -> now:float -> unit
+
+val callback_forward : t -> sid:int -> target:int -> now:float -> unit
+(** A callback was forwarded to [target]'s home server (servers > 1). *)

@@ -5,18 +5,25 @@ let progress_printer ?progress () =
     (fun p (j : Job.t) r -> p (Experiments.progress_line j r))
     progress
 
-let run_spec ?seed ?time_scale ?oracle ?timeline ?jobs ?progress spec =
-  let js = Experiments.jobs_of_spec ?seed ?time_scale ?oracle ?timeline spec in
+let run_spec ?seed ?time_scale ?oracle ?timeline ?servers ?partition ?jobs
+    ?progress spec =
+  let js =
+    Experiments.jobs_of_spec ?seed ?time_scale ?oracle ?timeline ?servers
+      ?partition spec
+  in
   let results = Pool.run ?jobs ?progress:(progress_printer ?progress ()) js in
   Experiments.series_of_results spec results
 
-let run_specs ?seed ?time_scale ?oracle ?timeline ?jobs ?progress specs =
+let run_specs ?seed ?time_scale ?oracle ?timeline ?servers ?partition ?jobs
+    ?progress specs =
   (* One flat job list across every figure, so a wide sweep keeps all
      workers busy even when individual figures have few cells left. *)
   let per_spec =
     List.map
       (fun s ->
-        (s, Experiments.jobs_of_spec ?seed ?time_scale ?oracle ?timeline s))
+        ( s,
+          Experiments.jobs_of_spec ?seed ?time_scale ?oracle ?timeline
+            ?servers ?partition s ))
       specs
   in
   let results =

@@ -6,6 +6,8 @@ val run_spec :
   ?time_scale:float ->
   ?oracle:bool ->
   ?timeline:bool ->
+  ?servers:int ->
+  ?partition:Oodb_core.Config.partition ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
   Oodb_core.Experiments.spec ->
@@ -21,6 +23,8 @@ val run_specs :
   ?time_scale:float ->
   ?oracle:bool ->
   ?timeline:bool ->
+  ?servers:int ->
+  ?partition:Oodb_core.Config.partition ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
   Oodb_core.Experiments.spec list ->

@@ -6,10 +6,42 @@ type t = {
   waits : (txn, wait) Hashtbl.t;
   starts : (txn, float) Hashtbl.t;
   mutable deadlock_count : int;
+  (* Linked cluster of per-server graphs.  [[||]] means solo (the
+     classic single-graph topology); [link] points every member at the
+     shared array, itself included.  Cycle detection always traverses
+     the union, so a wait registered at one server is visible to the
+     others — the designated-coordinator idealization of distributed
+     deadlock detection.  The [on_edge] hook fires whenever this graph
+     gains an edge, letting the simulation charge for the edge-exchange
+     control message that a real coordinator would receive. *)
+  mutable peers : t array;
+  mutable on_edge : (txn -> unit) option;
 }
 
 let create () =
-  { waits = Hashtbl.create 64; starts = Hashtbl.create 64; deadlock_count = 0 }
+  {
+    waits = Hashtbl.create 64;
+    starts = Hashtbl.create 64;
+    deadlock_count = 0;
+    peers = [||];
+    on_edge = None;
+  }
+
+let link graphs = Array.iter (fun g -> g.peers <- graphs) graphs
+let set_exchange_hook t f = t.on_edge <- Some f
+
+(* Union lookup: the graph (if any) holding [txn]'s pending wait.  A
+   transaction blocks on at most one request at a time, so at most one
+   member of the cluster has an entry. *)
+let wait_owner t txn =
+  if Array.length t.peers = 0 then
+    if Hashtbl.mem t.waits txn then Some t else None
+  else Array.find_opt (fun g -> Hashtbl.mem g.waits txn) t.peers
+
+let find_wait t txn =
+  match wait_owner t txn with
+  | None -> None
+  | Some g -> Hashtbl.find_opt g.waits txn
 
 let begin_txn t txn ~start = Hashtbl.replace t.starts txn start
 
@@ -17,26 +49,42 @@ let end_txn t txn =
   assert (not (Hashtbl.mem t.waits txn));
   Hashtbl.remove t.starts txn
 
+let fire_edge t txn = match t.on_edge with None -> () | Some f -> f txn
+
 let set_wait ?(info = "") t txn ~blockers ~cancel =
-  Hashtbl.replace t.waits txn { blockers; cancel; info }
+  Hashtbl.replace t.waits txn { blockers; cancel; info };
+  fire_edge t txn
 
 let update_blockers t txn blockers =
-  match Hashtbl.find_opt t.waits txn with
+  match find_wait t txn with
   | None -> ()
   | Some w -> w.blockers <- blockers
 
 let add_blocker t txn blocker =
-  match Hashtbl.find_opt t.waits txn with
+  match wait_owner t txn with
   | None -> ()
-  | Some w -> if not (List.mem blocker w.blockers) then w.blockers <- blocker :: w.blockers
+  | Some g -> (
+    match Hashtbl.find_opt g.waits txn with
+    | None -> ()
+    | Some w ->
+      if not (List.mem blocker w.blockers) then begin
+        w.blockers <- blocker :: w.blockers;
+        fire_edge g txn
+      end)
 
-let clear_wait t txn = Hashtbl.remove t.waits txn
-let is_waiting t txn = Hashtbl.mem t.waits txn
+let clear_wait t txn =
+  match wait_owner t txn with
+  | None -> ()
+  | Some g -> Hashtbl.remove g.waits txn
+
+let is_waiting t txn = wait_owner t txn <> None
 
 (* Depth-first search for a path from a blocker of [from] back to
    [from].  Only waiting transactions have outgoing edges, so the search
    space is the set of blocked transactions (small: at most one wait per
-   client).  Returns the cycle as a list of transactions. *)
+   client).  Edges are looked up across the whole cluster, so a cycle
+   spanning two partitions — invisible to either server's local graph —
+   is still found.  Returns the cycle as a list of transactions. *)
 let find_cycle t ~from =
   let visited = Hashtbl.create 16 in
   let rec dfs u path =
@@ -44,7 +92,7 @@ let find_cycle t ~from =
     else if Hashtbl.mem visited u then None
     else begin
       Hashtbl.add visited u ();
-      match Hashtbl.find_opt t.waits u with
+      match find_wait t u with
       | None -> None
       | Some w -> dfs_list w.blockers (u :: path)
     end
@@ -54,14 +102,16 @@ let find_cycle t ~from =
     | v :: rest -> (
       match dfs v path with Some c -> Some c | None -> dfs_list rest path)
   in
-  match Hashtbl.find_opt t.waits from with
+  match find_wait t from with
   | None -> None
   | Some w -> dfs_list w.blockers [ from ]
 
 let start_time t txn =
   match Hashtbl.find_opt t.starts txn with Some s -> s | None -> neg_infinity
 
-(* The youngest transaction (latest start) loses. *)
+(* The youngest transaction (latest start) loses.  Start times are
+   replicated on every member of the cluster, so the local table is
+   authoritative. *)
 let pick_victim t cycle =
   List.fold_left
     (fun best txn ->
@@ -69,11 +119,14 @@ let pick_victim t cycle =
     (List.hd cycle) (List.tl cycle)
 
 let cancel_wait t victim =
-  match Hashtbl.find_opt t.waits victim with
+  match wait_owner t victim with
   | None -> ()
-  | Some w ->
-    Hashtbl.remove t.waits victim;
-    w.cancel ()
+  | Some g -> (
+    match Hashtbl.find_opt g.waits victim with
+    | None -> ()
+    | Some w ->
+      Hashtbl.remove g.waits victim;
+      w.cancel ())
 
 let check_deadlock t ~from =
   let victims = ref 0 in
@@ -83,7 +136,10 @@ let check_deadlock t ~from =
     | None -> continue := false
     | Some cycle ->
       let victim = pick_victim t cycle in
-      t.deadlock_count <- t.deadlock_count + 1;
+      (* The victim count lives on the graph holding the victim's wait:
+         per-server deadlock attribution, summed by the runner. *)
+      let g = match wait_owner t victim with Some g -> g | None -> t in
+      g.deadlock_count <- g.deadlock_count + 1;
       incr victims;
       cancel_wait t victim
   done;
@@ -93,9 +149,10 @@ let deadlocks t = t.deadlock_count
 let waiting_count t = Hashtbl.length t.waits
 let is_active t txn = Hashtbl.mem t.starts txn
 
-(* Audit helper: search for a cycle from every waiting transaction.
-   [find_cycle] only explores paths returning to its origin, so one
-   search per waiter covers all cycles. *)
+(* Audit helper: search for a cycle from every transaction waiting in
+   {e this} graph.  [find_cycle] only explores paths returning to its
+   origin, so one search per waiter covers all cycles through this
+   partition; the audit loops over every server, covering the union. *)
 let any_cycle t =
   Hashtbl.fold
     (fun txn _ acc ->

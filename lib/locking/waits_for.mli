@@ -15,6 +15,19 @@ type t
 
 val create : unit -> t
 
+val link : t array -> unit
+(** Join the given graphs into one cluster: every member sees the
+    others' waits during cycle detection ([find_cycle]/[cancel_wait]
+    and friends traverse the union), modelling an idealized coordinator
+    that always holds a current global picture.  Linking an array of
+    one is equivalent to the solo topology. *)
+
+val set_exchange_hook : t -> (txn -> unit) -> unit
+(** Install a hook fired whenever this graph gains a wait edge
+    ([set_wait] or a successful [add_blocker]).  The simulation uses it
+    to charge for the edge-exchange control message a server sends the
+    coordinator; purely observational. *)
+
 val begin_txn : t -> txn -> start:float -> unit
 (** Register a transaction incarnation and its start time (used for
     victim selection). *)
@@ -65,6 +78,7 @@ val deadlocks : t -> int
 (** Total victims aborted since creation. *)
 
 val waiting_count : t -> int
+(** Waits registered in this graph only (not cluster-wide). *)
 
 val dump : t -> (txn * txn list * string) list
 (** Snapshot of the graph: each waiting transaction with its blockers

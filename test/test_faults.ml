@@ -214,9 +214,9 @@ let test_crash_reclaims_state () =
   Alcotest.(check int) "page cache dropped" 0 (Lru.size c.Model.cache);
   Alcotest.(check int) "object cache dropped" 0 (Lru.size c.Model.ocache);
   Alcotest.(check int) "page copies purged" 0
-    (Locking.Copy_table.client_copies sys.Model.server.pcopies ~client:0);
+    (Locking.Copy_table.client_copies sys.Model.servers.(0).pcopies ~client:0);
   Alcotest.(check int) "object copies purged" 0
-    (Locking.Copy_table.client_copies sys.Model.server.ocopies ~client:0);
+    (Locking.Copy_table.client_copies sys.Model.servers.(0).ocopies ~client:0);
   Audit.check sys ~context:"unit-crash";
   (* The rest of the population keeps running while the site is down. *)
   Simcore.Engine.run_until sys.Model.engine 15.0;
@@ -253,7 +253,7 @@ let test_audit_detects_corruption () =
   expect_violation "a cached page with no copy registration"
     (fun () ->
       ignore
-        (Locking.Copy_table.purge_client sys.Model.server.pcopies ~client:0
+        (Locking.Copy_table.purge_client sys.Model.servers.(0).pcopies ~client:0
           : int))
     (fun () -> ());
   Audit.check sys ~context:"pre-corruption state was clean (up flag restored)"

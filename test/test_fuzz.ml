@@ -50,16 +50,16 @@ let dedup ops =
        (Array.to_list ops))
 
 let audit sys =
-  if Locking.Lock_table.lock_count sys.Model.server.plocks <> 0 then
+  if Locking.Lock_table.lock_count sys.Model.servers.(0).plocks <> 0 then
     failwith "audit: page locks leaked";
-  if Locking.Lock_table.lock_count sys.Model.server.olocks <> 0 then
+  if Locking.Lock_table.lock_count sys.Model.servers.(0).olocks <> 0 then
     failwith "audit: object locks leaked";
   if
-    Locking.Lock_table.waiter_count sys.Model.server.plocks
-    + Locking.Lock_table.waiter_count sys.Model.server.olocks
+    Locking.Lock_table.waiter_count sys.Model.servers.(0).plocks
+    + Locking.Lock_table.waiter_count sys.Model.servers.(0).olocks
     <> 0
   then failwith "audit: queued requests leaked";
-  if Locking.Waits_for.waiting_count sys.Model.server.wfg <> 0 then
+  if Locking.Waits_for.waiting_count sys.Model.servers.(0).wfg <> 0 then
     failwith "audit: waits-for entries leaked";
   let cached_pages = ref 0 and cached_objects = ref 0 in
   Array.iter
@@ -71,7 +71,7 @@ let audit sys =
             (* At quiescence the copy tables are an exact mirror: one
                reference per cached copy, none in flight. *)
             if
-              Locking.Copy_table.refs sys.Model.server.pcopies p
+              Locking.Copy_table.refs sys.Model.servers.(0).pcopies p
                 ~client:c.Model.cid
               <> 1
             then failwith "audit: cached page not registered exactly once")
@@ -79,7 +79,7 @@ let audit sys =
         Lru.iter c.Model.ocache (fun o _ ->
             incr cached_objects;
             if
-              Locking.Copy_table.refs sys.Model.server.ocopies o
+              Locking.Copy_table.refs sys.Model.servers.(0).ocopies o
                 ~client:c.Model.cid
               <> 1
             then failwith "audit: cached object not registered exactly once")
@@ -94,7 +94,7 @@ let audit sys =
               in
               incr cached_objects;
               let got =
-                Locking.Copy_table.refs sys.Model.server.ocopies o
+                Locking.Copy_table.refs sys.Model.servers.(0).ocopies o
                   ~client:c.Model.cid
               in
               if got <> expect then
@@ -107,7 +107,7 @@ let audit sys =
     sys.Model.clients;
   (* No registrations beyond the cached copies. *)
   if Algo.page_grain_copies sys.Model.algo then begin
-    if Locking.Copy_table.copies sys.Model.server.pcopies <> !cached_pages then
+    if Locking.Copy_table.copies sys.Model.servers.(0).pcopies <> !cached_pages then
       failwith "audit: stale page registrations"
   end
 

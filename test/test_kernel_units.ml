@@ -40,7 +40,7 @@ let test_netlayer_costs () =
   let (), latency =
     run_fiber_timed sys (fun () ->
         Netlayer.control sys ~cls:Metrics.M_read_req ~src:(Netlayer.Client 0)
-          ~dst:Netlayer.Server)
+          ~dst:(Netlayer.Server 0))
   in
   (* End-to-end latency = send CPU + wire + receive CPU. *)
   let bytes = Config.control_bytes cfg in
@@ -57,11 +57,11 @@ let test_netlayer_page_bigger_than_control () =
   let (), t_control =
     run_fiber_timed sys (fun () ->
         Netlayer.control sys ~cls:Metrics.M_read_req ~src:(Netlayer.Client 0)
-          ~dst:Netlayer.Server)
+          ~dst:(Netlayer.Server 0))
   in
   let (), t_page =
     run_fiber_timed sys (fun () ->
-        Netlayer.page_data sys ~cls:Metrics.M_read_reply ~src:Netlayer.Server
+        Netlayer.page_data sys ~cls:Metrics.M_read_reply ~src:(Netlayer.Server 0)
           ~dst:(Netlayer.Client 0))
   in
   Alcotest.(check bool) "page message costs more" true (t_page > t_control)
@@ -111,8 +111,8 @@ let test_install_page_fresh () =
 let test_read_registers_object_copies () =
   let sys = mk_sys ~algo:Algo.PS_OO () in
   let txn = mk_txn sys 0 in
-  Locking.Lock_table.force_grant sys.Model.server.olocks (oid 5 3) ~txn:77;
-  Model.index_obj_lock sys.Model.server (oid 5 3);
+  Locking.Lock_table.force_grant sys.Model.servers.(0).olocks (oid 5 3) ~txn:77;
+  Model.index_obj_lock sys.Model.servers.(0) (oid 5 3);
   (match run_fiber sys (fun () -> Srv.read_rpc sys txn (oid 5 0)) with
   | Srv.R_page { unavailable; version } ->
     ignore
@@ -120,9 +120,9 @@ let test_read_registers_object_copies () =
          ~version)
   | _ -> Alcotest.fail "expected page");
   Alcotest.(check int) "available object registered once" 1
-    (Locking.Copy_table.refs sys.Model.server.ocopies (oid 5 0) ~client:0);
+    (Locking.Copy_table.refs sys.Model.servers.(0).ocopies (oid 5 0) ~client:0);
   Alcotest.(check int) "foreign-locked object not registered" 0
-    (Locking.Copy_table.refs sys.Model.server.ocopies (oid 5 3) ~client:0)
+    (Locking.Copy_table.refs sys.Model.servers.(0).ocopies (oid 5 3) ~client:0)
 
 let test_install_page_merges_local_dirty () =
   let sys = mk_sys () in
@@ -205,7 +205,7 @@ let test_cb_not_cached () =
   let sys = mk_sys () in
   List.iter
     (fun kind ->
-      let r = run_fiber sys (fun () -> Cb.handle sys ~client:1 ~writer:99 kind) in
+      let r = run_fiber sys (fun () -> Cb.handle sys ~sv:sys.Model.servers.(0) ~client:1 ~writer:99 kind) in
       Alcotest.(check bool) "not cached" true (r = Cb.Not_cached))
     [ Cb.Purge_page 5; Cb.Purge_obj (oid 5 0); Cb.Adaptive (oid 5 0) ]
 
@@ -219,7 +219,7 @@ let test_cb_adaptive_purges_idle () =
   c.Model.running <- None;
   (* txn over, page idle *)
   let r =
-    run_fiber sys (fun () -> Cb.handle sys ~client:1 ~writer:99 (Cb.Adaptive (oid 5 0)))
+    run_fiber sys (fun () -> Cb.handle sys ~sv:sys.Model.servers.(0) ~client:1 ~writer:99 (Cb.Adaptive (oid 5 0)))
   in
   Alcotest.(check bool) "purged" true (r = Cb.Purged);
   Alcotest.(check bool) "gone" false (Lru.mem c.Model.cache 5)
@@ -235,7 +235,7 @@ let test_cb_adaptive_marks_in_use () =
   txn.Model.read_objs <- Ids.Oid_set.singleton (oid 5 1);
   txn.Model.read_pages <- Ids.Page_set.singleton 5;
   let r =
-    run_fiber sys (fun () -> Cb.handle sys ~client:1 ~writer:99 (Cb.Adaptive (oid 5 0)))
+    run_fiber sys (fun () -> Cb.handle sys ~sv:sys.Model.servers.(0) ~client:1 ~writer:99 (Cb.Adaptive (oid 5 0)))
   in
   Alcotest.(check bool) "marked" true (r = Cb.Marked);
   (match Lru.peek c.Model.cache 5 with
@@ -258,17 +258,17 @@ let test_read_rpc_ps_plain_page () =
     Alcotest.(check int) "fresh page version 0" 0 version
   | _ -> Alcotest.fail "expected page");
   Alcotest.(check bool) "copy registered" true
-    (Locking.Copy_table.holds sys.Model.server.pcopies 7 ~client:0);
+    (Locking.Copy_table.holds sys.Model.servers.(0).pcopies 7 ~client:0);
   (* The cold read went to disk. *)
   Alcotest.(check bool) "disk I/O" true
-    (Resources.Disk_array.io_count sys.Model.server.sdisks >= 1)
+    (Resources.Disk_array.io_count sys.Model.servers.(0).sdisks >= 1)
 
 let test_read_rpc_marks_foreign_lock () =
   let sys = mk_sys ~algo:Algo.PS_OO () in
   let txn0 = mk_read_txn sys 0 in
   (* Simulate a foreign object lock held by txn 77. *)
-  Locking.Lock_table.force_grant sys.Model.server.olocks (oid 7 4) ~txn:77;
-  Model.index_obj_lock sys.Model.server (oid 7 4);
+  Locking.Lock_table.force_grant sys.Model.servers.(0).olocks (oid 7 4) ~txn:77;
+  Model.index_obj_lock sys.Model.servers.(0) (oid 7 4);
   let r = run_fiber sys (fun () -> Srv.read_rpc sys txn0 (oid 7 3)) in
   (match r with
   | Srv.R_page { unavailable; _ } ->
@@ -285,14 +285,14 @@ let test_buffer_page_write_back () =
   run_fiber sys (fun () ->
       (* Fill the server buffer, dirty one page, then force eviction. *)
       ignore (Srv.read_rpc sys txn (oid 0 0));
-      Storage.Buffer_pool.mark_dirty sys.Model.server.sbuffer 0;
+      Storage.Buffer_pool.mark_dirty sys.Model.servers.(0).sbuffer 0;
       for p = 1 to cap do
         ignore (Srv.read_rpc sys txn (oid p 0))
       done);
   (* cap+1 reads + 1 write-back of the dirty victim. *)
   Alcotest.(check int) "write-back counted"
     (cap + 2)
-    (Resources.Disk_array.io_count sys.Model.server.sdisks)
+    (Resources.Disk_array.io_count sys.Model.servers.(0).sdisks)
 
 (* --- Report -------------------------------------------------------------- *)
 

@@ -18,6 +18,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("faults", Test_faults.suite);
       ("runner", Test_runner.suite);
+      ("shard", Test_shard.suite);
       ("oracle", Test_oracle.suite);
       ("harness", Test_harness.suite);
       ("telemetry", Test_telemetry.suite);

@@ -52,25 +52,25 @@ let run_staggered sys txns =
    the copy tables exactly mirror the client caches. *)
 let audit sys =
   Alcotest.(check int) "no page locks" 0
-    (Locking.Lock_table.lock_count sys.Model.server.plocks);
+    (Locking.Lock_table.lock_count sys.Model.servers.(0).plocks);
   Alcotest.(check int) "no object locks" 0
-    (Locking.Lock_table.lock_count sys.Model.server.olocks);
+    (Locking.Lock_table.lock_count sys.Model.servers.(0).olocks);
   Alcotest.(check int) "no queued requests" 0
-    (Locking.Lock_table.waiter_count sys.Model.server.plocks
-    + Locking.Lock_table.waiter_count sys.Model.server.olocks);
+    (Locking.Lock_table.waiter_count sys.Model.servers.(0).plocks
+    + Locking.Lock_table.waiter_count sys.Model.servers.(0).olocks);
   Alcotest.(check int) "no waiting txns" 0
-    (Locking.Waits_for.waiting_count sys.Model.server.wfg);
+    (Locking.Waits_for.waiting_count sys.Model.servers.(0).wfg);
   Array.iter
     (fun (c : Model.client) ->
       Alcotest.(check bool) "client idle" true (c.Model.running = None);
       (* Page-grain copy tracking must match the cache exactly. *)
       if Algo.page_grain_copies sys.Model.algo then
         Lru.iter c.Model.cache (fun p _ ->
-            if not (Locking.Copy_table.holds sys.Model.server.pcopies p ~client:c.Model.cid)
+            if not (Locking.Copy_table.holds sys.Model.servers.(0).pcopies p ~client:c.Model.cid)
             then Alcotest.failf "cached page %d not registered" p);
       if sys.Model.algo = Algo.OS then
         Lru.iter c.Model.ocache (fun o _ ->
-            if not (Locking.Copy_table.holds sys.Model.server.ocopies o ~client:c.Model.cid)
+            if not (Locking.Copy_table.holds sys.Model.servers.(0).ocopies o ~client:c.Model.cid)
             then
               Alcotest.failf "cached object %d.%d not registered" o.Ids.Oid.page
                 o.Ids.Oid.slot))
@@ -301,7 +301,7 @@ let test_deadlock_recovery () =
       Alcotest.(check bool)
         (Algo.to_string algo ^ ": deadlock detected and resolved")
         true
-        (Locking.Waits_for.deadlocks sys.Model.server.wfg >= 1);
+        (Locking.Waits_for.deadlocks sys.Model.servers.(0).wfg >= 1);
       audit sys)
     Algo.all
 
