@@ -1,0 +1,86 @@
+(* Server-fault benchmark: the fig3 reference cell (PS-AA, write
+   probability 0.1) on a 2-way partitioned server at increasing server
+   crash rates, reporting simulator events/sec (host-side cost of the
+   fault machinery) alongside the simulated throughput, response p99
+   and the crash/recovery counts (model-side availability effect).
+
+   Each line of output is a JSON object; paste the numbers into
+   BENCH_srvfault.json (see that file for the recording convention).
+
+   SRVFAULT_BENCH_MEASURE scales the simulated measurement window in
+   seconds (default 60; CI smoke uses 5).
+
+   Regenerating BENCH_srvfault.json:
+
+     dune build bench/srvfault_bench.exe
+     for i in 1 2 3 4 5; do
+       SRVFAULT_BENCH_MEASURE=120 ./_build/default/bench/srvfault_bench.exe
+     done
+
+   Take the best events_per_sec per rate (best-of-5 suppresses
+   scheduler noise on a busy 1-core container).  rate=0 doubles as the
+   overhead check: the crash drivers are not even installed there, so
+   its schedule is byte-identical to a build without the fault layer
+   and any wall-time delta is measurement noise. *)
+
+open Oodb_core
+
+let measure_s =
+  match Sys.getenv_opt "SRVFAULT_BENCH_MEASURE" with
+  | Some s -> (try max 1.0 (float_of_string s) with _ -> 60.0)
+  | None -> 60.0
+
+let warmup_s = 5.0
+let seed = 42
+let servers = 2
+
+let cell ~rate =
+  let spec = Option.get (Experiments.find "fig3") in
+  let cfg =
+    {
+      (Experiments.cfg_of spec) with
+      Config.servers;
+      faults = { Faults.off with Faults.srv_crash_rate = rate };
+    }
+  in
+  let params = Experiments.params_of spec ~write_prob:0.1 in
+  let sys = Model.create ~cfg ~algo:Algo.PS_AA ~params ~seed in
+  Netlayer.install_edge_exchange sys;
+  Client.start sys;
+  Crash.install sys;
+  let engine = sys.Model.engine in
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  Simcore.Engine.run_until engine warmup_s;
+  Metrics.reset sys.Model.metrics ~now:warmup_s;
+  Faults.reset_counters sys.Model.faults;
+  Simcore.Engine.run_until engine (warmup_s +. measure_s);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  sys.Model.live <- false;
+  let m = sys.Model.metrics in
+  let commits = Metrics.commits m in
+  assert (commits > 0);
+  let events = Simcore.Engine.events_processed engine in
+  Printf.printf
+    "{\"bench\": \"srvfault_cell\", \"rate\": %.3f, \"events\": %d, \
+     \"wall_s\": %.4f, \"events_per_sec\": %.0f, \"commits\": %d, \"tps\": \
+     %.2f, \"resp_p99_ms\": %.1f, \"srv_crashes\": %d, \"srv_recoveries\": \
+     %d, \"srv_recovery_ms\": %.0f, \"retries\": %d}\n\
+     %!"
+    rate events wall_s
+    (float_of_int events /. wall_s)
+    commits
+    (Metrics.throughput m ~now:(warmup_s +. measure_s))
+    (1000.0 *. Metrics.response_quantile m 0.99)
+    (Faults.srv_crashes sys.Model.faults)
+    (Faults.srv_recoveries sys.Model.faults)
+    (1000.0 *. Faults.srv_recovery_mean sys.Model.faults)
+    (Metrics.retries m)
+
+let () =
+  Printf.printf
+    "# srvfault_bench: measure=%.0fs sim, servers=%d \
+     (SRVFAULT_BENCH_MEASURE to change)\n\
+     %!"
+    measure_s servers;
+  List.iter (fun rate -> cell ~rate) [ 0.0; 0.01; 0.02; 0.05 ]

@@ -82,6 +82,18 @@ let write_fault_timelines ~dir (series : Experiments.fault_series) =
         p.Experiments.fresults)
     series.Experiments.fpoints
 
+let write_srvfault_timelines ~dir (series : Experiments.srvfault_series) =
+  mkdir_p dir;
+  List.iter
+    (fun (p : Experiments.srvfault_point) ->
+      List.iter
+        (fun (algo, r) ->
+          write_timeline ~dir ~id:"srvfaultsweep"
+            ~coord:(Printf.sprintf "srate%.3f" p.Experiments.srate)
+            algo r)
+        p.Experiments.svresults)
+    series.Experiments.svpoints
+
 let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
     ?(percentiles = false) ~njobs ~csv_dir ~detail id =
   match id with
@@ -110,6 +122,22 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
     | None -> true
     | Some dir ->
       write_csv ~dir ~id:"faultsweep" (Report.fault_series_to_csv series))
+  | "srvfaultsweep" ->
+    let progress j r =
+      Format.printf "  %s@.%!" (Experiments.progress_line j r)
+    in
+    let jobs =
+      Experiments.srvfault_jobs ~time_scale ~oracle
+        ~timeline:(timeline_dir <> None) ()
+    in
+    let results = Harness.Pool.run ~jobs:njobs ~progress jobs in
+    let series = Experiments.srvfault_series_of_results results in
+    Format.printf "%a@." Report.pp_srvfault_series series;
+    Option.iter (fun dir -> write_srvfault_timelines ~dir series) timeline_dir;
+    (match csv_dir with
+    | None -> true
+    | Some dir ->
+      write_csv ~dir ~id:"srvfaultsweep" (Report.srvfault_series_to_csv series))
   | "shardsweep" ->
     let progress j r =
       Format.printf "  %s@.%!" (Experiments.progress_line j r)
@@ -150,7 +178,7 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
 let all_ids =
   [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
     "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "faultsweep";
-    "shardsweep" ]
+    "shardsweep"; "srvfaultsweep" ]
 
 let run ids time_scale oracle timeline_dir percentiles njobs csv_dir detail =
   let ids = if ids = [] then all_ids else ids in
@@ -184,7 +212,7 @@ let ids_t =
     & info [] ~docv:"ID"
         ~doc:
           "Experiment ids (fig3..fig14, table1, table2, faultsweep, \
-           shardsweep); all when omitted")
+           shardsweep, srvfaultsweep); all when omitted")
 
 let time_scale_t =
   Arg.(

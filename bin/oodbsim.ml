@@ -105,7 +105,8 @@ let timeline_path base ~multi ~label =
 let run algo workload locality write_probs clients db_scale servers partition
     seed njobs warmup measure verbose trace oracle oracle_dump_dir
     timeline_file percentiles crash_rate restart_delay msg_loss msg_dup
-    disk_stall max_events =
+    disk_stall srv_crash_rate srv_restart_delay log_flush
+    skip_reconstruction max_events =
   if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
   let write_probs = if write_probs = [] then [ 0.1 ] else write_probs in
   let faults =
@@ -116,6 +117,9 @@ let run algo workload locality write_probs clients db_scale servers partition
       msg_loss_prob = msg_loss;
       msg_dup_prob = msg_dup;
       disk_stall_prob = disk_stall;
+      srv_crash_rate;
+      srv_restart_delay;
+      log_flush_interval = log_flush;
     }
   in
   Faults.validate faults;
@@ -128,6 +132,7 @@ let run algo workload locality write_probs clients db_scale servers partition
         partition;
         faults;
         oracle;
+        srv_skip_reconstruction = skip_reconstruction;
         timeline = timeline_file <> None;
       }
       ~factor:db_scale
@@ -331,6 +336,44 @@ let disk_stall_t =
     & info [ "disk-stall" ]
         ~doc:"Probability a disk I/O stalls transiently before service")
 
+let srv_crash_rate_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "srv-crash-rate" ]
+        ~doc:
+          "Mean server crashes per simulated second per server \
+           (exponential inter-crash times; 0 = never).  A crashed server \
+           loses all volatile state but keeps its flushed redo log; on \
+           restart it replays the log and rebuilds callback state from \
+           surviving clients before reopening.")
+
+let srv_restart_delay_t =
+  Arg.(
+    value
+    & opt float Faults.off.Faults.srv_restart_delay
+    & info [ "srv-restart-delay" ]
+        ~doc:"Server downtime before restart begins (sim seconds)")
+
+let log_flush_t =
+  Arg.(
+    value
+    & opt float Faults.off.Faults.log_flush_interval
+    & info [ "log-flush" ]
+        ~doc:
+          "Redo-log flush period (sim seconds): the durability point a \
+           crashed server replays from; shorter means less replay work \
+           on restart")
+
+let skip_reconstruction_t =
+  Arg.(
+    value & flag
+    & info [ "skip-reconstruction" ]
+        ~doc:
+          "SABOTAGE: restart servers without rebuilding the callback \
+           copy tables from surviving clients, so stale cached copies \
+           go unnoticed.  Exists to prove the serializability oracle \
+           catches the resulting anomalies; pair with --oracle.")
+
 let max_events_t =
   Arg.(
     value
@@ -351,6 +394,8 @@ let cmd =
       const run $ algo_t $ workload_t $ locality_t $ wp_t $ clients_t $ scale_t
       $ servers_t $ partition_t $ seed_t $ jobs_t $ warmup_t $ measure_t $ verbose_t $ trace_t $ oracle_t
       $ oracle_dump_dir_t $ timeline_t $ percentiles_t $ crash_rate_t
-      $ restart_delay_t $ msg_loss_t $ msg_dup_t $ disk_stall_t $ max_events_t)
+      $ restart_delay_t $ msg_loss_t $ msg_dup_t $ disk_stall_t
+      $ srv_crash_rate_t $ srv_restart_delay_t $ log_flush_t
+      $ skip_reconstruction_t $ max_events_t)
 
 let () = exit (Cmd.eval cmd)

@@ -91,50 +91,69 @@ let check_lock_compat sys ~context =
 (* Invariant 3: callback coverage — every copy cached at an up client is
    registered (>= 1 reference; a second in-flight reference is legal).
    Without this the server would skip the client during callbacks and
-   the stale copy could serve a later read. *)
+   the stale copy could serve a later read.
+
+   A partition whose server is down or recovering is exempt: its copy
+   table was lost with the crash and is rebuilt (from exactly the
+   cached copies enumerated here) before the server reopens — during
+   the outage nothing can be granted there, so the uncovered copies
+   are unreadable-stale at worst, never servable-stale.
+
+   The whole check is disabled under the [srv_skip_reconstruction]
+   sabotage: skipping the rebuild leaves copies permanently uncovered,
+   and the point of that knob is proving the serializability oracle —
+   not this audit — catches the resulting write skew. *)
 let check_copy_coverage ?only sys ~context =
-  Array.iter
-    (fun c ->
-      if c.up && (match only with Some cid -> cid = c.cid | None -> true) then
-        if Algo.page_grain_copies sys.algo then
-          Lru.iter c.cache (fun p _ ->
-              if
-                not
-                  (Locking.Copy_table.holds (Model.server_of sys p).pcopies p
-                     ~client:c.cid)
-              then
-                violation sys ~context
-                  "client %d caches page %d without a copy registration" c.cid
-                  p)
-        else if sys.algo = Algo.OS then
-          Lru.iter c.ocache (fun o _ ->
-              if
-                not
-                  (Locking.Copy_table.holds
-                     (Model.server_of sys o.Ids.Oid.page).ocopies o
-                     ~client:c.cid)
-              then
-                violation sys ~context
-                  "client %d caches object %s without a copy registration"
-                  c.cid (oid_str o))
-        else
-          (* PS-OO: object-grain registrations for the available slots
-             of each cached page. *)
-          Lru.iter c.cache (fun p entry ->
-              for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
-                if not (Ids.Int_set.mem slot entry.unavailable) then
-                  let o = Ids.Oid.make ~page:p ~slot in
-                  if
-                    not
-                      (Locking.Copy_table.holds
-                         (Model.server_of sys p).ocopies o ~client:c.cid)
-                  then
-                    violation sys ~context
-                      "client %d caches available object %s without a copy \
-                       registration"
-                      c.cid (oid_str o)
-              done))
-    sys.clients
+  if not sys.cfg.Config.srv_skip_reconstruction then
+    Array.iter
+      (fun c ->
+        if c.up && (match only with Some cid -> cid = c.cid | None -> true)
+        then
+          let covered_partition p =
+            (Model.server_of sys p).srv_state = Srv_up
+          in
+          if Algo.page_grain_copies sys.algo then
+            Lru.iter c.cache (fun p _ ->
+                if
+                  covered_partition p
+                  && not
+                       (Locking.Copy_table.holds (Model.server_of sys p).pcopies
+                          p ~client:c.cid)
+                then
+                  violation sys ~context
+                    "client %d caches page %d without a copy registration"
+                    c.cid p)
+          else if sys.algo = Algo.OS then
+            Lru.iter c.ocache (fun o _ ->
+                if
+                  covered_partition o.Ids.Oid.page
+                  && not
+                       (Locking.Copy_table.holds
+                          (Model.server_of sys o.Ids.Oid.page).ocopies o
+                          ~client:c.cid)
+                then
+                  violation sys ~context
+                    "client %d caches object %s without a copy registration"
+                    c.cid (oid_str o))
+          else
+            (* PS-OO: object-grain registrations for the available slots
+               of each cached page. *)
+            Lru.iter c.cache (fun p entry ->
+                if covered_partition p then
+                  for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+                    if not (Ids.Int_set.mem slot entry.unavailable) then
+                      let o = Ids.Oid.make ~page:p ~slot in
+                      if
+                        not
+                          (Locking.Copy_table.holds
+                             (Model.server_of sys p).ocopies o ~client:c.cid)
+                      then
+                        violation sys ~context
+                          "client %d caches available object %s without a \
+                           copy registration"
+                          c.cid (oid_str o)
+                  done))
+      sys.clients
 
 (* Invariant 4: a crashed client was fully reclaimed — cold caches, no
    transaction, no copy-table presence (it must not be a callback
@@ -182,13 +201,21 @@ let check_acyclic sys ~context =
     sys.servers
 
 (* Invariant 6: write isolation — no object sits in the updated set of
-   two live transactions. *)
+   two live transactions.  Gated off under [srv_skip_reconstruction]
+   for the same reason as invariant 3: the sabotage deliberately
+   breaks callback-based mutual exclusion, and the verdict must come
+   from the serializability oracle, not a state-level check. *)
 let check_update_disjoint sys ~context =
+  if sys.cfg.Config.srv_skip_reconstruction then ()
+  else
   let owner = Hashtbl.create 64 in
   Array.iter
     (fun c ->
       match c.running with
-      | Some t when c.up ->
+      (* A doomed transaction's updates are already discarded in spirit:
+         it can only abort, and its covering locks at the crashed server
+         are gone, so a post-recovery writer may legitimately overlap. *)
+      | Some t when c.up && not t.doomed ->
         Ids.Oid_set.iter
           (fun o ->
             match Hashtbl.find_opt owner o with
@@ -201,13 +228,52 @@ let check_update_disjoint sys ~context =
       | Some _ | None -> ())
     sys.clients
 
+(* Invariant 7: a down server was fully reclaimed — crash purging left
+   no volatile state behind (locks, copy registrations, token owners).
+   Mirrors invariant 4 for the server side; anything found here would
+   be state that survived the "power cut" and could contradict the
+   rebuilt tables after recovery. *)
+let check_crashed_servers sys ~context =
+  Array.iter
+    (fun sv ->
+      if sv.srv_state = Srv_down then begin
+        let pl = Locking.Lock_table.lock_count sv.plocks in
+        let ol = Locking.Lock_table.lock_count sv.olocks in
+        if pl > 0 || ol > 0 then
+          violation sys ~context
+            "down server %d still holds %d page / %d object locks" sv.sid pl
+            ol;
+        let copies table =
+          Array.fold_left
+            (fun acc c ->
+              acc + Locking.Copy_table.client_copies table ~client:c.cid)
+            0 sys.clients
+        in
+        let pc = copies sv.pcopies in
+        let oc = copies sv.ocopies in
+        if pc > 0 || oc > 0 then
+          violation sys ~context
+            "down server %d still registers %d page / %d object copies" sv.sid
+            pc oc;
+        if Hashtbl.length sv.token_owner > 0 then
+          violation sys ~context "down server %d still owns %d write tokens"
+            sv.sid
+            (Hashtbl.length sv.token_owner);
+        if Buffer_pool.size sv.sbuffer > 0 then
+          violation sys ~context
+            "down server %d retains %d buffered pages" sv.sid
+            (Buffer_pool.size sv.sbuffer)
+      end)
+    sys.servers
+
 let check ?(context = "") ?coverage_of sys =
   check_lock_liveness sys ~context;
   check_lock_compat sys ~context;
   check_copy_coverage ?only:coverage_of sys ~context;
   check_crashed_clients sys ~context;
   check_acyclic sys ~context;
-  check_update_disjoint sys ~context
+  check_update_disjoint sys ~context;
+  check_crashed_servers sys ~context
 
 let install sys =
   Faults.set_hook sys.faults (fun context -> check ~context sys)

@@ -40,6 +40,10 @@ let rec fetch_page sys c txn oid ~tries =
   | Srv.R_objs _ -> assert false
   | Srv.R_page { unavailable; version } ->
     check_live sys txn;
+    (* The owning server may have crashed while the reply was in
+       transit: the copy is registered in no table, so installing it
+       would leave a stale, never-called-back page. *)
+    if txn.doomed then raise Txn_aborted;
     (match Cache_ops.install_page sys c txn oid.Ids.Oid.page ~unavailable ~version with
     | Some (victim, dirty, fetch_version) ->
       (* Under redo-at-server the log carries the updates, so dirty
@@ -63,6 +67,9 @@ let read_access sys c txn oid =
       | Srv.R_page _ -> assert false
       | Srv.R_objs group ->
         check_live sys txn;
+        (* See [fetch_page]: never install a copy from a server that
+           crashed after shipping it. *)
+        if txn.doomed then raise Txn_aborted;
         List.iter
           (fun o ->
             match Cache_ops.install_object sys c o with
@@ -97,13 +104,24 @@ let have_write_permission sys txn oid =
    1. no two live transactions hold uncommitted updates to one object;
    2. the updater holds the server-side write lock that covers the
       object (the page lock, the object lock, or either for PS-AA).
-   A protocol bug that loses mutual exclusion trips these instantly. *)
+   A protocol bug that loses mutual exclusion trips these instantly.
+
+   Disabled under the [srv_skip_reconstruction] sabotage: skipping the
+   copy-table rebuild deliberately breaks callback-based mutual
+   exclusion, and the knob exists to prove the serializability oracle —
+   the history-level checker — catches the damage end to end.  Leaving
+   this state-level assertion armed would catch it first. *)
 let assert_update_invariants sys c txn oid =
+  if sys.cfg.Config.srv_skip_reconstruction then ()
+  else begin
   Array.iter
     (fun (other : Model.client) ->
       if other.cid <> c.cid then
         match other.running with
-        | Some t when Ids.Oid_set.mem oid t.updated ->
+        (* A doomed transaction can only abort: its updates are already
+           discarded in spirit and its covering locks died with the
+           crashed server, so a post-recovery writer may overlap it. *)
+        | Some t when Ids.Oid_set.mem oid t.updated && not t.doomed ->
           failwith
             (Printf.sprintf
                "invariant violation: object %d.%d updated concurrently by \
@@ -128,6 +146,7 @@ let assert_update_invariants sys c txn oid =
          "invariant violation: txn %d updates %d.%d without a covering \
           server write lock"
          txn.tid oid.Ids.Oid.page oid.Ids.Oid.slot)
+  end
 
 let mark_updated sys c txn oid =
   assert_update_invariants sys c txn oid;
@@ -170,6 +189,10 @@ let write_access sys c txn oid =
       check_live sys txn;
       txn.wobjs <- Ids.Oid_set.add oid txn.wobjs
   end;
+  (* A server crash between the grant and this point purged the
+     covering lock; recording the update would trip the isolation
+     invariants against a post-recovery writer. *)
+  if txn.doomed then raise Txn_aborted;
   mark_updated sys c txn oid;
   local_lock_charge sys c
 
@@ -177,6 +200,7 @@ let write_access sys c txn oid =
 
 let exec_op sys c txn (op : Workload.Refstring.op) =
   check_live sys txn;
+  if txn.doomed then raise Txn_aborted;
   read_access sys c txn op.oid;
   if op.write then write_access sys c txn op.oid;
   let cost =
@@ -200,6 +224,9 @@ let updated_pages txn =
 
 let commit sys c txn =
   check_live sys txn;
+  (* A doomed transaction must not ship updates: the crashed server
+     lost its locks, so the data would install without coverage. *)
+  if txn.doomed then raise Txn_aborted;
   (match sys.cfg.Config.commit_mode with
   | Config.Redo_at_server -> Srv.ship_redo_log sys txn
   | Config.Ship_pages ->
@@ -223,11 +250,14 @@ let commit sys c txn =
             ~fetch_version:entry.fetch_version ~at_commit:true
         | Some _ | None -> ())
       (updated_pages txn));
-  Srv.commit_rpc sys txn;
-  (* A crash during the commit round trip aborts the transaction: the
-     server skipped the version bumps, so it must not count as a
-     commit here. *)
+  let committed = Srv.commit_rpc sys txn in
+  (* A client crash during the commit round trip aborts the transaction:
+     the server skipped the version bumps, so it must not count as a
+     commit here.  Likewise presumed abort: when a participant crashed
+     mid-flight or never heard the commit, [commit_rpc] reports failure
+     and the client resolves the in-doubt outcome as an abort. *)
   check_live sys txn;
+  if not committed then raise Txn_aborted;
   (* Updates are durable at the server; retain the pages/objects as
      clean cached copies and let blocked callbacks proceed. *)
   (match sys.algo with
@@ -283,6 +313,8 @@ let make_txn sys ~client ~ops ~first_started =
     wpages = Ids.Page_set.empty;
     wobjs = Ids.Oid_set.empty;
     updated = Ids.Oid_set.empty;
+    doomed = false;
+    rpc_sid = -1;
   }
 
 let restart_delay c =
@@ -333,7 +365,8 @@ let rec attempt sys c ops ~first_started ~restarts =
     (* A deadlock abort that raced with a crash of this client belongs
        to the crash handler: everything is already reclaimed. *)
     check_live sys txn;
-    Trace.txn sys ~tid:txn.tid ~client:c.cid "abort (deadlock victim)";
+    Trace.txn sys ~tid:txn.tid ~client:c.cid "abort (%s)"
+      (if txn.doomed then "server crash" else "deadlock victim");
     abort_cleanup sys c txn;
     Audit.check sys ~context:"abort" ~coverage_of:c.cid;
     Proc.hold sys.engine (restart_delay c);

@@ -36,6 +36,7 @@ type t = {
   faults : Faults.profile;
   oracle : bool;
   cb_drop_every : int;
+  srv_skip_reconstruction : bool;
   timeline : bool;
   timeline_cap : int;
 }
@@ -75,6 +76,7 @@ let default =
     faults = Faults.off;
     oracle = false;
     cb_drop_every = 0;
+    srv_skip_reconstruction = false;
     timeline = false;
     timeline_cap = 65536;
   }
@@ -163,7 +165,14 @@ let pp ppf t =
     f "DiskStallProb      %.4f (%.0f ms, %d retries)@,"
       p.Faults.disk_stall_prob
       (1000.0 *. p.Faults.disk_stall_time)
-      p.Faults.disk_stall_retries
+      p.Faults.disk_stall_retries;
+    if p.Faults.srv_crash_rate > 0.0 then begin
+      f "SrvCrashRate       %.4f crashes/s per server@,"
+        p.Faults.srv_crash_rate;
+      f "SrvRestartDelay    %.0f ms@," (1000.0 *. p.Faults.srv_restart_delay);
+      f "LogFlushInterval   %.0f ms@," (1000.0 *. p.Faults.log_flush_interval);
+      f "RetransGiveaway    %d attempts@," p.Faults.retrans_giveaway
+    end
   end;
   (* Likewise the topology, oracle and sabotage rows: absent at
      defaults, so the singleton-server table stays byte-identical. *)
@@ -174,5 +183,6 @@ let pp ppf t =
   end;
   if t.oracle then f "SerializabilityOracle on@,";
   if t.cb_drop_every > 0 then f "CallbackDropEvery   %d (sabotage)@," t.cb_drop_every;
+  if t.srv_skip_reconstruction then f "SkipReconstruction on (sabotage)@,";
   if t.timeline then f "Timeline           on (%d entries)@," t.timeline_cap;
   f "@]"

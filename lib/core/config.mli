@@ -84,6 +84,13 @@ type t = {
       (** sabotage knob for oracle negative tests: drop every Nth
           callback target at the server, silently leaving stale cached
           copies behind (0 = off; never enable outside tests) *)
+  srv_skip_reconstruction : bool;
+      (** sabotage knob for oracle negative tests: a restarting server
+          skips the client-assisted copy-table reconstruction, leaving
+          every surviving remote copy untracked (stale reads become
+          write skew).  The audit's copy-coverage invariant is disabled
+          with it so the serializability oracle — not the audit — must
+          catch the damage (never enable outside tests) *)
   timeline : bool;
       (** record a ring-buffered event timeline (spans/instants per
           client, server, CPU, disk, network — see lib/telemetry) for

@@ -1,4 +1,4 @@
-(** Client crash/restart fault drivers.
+(** Client and server crash/restart fault drivers.
 
     A crash models a workstation failure (Section 2's client-caching
     hazard): the client's buffer pool is volatile and vanishes, its
@@ -22,8 +22,32 @@ val restart_client : Model.sys -> int -> unit
 (** Cold-restart a crashed client (no-op when up): marks it up and
     spawns a fresh transaction-source fiber for the new epoch. *)
 
+val crash_server : Model.sys -> int -> unit
+(** Fail one server now (no-op unless up).  Volatile state — buffer
+    pool, lock tables, copy tables, token ownership — is lost; the
+    durable page versions and the unflushed redo-log count survive.
+    Every transaction that touched the server (or has an RPC in flight
+    there) is doomed: it aborts at its next server interaction and the
+    client retries it (presumed abort).  Messages addressed to the
+    down server time out, back off, and are eventually given away by
+    their senders.  Exposed for tests; {!install} drives it from the
+    configured server crash rate. *)
+
+val restart_server : Model.sys -> int -> unit
+(** Recover a down server (no-op unless down): replay the redo-log
+    tail bounded by the last flush (one log read plus per-record CPU),
+    then run client-assisted callback reconstruction — each surviving
+    client reconnects over [M_recover] messages and re-ships its
+    copy-table rows for the partition, restoring the callback state
+    before any new grant — and reopen for normal traffic.  While
+    recovering, the server admits only [M_recover] traffic. *)
+
 val install : Model.sys -> unit
-(** When the crash rate is positive, spawn one driver fiber per client
-    that crashes it at exponentially distributed intervals and restarts
-    it after the profile's restart delay.  With a zero crash rate this
-    spawns nothing and draws nothing. *)
+(** When the client crash rate is positive, spawn one driver fiber per
+    client that crashes it at exponentially distributed intervals and
+    restarts it after the profile's restart delay.  When the server
+    crash rate is positive, additionally spawn per server a periodic
+    redo-log flush fiber (the durability point) and a crash/restart
+    driver; crashes only strike up servers, so recoveries are never
+    interrupted.  With zero rates this spawns nothing and draws
+    nothing. *)

@@ -239,6 +239,81 @@ let shard_series_of_results results =
         shard_counts chunks;
   }
 
+(* --- Server-fault sweep (crash & recovery experiment) ------------------- *)
+
+(* Fig3's wp=0.1 cell on a 2-way partitioned server under increasing
+   server crash rates, client faults off — the availability experiment:
+   how throughput and tail latency degrade when whole partitions
+   disappear and recover.  Two servers is the smallest topology where
+   partial-partition degradation is visible (transactions confined to
+   the surviving partition keep committing).  srate=0.0 is the
+   fault-free reference point. *)
+let srvfault_rates = [ 0.0; 0.002; 0.005; 0.01; 0.02 ]
+
+let srvfault_write_prob = 0.1
+let srvfault_servers = 2
+
+type srvfault_point = {
+  srate : float;
+  svresults : (Algo.t * Runner.result) list;
+}
+
+type srvfault_series = { srates : float list; svpoints : srvfault_point list }
+
+let srvfault_base () = Option.get (find "fig3")
+
+let srvfault_jobs ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false)
+    ?(timeline = false) ?(partition = Config.Hash) ?max_events () =
+  let spec = srvfault_base () in
+  let params = params_of spec ~write_prob:srvfault_write_prob in
+  List.concat_map
+    (fun rate ->
+      let cfg =
+        {
+          (cfg_of spec) with
+          Config.oracle;
+          timeline;
+          servers = srvfault_servers;
+          partition;
+          faults = { Faults.off with Faults.srv_crash_rate = rate };
+        }
+      in
+      List.map
+        (fun algo ->
+          Job.make ~base_seed:seed ?max_events ~sweep:"srvfaultsweep"
+            ~label:
+              (Printf.sprintf "srate=%.3f %-5s" rate (Algo.to_string algo))
+            ~cfg ~algo ~params ~warmup:(spec.warmup *. time_scale)
+            ~measure:(spec.measure *. time_scale) ())
+        Algo.all)
+    srvfault_rates
+
+let srvfault_series_of_results results =
+  let algos = List.length Algo.all in
+  let rec chunk = function
+    | [] -> []
+    | rs ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> invalid_arg "Experiments.srvfault_series_of_results: missing"
+        | r :: rest ->
+          let c, rest = take (n - 1) rest in
+          (r :: c, rest)
+      in
+      let point, rest = take algos rs in
+      point :: chunk rest
+  in
+  let chunks = chunk results in
+  if List.length chunks <> List.length srvfault_rates then
+    invalid_arg "Experiments.srvfault_series_of_results: result/rate mismatch";
+  {
+    srates = srvfault_rates;
+    svpoints =
+      List.map2
+        (fun srate rs -> { srate; svresults = List.combine Algo.all rs })
+        srvfault_rates chunks;
+  }
+
 let progress_line (j : Job.t) (r : Runner.result) =
   Printf.sprintf "%s %s: %.2f tps" j.Job.sweep j.Job.label r.Runner.throughput
 

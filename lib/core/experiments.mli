@@ -106,6 +106,38 @@ val shard_jobs :
 
 val shard_series_of_results : Runner.result list -> shard_series
 
+(** {2 Server-fault sweep}
+
+    The availability experiment: fig3's wp=0.1 cell on a 2-way
+    partitioned server rerun for every protocol under increasing
+    server crash rates (client faults off).  A crashed server loses
+    its volatile state, replays its flushed redo log and rebuilds
+    callback state from surviving clients before reopening; only
+    transactions touching the down partition stall.  srate=0.0 is the
+    fault-free reference point. *)
+
+val srvfault_rates : float list
+
+type srvfault_point = {
+  srate : float;
+  svresults : (Algo.t * Runner.result) list;
+}
+
+type srvfault_series = { srates : float list; svpoints : srvfault_point list }
+
+val srvfault_jobs :
+  ?seed:int ->
+  ?time_scale:float ->
+  ?oracle:bool ->
+  ?timeline:bool ->
+  ?partition:Config.partition ->
+  ?max_events:int ->
+  unit ->
+  Job.t list
+(** Crash-rate-major, algorithm-minor, like {!jobs_of_spec}. *)
+
+val srvfault_series_of_results : Runner.result list -> srvfault_series
+
 val progress_line : Job.t -> Runner.result -> string
 (** One-line completion message for a cell ("fig3 wp=0.05 PS-AA: ... tps"). *)
 

@@ -17,6 +17,7 @@ type msg_class =
   | M_abort_reply
   | M_cb_forward
   | M_edge_exchange
+  | M_recover
 
 let msg_class_name = function
   | M_read_req -> "read_req"
@@ -35,13 +36,14 @@ let msg_class_name = function
   | M_abort_reply -> "abort_reply"
   | M_cb_forward -> "cb_forward"
   | M_edge_exchange -> "edge_exchange"
+  | M_recover -> "recover"
 
 let all_msg_classes =
   [
     M_read_req; M_read_reply; M_write_req; M_write_reply; M_callback;
     M_callback_reply; M_deescalate; M_deescalate_reply; M_dirty_data;
     M_commit_data; M_commit; M_commit_reply; M_abort; M_abort_reply;
-    M_cb_forward; M_edge_exchange;
+    M_cb_forward; M_edge_exchange; M_recover;
   ]
 
 let class_index = function
@@ -61,8 +63,9 @@ let class_index = function
   | M_abort_reply -> 13
   | M_cb_forward -> 14
   | M_edge_exchange -> 15
+  | M_recover -> 16
 
-let num_msg_classes = 16
+let num_msg_classes = 17
 
 type t = {
   mutable window_start : float;
@@ -92,6 +95,12 @@ type t = {
   lock_wait_hist : Telemetry.Histogram.t;
   cb_round_hist : Telemetry.Histogram.t;
   msg_latency_hists : Telemetry.Histogram.t array;
+  (* Retry accounting for the fault layer: per-class counts of
+     timeout-driven resends (loss retransmits and down-server retries)
+     and the extra latency a send that needed at least one retry paid
+     before finally succeeding. *)
+  msg_retries : int array;
+  retry_wait_hist : Telemetry.Histogram.t;
 }
 
 type hist_snapshot = {
@@ -99,6 +108,8 @@ type hist_snapshot = {
   h_lock_wait : Telemetry.Histogram.t;
   h_cb_round : Telemetry.Histogram.t;
   h_msg_latency : Telemetry.Histogram.t array;  (** indexed by [class_index] *)
+  h_retry_wait : Telemetry.Histogram.t;
+  h_msg_retries : int array;  (** per-class retry counts, by [class_index] *)
 }
 
 let create () =
@@ -128,6 +139,8 @@ let create () =
     cb_round_hist = Telemetry.Histogram.create ();
     msg_latency_hists =
       Array.init num_msg_classes (fun _ -> Telemetry.Histogram.create ());
+    msg_retries = Array.make num_msg_classes 0;
+    retry_wait_hist = Telemetry.Histogram.create ();
   }
 
 let note_msg t cls ~bytes =
@@ -142,6 +155,13 @@ let note_commit t ~response =
 
 let note_msg_latency t cls ~duration =
   Telemetry.Histogram.record t.msg_latency_hists.(class_index cls) duration
+
+let note_msg_retry t cls =
+  let i = class_index cls in
+  t.msg_retries.(i) <- t.msg_retries.(i) + 1
+
+let note_retry_wait t ~duration =
+  Telemetry.Histogram.record t.retry_wait_hist duration
 
 let note_cb_round t ~duration =
   Telemetry.Histogram.record t.cb_round_hist duration
@@ -198,13 +218,17 @@ let reset t ~now =
   Telemetry.Histogram.reset t.response_hist;
   Telemetry.Histogram.reset t.lock_wait_hist;
   Telemetry.Histogram.reset t.cb_round_hist;
-  Array.iter Telemetry.Histogram.reset t.msg_latency_hists
+  Array.iter Telemetry.Histogram.reset t.msg_latency_hists;
+  Array.fill t.msg_retries 0 (Array.length t.msg_retries) 0;
+  Telemetry.Histogram.reset t.retry_wait_hist
 
 let commits t = t.commit_count
 let aborts t = t.abort_count
 let deadlocks t = t.deadlock_count
 let messages t = Array.fold_left ( + ) 0 t.msg_counts
 let messages_of t cls = t.msg_counts.(class_index cls)
+let retries_of t cls = t.msg_retries.(class_index cls)
+let retries t = Array.fold_left ( + ) 0 t.msg_retries
 let bytes t = t.total_bytes
 let merges t = t.merge_count
 let client_merges t = t.client_merge_count
@@ -227,11 +251,14 @@ let snapshot_hists t =
     h_lock_wait = Telemetry.Histogram.copy t.lock_wait_hist;
     h_cb_round = Telemetry.Histogram.copy t.cb_round_hist;
     h_msg_latency = Array.map Telemetry.Histogram.copy t.msg_latency_hists;
+    h_retry_wait = Telemetry.Histogram.copy t.retry_wait_hist;
+    h_msg_retries = Array.copy t.msg_retries;
   }
 
 let response_quantile t q = Telemetry.Histogram.quantile t.response_hist q
 let lock_wait_quantile t q = Telemetry.Histogram.quantile t.lock_wait_hist q
 let cb_round_quantile t q = Telemetry.Histogram.quantile t.cb_round_hist q
+let retry_wait_quantile t q = Telemetry.Histogram.quantile t.retry_wait_hist q
 
 let response_mean t = Stats.Batch_means.mean t.responses
 let response_ci90 t = Stats.Batch_means.ci90_half_width t.responses

@@ -27,6 +27,10 @@ type msg_class =
   | M_edge_exchange
       (** waits-for edge shipped server → deadlock coordinator
           (servers > 1) *)
+  | M_recover
+      (** server-restart recovery traffic: reconnect requests and
+          client copy-table reports (the only class a recovering
+          server admits) *)
 
 val msg_class_name : msg_class -> string
 val all_msg_classes : msg_class list
@@ -43,6 +47,12 @@ type hist_snapshot = {
   h_cb_round : Telemetry.Histogram.t;
   h_msg_latency : Telemetry.Histogram.t array;
       (** per message class, indexed like [all_msg_classes] *)
+  h_retry_wait : Telemetry.Histogram.t;
+      (** extra latency of sends that needed at least one retry before
+          succeeding (timeout-to-success) *)
+  h_msg_retries : int array;
+      (** per-class timeout-driven resend counts, indexed like
+          [all_msg_classes] *)
 }
 (** Copies of the always-on latency histograms (see lib/telemetry),
     decoupled from the live counters so they survive the run and can
@@ -61,6 +71,14 @@ val note_msg_latency : t -> msg_class -> duration:float -> unit
 val note_cb_round : t -> duration:float -> unit
 (** One callback round-trip: from the server posting the callback to
     the target's acknowledgment being fully processed. *)
+
+val note_msg_retry : t -> msg_class -> unit
+(** One timeout-driven resend of a message (loss retransmission or
+    down-server retry). *)
+
+val note_retry_wait : t -> duration:float -> unit
+(** A send that needed at least one retry finally succeeded after
+    [duration] seconds (timeout-to-success latency). *)
 
 val note_abort : t -> unit
 val note_deadlock : t -> unit
@@ -95,6 +113,8 @@ val aborts : t -> int
 val deadlocks : t -> int
 val messages : t -> int
 val messages_of : t -> msg_class -> int
+val retries : t -> int
+val retries_of : t -> msg_class -> int
 val bytes : t -> int
 val merges : t -> int
 val client_merges : t -> int
@@ -118,6 +138,7 @@ val response_quantile : t -> float -> float
 
 val lock_wait_quantile : t -> float -> float
 val cb_round_quantile : t -> float -> float
+val retry_wait_quantile : t -> float -> float
 val response_mean : t -> float
 val response_ci90 : t -> float
 val response_batches : t -> int

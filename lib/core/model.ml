@@ -22,6 +22,8 @@ type txn = {
   mutable wpages : Ids.Page_set.t;
   mutable wobjs : Ids.Oid_set.t;
   mutable updated : Ids.Oid_set.t;
+  mutable doomed : bool;
+  mutable rpc_sid : int;
 }
 
 type client = {
@@ -37,6 +39,8 @@ type client = {
   mutable epoch : int;
   mutable crashed_at : float option;
 }
+
+type srv_state = Srv_up | Srv_down | Srv_recovering
 
 type server = {
   sid : int;
@@ -54,6 +58,9 @@ type server = {
   token_owner : (Ids.page, int * Locking.Lock_types.txn) Hashtbl.t;
   srv_rng : Rng.t;
   mutable cb_drop_clock : int;
+  mutable srv_state : srv_state;
+  mutable log_records : int;
+  mutable srv_crashed_at : float;
 }
 
 type sys = {
@@ -218,6 +225,9 @@ let create ~cfg ~algo ~params ~seed =
           token_owner = Hashtbl.create 256;
           srv_rng = Rng.split rng;
           cb_drop_clock = 0;
+          srv_state = Srv_up;
+          log_records = 0;
+          srv_crashed_at = 0.0;
         })
   in
   (* Link the per-server waits-for graphs into one cluster so cycle

@@ -36,6 +36,14 @@ type txn = {
   mutable wpages : Ids.Page_set.t;  (** server page write locks held *)
   mutable wobjs : Ids.Oid_set.t;  (** server object write locks held *)
   mutable updated : Ids.Oid_set.t;  (** objects updated so far *)
+  mutable doomed : bool;
+      (** a server this transaction depended on crashed; the transaction
+          must abort-and-retry (presumed abort), but its client is alive
+          — unlike a crash, dooming does not unwind the client fiber *)
+  mutable rpc_sid : int;
+      (** server an RPC is currently in flight to, or -1; lets a server
+          crash doom transactions whose copies are in transit before
+          they appear in any page/object set *)
 }
 
 type client = {
@@ -56,6 +64,13 @@ type client = {
       (** time of the crash that started the current outage; cleared at
           the first commit after restart (recovery-latency metric) *)
 }
+
+type srv_state =
+  | Srv_up  (** serving requests normally *)
+  | Srv_down  (** crashed: volatile state lost, requests go unanswered *)
+  | Srv_recovering
+      (** replaying the redo log and rebuilding copy tables from client
+          reports; only recovery-class messages are admitted *)
 
 type server = {
   sid : int;  (** this server's index in [sys.servers] *)
@@ -86,6 +101,13 @@ type server = {
   mutable cb_drop_clock : int;
       (** counts callback targets considered for the
           [Config.cb_drop_every] sabotage knob *)
+  mutable srv_state : srv_state;  (** always [Srv_up] with faults off *)
+  mutable log_records : int;
+      (** committed object updates logged since the last log flush: the
+          redo-log prefix replayed on restart (the flush fiber zeroes it
+          every [log_flush_interval]) *)
+  mutable srv_crashed_at : float;
+      (** time of this server's most recent crash (recovery latency) *)
 }
 
 type sys = {

@@ -11,7 +11,16 @@
     exponential backoff — or duplicated, in which case the stale copy
     pays wire and receiver-CPU costs before being discarded
     idempotently.  With faults disabled the transport is byte-for-byte
-    the original reliable path. *)
+    the original reliable path.
+
+    When server faults are enabled ({!Faults.srv_faults}), a message
+    addressed to a down (or recovering, unless recovery-class) server
+    is never answered: the sender pays its CPU and wire cost, times out
+    and retries with the same backoff, and after
+    [Faults.retrans_giveaway] attempts gives the message away — the
+    checked send variants report the failure so the caller can abort
+    locally (presumed abort).  Persistent sends (callback legs) retry
+    until the server reopens instead. *)
 
 type endpoint = Client of int | Server of int
 
@@ -23,11 +32,33 @@ val send :
   bytes:int ->
   unit
 (** Move one message from [src] to [dst]; blocks the calling fiber until
-    the receiver has finished protocol processing. *)
+    the receiver has finished protocol processing.  A giveaway at a down
+    server is silent — use {!send_checked} when the caller must know. *)
+
+val send_checked :
+  ?persist:bool ->
+  Model.sys ->
+  cls:Metrics.msg_class ->
+  src:endpoint ->
+  dst:endpoint ->
+  bytes:int ->
+  bool
+(** Like {!send} but returns false when the message was given away at a
+    down server ([persist:true] never gives away: it retries until the
+    destination reopens). *)
 
 val control :
   Model.sys -> cls:Metrics.msg_class -> src:endpoint -> dst:endpoint -> unit
 (** A [control_msg_bytes]-sized message. *)
+
+val control_checked :
+  ?persist:bool ->
+  Model.sys ->
+  cls:Metrics.msg_class ->
+  src:endpoint ->
+  dst:endpoint ->
+  bool
+(** Checked variant of {!control} (see {!send_checked}). *)
 
 val page_data :
   Model.sys -> cls:Metrics.msg_class -> src:endpoint -> dst:endpoint -> unit

@@ -81,6 +81,24 @@ let pp_percentiles ppf (r : Runner.result) =
           *. Telemetry.Histogram.quantile h.(Metrics.class_index cls) 0.99))
       nonempty;
     Format.fprintf ppf "@]"
+  end;
+  (* Retry-wait percentiles appear only when some send actually needed a
+     retry, so fault-free output is unchanged. *)
+  let rw = r.hists.Metrics.h_retry_wait in
+  if not (Telemetry.Histogram.is_empty rw) then begin
+    Format.fprintf ppf
+      "@\n@[<v>retried sends: n=%d, timeout-to-success p50/p99 %.0f/%.0f ms, \
+       per class:"
+      (Telemetry.Histogram.count rw)
+      (1000.0 *. Telemetry.Histogram.quantile rw 0.50)
+      (1000.0 *. Telemetry.Histogram.quantile rw 0.99);
+    List.iter
+      (fun cls ->
+        let n = r.hists.Metrics.h_msg_retries.(Metrics.class_index cls) in
+        if n > 0 then
+          Format.fprintf ppf " %s=%d" (Metrics.msg_class_name cls) n)
+      Metrics.all_msg_classes;
+    Format.fprintf ppf "@]"
   end
 
 (* Merge the per-cell response histograms of a series per algorithm, in
@@ -148,14 +166,14 @@ let series_to_csv (s : Experiments.series) =
      aborts,deadlocks,msgs_per_commit,kbytes_per_commit,disk_ios,server_cpu,\
      client_cpu,disk_util,net_util,deescalations,merges,page_grants,\
      object_grants,resp_p50_ms,resp_p90_ms,resp_p99_ms,lock_wait_p99_ms,\
-     cb_round_p99_ms\n";
+     cb_round_p99_ms,retries,retry_wait_p99_ms\n";
   List.iter
     (fun (p : Experiments.point) ->
       List.iter
         (fun (a, (r : Runner.result)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "%s,%.3f,%s,%d,%.4f,%.1f,%.1f,%d,%d,%d,%.2f,%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f\n"
+               "%s,%.3f,%s,%d,%.4f,%.1f,%.1f,%d,%d,%d,%.2f,%.2f,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%.1f\n"
                s.spec.Experiments.id p.write_prob (Algo.to_string a)
                r.Runner.n_servers r.Runner.throughput
                (1000.0 *. r.Runner.resp_mean)
@@ -170,7 +188,9 @@ let series_to_csv (s : Experiments.series) =
                (1000.0 *. r.Runner.resp_p90)
                (1000.0 *. r.Runner.resp_p99)
                (1000.0 *. r.Runner.lock_wait_p99)
-               (1000.0 *. r.Runner.cb_round_p99)))
+               (1000.0 *. r.Runner.cb_round_p99)
+               r.Runner.retries
+               (1000.0 *. r.Runner.retry_wait_p99)))
         p.results)
     s.points;
   Buffer.contents buf
@@ -221,14 +241,14 @@ let fault_series_to_csv (s : Experiments.fault_series) =
     "rate,algo,throughput,resp_ms,commits,aborts,deadlocks,crashes,\
      crash_aborts,msg_losses,msg_dups,retransmits,disk_stalls,\
      faults_injected,recoveries,recovery_ms,resp_p50_ms,resp_p99_ms,\
-     lock_wait_p99_ms\n";
+     lock_wait_p99_ms,retries,retry_wait_p99_ms\n";
   List.iter
     (fun (p : Experiments.fault_point) ->
       List.iter
         (fun (a, (r : Runner.result)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "%.3f,%s,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f\n"
+               "%.3f,%s,%.4f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%d,%.1f\n"
                p.rate (Algo.to_string a) r.Runner.throughput
                (1000.0 *. r.Runner.resp_mean)
                r.Runner.commits r.Runner.aborts r.Runner.deadlocks
@@ -238,7 +258,9 @@ let fault_series_to_csv (s : Experiments.fault_series) =
                (1000.0 *. r.Runner.recovery_mean)
                (1000.0 *. r.Runner.resp_p50)
                (1000.0 *. r.Runner.resp_p99)
-               (1000.0 *. r.Runner.lock_wait_p99)))
+               (1000.0 *. r.Runner.lock_wait_p99)
+               r.Runner.retries
+               (1000.0 *. r.Runner.retry_wait_p99)))
         p.fresults)
     s.fpoints;
   Buffer.contents buf
@@ -306,6 +328,75 @@ let shard_series_to_csv (s : Experiments.shard_series) =
                (1000.0 *. r.Runner.lock_wait_p99)))
         p.sresults)
     s.spoints;
+  Buffer.contents buf
+
+(* --- Server-fault sweep -------------------------------------------------- *)
+
+let srvfault_throughput (p : Experiments.srvfault_point) algo =
+  match List.assoc_opt algo p.Experiments.svresults with
+  | Some r -> r.Runner.throughput
+  | None -> nan
+
+let pp_srvfault_series ppf (s : Experiments.srvfault_series) =
+  Format.fprintf ppf
+    "@[<v>srvfaultsweep: server crash & recovery (HOTCOLD low, wp=0.10, 2 \
+     servers)@,";
+  Format.fprintf ppf "throughput (transactions/second)@,";
+  Format.fprintf ppf "%8s" "srate";
+  List.iter (fun a -> Format.fprintf ppf "%9s" (Algo.to_string a)) Algo.all;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (p : Experiments.srvfault_point) ->
+      Format.fprintf ppf "%8.3f" p.srate;
+      List.iter
+        (fun a -> Format.fprintf ppf "%9.2f" (srvfault_throughput p a))
+        Algo.all;
+      Format.fprintf ppf "@,")
+    s.svpoints;
+  Format.fprintf ppf "server-fault detail@,";
+  List.iter
+    (fun (p : Experiments.srvfault_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Format.fprintf ppf
+            "srate=%.3f %-6s tput=%6.2f commits=%5d aborts=%4d crashes=%3d \
+             recoveries=%3d rec=%6.0fms giveaways=%4d retries=%5d \
+             rwait99=%5.0fms p99=%6.0fms@,"
+            p.srate (Algo.to_string a) r.Runner.throughput r.Runner.commits
+            r.Runner.aborts r.Runner.srv_crashes r.Runner.srv_recoveries
+            (1000.0 *. r.Runner.srv_recovery_mean)
+            r.Runner.srv_giveaways r.Runner.retries
+            (1000.0 *. r.Runner.retry_wait_p99)
+            (1000.0 *. r.Runner.resp_p99))
+        p.svresults)
+    s.svpoints;
+  Format.fprintf ppf "@]"
+
+let srvfault_series_to_csv (s : Experiments.srvfault_series) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "srate,algo,throughput,resp_ms,commits,aborts,deadlocks,srv_crashes,\
+     srv_recoveries,srv_recovery_ms,srv_giveaways,retries,retry_wait_p99_ms,\
+     resp_p50_ms,resp_p99_ms,lock_wait_p99_ms\n";
+  List.iter
+    (fun (p : Experiments.srvfault_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%.3f,%s,%.4f,%.1f,%d,%d,%d,%d,%d,%.1f,%d,%d,%.1f,%.1f,%.1f,%.1f\n"
+               p.srate (Algo.to_string a) r.Runner.throughput
+               (1000.0 *. r.Runner.resp_mean)
+               r.Runner.commits r.Runner.aborts r.Runner.deadlocks
+               r.Runner.srv_crashes r.Runner.srv_recoveries
+               (1000.0 *. r.Runner.srv_recovery_mean)
+               r.Runner.srv_giveaways r.Runner.retries
+               (1000.0 *. r.Runner.retry_wait_p99)
+               (1000.0 *. r.Runner.resp_p50)
+               (1000.0 *. r.Runner.resp_p99)
+               (1000.0 *. r.Runner.lock_wait_p99)))
+        p.svresults)
+    s.svpoints;
   Buffer.contents buf
 
 let pp_figure5 ppf curves =

@@ -45,6 +45,15 @@ val pp_shard_series : Format.formatter -> Experiments.shard_series -> unit
 val shard_series_to_csv : Experiments.shard_series -> string
 (** CSV with header [servers,algo,throughput,...,lock_wait_p99_ms]. *)
 
+val pp_srvfault_series :
+  Format.formatter -> Experiments.srvfault_series -> unit
+(** Server-fault sweep: throughput table (one row per server crash
+    rate) plus a per-cell detail listing (crashes, recovery latency,
+    giveaways, retries, tail response). *)
+
+val srvfault_series_to_csv : Experiments.srvfault_series -> string
+(** CSV with header [srate,algo,throughput,...,lock_wait_p99_ms]. *)
+
 val pp_figure5 : Format.formatter -> (int * (float * float) list) list -> unit
 
 val pp_workload_table : Format.formatter -> Config.t -> unit

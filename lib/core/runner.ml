@@ -39,6 +39,12 @@ type result = {
   faults_injected : int;
   recoveries : int;
   recovery_mean : float;
+  srv_crashes : int;
+  srv_giveaways : int;
+  srv_recoveries : int;
+  srv_recovery_mean : float;
+  retries : int;
+  retry_wait_p99 : float;
   oracle_commits : int;
   oracle_ops : int;
   resp_p50 : float;
@@ -161,6 +167,12 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
     faults_injected = Faults.injected sys.faults;
     recoveries = Faults.recoveries sys.faults;
     recovery_mean = Faults.recovery_mean sys.faults;
+    srv_crashes = Faults.srv_crashes sys.faults;
+    srv_giveaways = Faults.srv_giveaways sys.faults;
+    srv_recoveries = Faults.srv_recoveries sys.faults;
+    srv_recovery_mean = Faults.srv_recovery_mean sys.faults;
+    retries = Metrics.retries m;
+    retry_wait_p99 = Metrics.retry_wait_quantile m 0.99;
     oracle_commits =
       (match sys.oracle with
       | Some o -> Oracle.History.committed_count o
@@ -210,6 +222,17 @@ let pp_result ppf r =
        crash aborts %d, retransmits %d, recoveries %d (mean %.0f ms)"
       r.faults_injected r.crashes r.msg_losses r.msg_dups r.disk_stalls
       r.crash_aborts r.retransmits r.recoveries (1000.0 *. r.recovery_mean);
+  (* Server-fault metrics appear only when a server actually crashed,
+     keeping client-crash-only storm output byte-identical. *)
+  if r.srv_crashes > 0 then
+    Format.fprintf ppf
+      "@\n\
+       server faults: %d crashes, %d recoveries (mean %.0f ms), %d giveaways, \
+       %d retries (wait p99 %.0f ms)"
+      r.srv_crashes r.srv_recoveries
+      (1000.0 *. r.srv_recovery_mean)
+      r.srv_giveaways r.retries
+      (1000.0 *. r.retry_wait_p99);
   (* Likewise the oracle line: absent unless the oracle ran. *)
   if r.oracle_ops > 0 then
     Format.fprintf ppf "@\noracle: serializable (%d committed, %d ops checked)"

@@ -40,9 +40,21 @@ type result = {
   msg_dups : int;
   retransmits : int;  (** retransmission timer firings *)
   disk_stalls : int;
-  faults_injected : int;  (** crashes + losses + dups + stalls *)
+  faults_injected : int;  (** crashes + losses + dups + stalls + srv crashes *)
   recoveries : int;  (** first-commit-after-restart events *)
   recovery_mean : float;  (** mean crash-to-first-commit latency, s *)
+  srv_crashes : int;  (** server crashes injected (measurement window) *)
+  srv_giveaways : int;
+      (** messages given away undelivered after exhausting retries
+          against a down server (presumed-abort triggers) *)
+  srv_recoveries : int;  (** completed server restart recoveries *)
+  srv_recovery_mean : float;  (** mean crash-to-reopen latency, s *)
+  retries : int;
+      (** timeout-driven resends, all message classes (loss
+          retransmissions plus down-server retries) *)
+  retry_wait_p99 : float;
+      (** p99 timeout-to-success latency: whole-send duration of
+          messages that needed at least one retry *)
   oracle_commits : int;
       (** committed transactions the serializability oracle checked
           (whole run, including warmup); 0 when the oracle is off *)

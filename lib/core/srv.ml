@@ -18,8 +18,10 @@ let scharge sv instr = Resources.Cpu.system sv.scpu instr
    transaction (locks, copies, waits-for entry).  The resumed fiber must
    then acquire nothing new — a lock granted to the ended transaction
    would leak forever.  Checked after suspension points that precede a
-   grant or a registration. *)
-let txn_dead sys txn = not (Model.txn_live sys txn)
+   grant or a registration.  A doomed transaction — one that touched a
+   server that crashed while it ran — is equally dead: its state at the
+   crashed server is gone, so nothing may be granted in its name. *)
+let txn_dead sys txn = txn.doomed || not (Model.txn_live sys txn)
 
 (* One physical I/O: initiation CPU then the disk itself. *)
 let disk_io sys sv =
@@ -28,9 +30,14 @@ let disk_io sys sv =
 
 (* Ensure a page is resident at its owning server, paying the read (and
    any dirty write-back).  [read_from_disk:false] installs a full
-   incoming page copy, which needs no read. *)
+   incoming page copy, which needs no read.  Nothing installs into the
+   memory of a failed machine: if the owner crashed while the calling
+   fiber was suspended, the access is silently dropped (the caller's
+   transaction is doomed and aborts at its next liveness check). *)
 let buffer_page sys p ~read_from_disk =
   let sv = server_of sys p in
+  if sv.srv_state <> Srv_up then ()
+  else
   match Buffer_pool.access sv.sbuffer p with
   | Buffer_pool.Hit -> ()
   | Buffer_pool.Miss evicted ->
@@ -57,8 +64,12 @@ let release_txn_locks sys txn =
       Waits_for.end_txn sv.wfg txn.tid)
     sys.servers
 
-(* Blocking lock-table request with wait-time accounting. *)
+(* Blocking lock-table request with wait-time accounting.  A doomed
+   transaction gets nothing: a crash already reclaimed its state, and a
+   grant now would outlive its abort. *)
 let locked_acquire sys table item ~txn ~kind =
+  if txn.doomed then Lock_types.Aborted
+  else
   let t0 = Engine.now sys.engine in
   let g = Lock_table.acquire table item ~txn:txn.tid ~kind in
   let dt = Engine.now sys.engine -. t0 in
@@ -134,11 +145,17 @@ let do_callbacks sys sv ~writer ~kind ~targets =
             let t0 = Engine.now engine in
             Model.tl_hook sys (fun x ->
                 Tl.callback_sent x ~sid:owner ~target ~now:t0);
+            (* The three server-destined legs are persistent sends:
+               callback delivery is a correctness requirement, so a leg
+               addressed to a crashed relay retries until the restart
+               driver reopens it rather than giving the message away. *)
             let rec round () =
               if home <> owner then begin
                 (* Cross-partition leg: owner -> home relay. *)
-                Netlayer.control sys ~cls:Metrics.M_cb_forward
-                  ~src:(Netlayer.Server owner) ~dst:(Netlayer.Server home);
+                ignore
+                  (Netlayer.control_checked ~persist:true sys
+                     ~cls:Metrics.M_cb_forward ~src:(Netlayer.Server owner)
+                     ~dst:(Netlayer.Server home));
                 Resources.Cpu.system sys.servers.(home).scpu
                   sys.cfg.Config.forward_inst;
                 Model.tl_hook sys (fun x ->
@@ -148,11 +165,15 @@ let do_callbacks sys sv ~writer ~kind ~targets =
               Netlayer.control sys ~cls:Metrics.M_callback
                 ~src:(Netlayer.Server home) ~dst:(Netlayer.Client target);
               let result = Cb.handle sys ~sv ~client:target ~writer kind in
-              Netlayer.control sys ~cls:Metrics.M_callback_reply
-                ~src:(Netlayer.Client target) ~dst:(Netlayer.Server home);
+              ignore
+                (Netlayer.control_checked ~persist:true sys
+                   ~cls:Metrics.M_callback_reply ~src:(Netlayer.Client target)
+                   ~dst:(Netlayer.Server home));
               if home <> owner then
-                Netlayer.control sys ~cls:Metrics.M_cb_forward
-                  ~src:(Netlayer.Server home) ~dst:(Netlayer.Server owner);
+                ignore
+                  (Netlayer.control_checked ~persist:true sys
+                     ~cls:Metrics.M_cb_forward ~src:(Netlayer.Server home)
+                     ~dst:(Netlayer.Server owner));
               scharge sv sys.cfg.Config.register_copy_inst;
               match result with
               | Cb.Not_cached when copy_registered sys kind target ->
@@ -437,8 +458,27 @@ let reply_page sys txn p =
 let read_rpc sys txn oid =
   let p = oid.Ids.Oid.page in
   let sv = server_of sys p in
-  Netlayer.control sys ~cls:Metrics.M_read_req
-    ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sv.sid);
+  (* From the moment the request leaves the client until the reply is
+     built, the transaction has in-flight state at [sv] that no table
+     records yet; [rpc_sid] lets a crash of [sv] anywhere in that
+     window doom it.  It must be set before the send: the transport
+     checks the server's state only once at entry, so a crash striking
+     mid-transfer would otherwise deliver the request to a machine
+     whose purge swept right past this transaction. *)
+  txn.rpc_sid <- sv.sid;
+  (* The request leg is checked: a down server swallows it, the client
+     times out, retries with backoff, and eventually gives the request
+     away — no server-side processing, no reply, a local abort. *)
+  if
+    not
+      (Netlayer.control_checked sys ~cls:Metrics.M_read_req
+         ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sv.sid))
+  then begin
+    txn.rpc_sid <- -1;
+    R_aborted
+  end
+  else begin
+    let serve () =
   scharge sv sys.cfg.Config.lock_inst;
   if txn_dead sys txn then reply_abort_read sys sv txn
   else
@@ -528,6 +568,11 @@ let read_rpc sys txn oid =
         | Lock_types.Granted ->
           buffer_page sys p ~read_from_disk:true;
           reply_page sys txn p)))
+    in
+    let r = serve () in
+    txn.rpc_sid <- -1;
+    r
+  end
 
 (* --- Write requests ---------------------------------------------------- *)
 
@@ -552,8 +597,19 @@ let acquire_obj_lock sys sv txn oid =
 let write_rpc sys txn oid =
   let p = oid.Ids.Oid.page in
   let sv = server_of sys p in
-  Netlayer.control sys ~cls:Metrics.M_write_req
-    ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sv.sid);
+  (* Checked request leg and in-flight marker set before the send:
+     see [read_rpc]. *)
+  txn.rpc_sid <- sv.sid;
+  if
+    not
+      (Netlayer.control_checked sys ~cls:Metrics.M_write_req
+         ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sv.sid))
+  then begin
+    txn.rpc_sid <- -1;
+    W_aborted
+  end
+  else begin
+    let serve () =
   scharge sv sys.cfg.Config.lock_inst;
   let reply = reply_write sys sv txn Metrics.M_write_reply in
   (* A write grant that lands after the requester crashed would leak the
@@ -696,11 +752,21 @@ let write_rpc sys txn oid =
           reply W_obj
         end
     end)
+    in
+    let r = serve () in
+    txn.rpc_sid <- -1;
+    r
+  end
 
 (* --- Update installation and transaction termination ------------------ *)
 
 let ship_dirty_page sys txn p ~dirty ~fetch_version ~at_commit =
   let sv = server_of sys p in
+  (* The owner may have crashed while this fiber was suspended earlier
+     in the commit/eviction sequence; a dead machine receives nothing
+     and the doomed transaction aborts at its next check. *)
+  if sv.srv_state <> Srv_up then ()
+  else begin
   Model.oracle_hook sys (fun o ->
       Ids.Int_set.iter
         (fun slot ->
@@ -726,8 +792,13 @@ let ship_dirty_page sys txn p ~dirty ~fetch_version ~at_commit =
     Metrics.note_merge sys.metrics ~objects:n
   end
   else buffer_page sys p ~read_from_disk:false;
-  Buffer_pool.mark_dirty sv.sbuffer p;
-  maybe_overflow sys sv ~objects:n
+  (* The crash window again: the owner can die during the transfer or
+     the merge I/O above, purging its pool mid-install. *)
+  if sv.srv_state = Srv_up then begin
+    Buffer_pool.mark_dirty sv.sbuffer p;
+    maybe_overflow sys sv ~objects:n
+  end
+  end
 
 let ship_dirty_objs sys txn oids ~at_commit =
   match oids with
@@ -755,19 +826,27 @@ let ship_dirty_objs sys txn oids ~at_commit =
     List.iter
       (fun sid ->
         let sv = sys.servers.(sid) in
-        let group = List.rev (Hashtbl.find by_server sid) in
-        Netlayer.objs_data sys ~cls ~src:(Netlayer.Client txn.client)
-          ~dst:(Netlayer.Server sid) ~count:(List.length group);
-        let pages =
-          List.sort_uniq compare (List.map (fun o -> o.Ids.Oid.page) group)
-        in
-        List.iter
-          (fun p ->
-            (* Installing an object into a page requires the page frame. *)
-            buffer_page sys p ~read_from_disk:true;
-            Buffer_pool.mark_dirty sv.sbuffer p)
-          pages;
-        maybe_overflow sys sv ~objects:(List.length group))
+        (* A crashed partition receives nothing (see [ship_dirty_page]);
+           the doomed sender aborts at its next liveness check. *)
+        if sv.srv_state = Srv_up then begin
+          let group = List.rev (Hashtbl.find by_server sid) in
+          Netlayer.objs_data sys ~cls ~src:(Netlayer.Client txn.client)
+            ~dst:(Netlayer.Server sid) ~count:(List.length group);
+          let pages =
+            List.sort_uniq compare (List.map (fun o -> o.Ids.Oid.page) group)
+          in
+          List.iter
+            (fun p ->
+              if sv.srv_state = Srv_up then begin
+                (* Installing an object into a page requires the page
+                   frame. *)
+                buffer_page sys p ~read_from_disk:true;
+                Buffer_pool.mark_dirty sv.sbuffer p
+              end)
+            pages;
+          if sv.srv_state = Srv_up then
+            maybe_overflow sys sv ~objects:(List.length group)
+        end)
       sids
 
 (* Redo-at-server commit processing: the client ships log records, not
@@ -802,24 +881,29 @@ let ship_redo_log sys txn =
     List.iter
       (fun sid ->
         let sv = sys.servers.(sid) in
-        let mine =
-          List.filter (fun (p, _) -> owner_sid sys p = sid) page_counts
-        in
-        let objs = List.fold_left (fun acc (_, c) -> acc + c) 0 mine in
-        let bytes =
-          (objs * sys.cfg.Config.log_record_bytes)
-          + Config.control_bytes sys.cfg
-        in
-        Netlayer.send sys ~cls:Metrics.M_commit_data
-          ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid) ~bytes;
-        List.iter
-          (fun (p, count) ->
-            buffer_page sys p ~read_from_disk:true;
-            scharge sv
-              (float_of_int count *. sys.cfg.Config.redo_per_object_inst);
-            Buffer_pool.mark_dirty sv.sbuffer p)
-          mine;
-        maybe_overflow sys sv ~objects:objs)
+        (* A crashed partition receives nothing (see [ship_dirty_page]). *)
+        if sv.srv_state = Srv_up then begin
+          let mine =
+            List.filter (fun (p, _) -> owner_sid sys p = sid) page_counts
+          in
+          let objs = List.fold_left (fun acc (_, c) -> acc + c) 0 mine in
+          let bytes =
+            (objs * sys.cfg.Config.log_record_bytes)
+            + Config.control_bytes sys.cfg
+          in
+          Netlayer.send sys ~cls:Metrics.M_commit_data
+            ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid) ~bytes;
+          List.iter
+            (fun (p, count) ->
+              if sv.srv_state = Srv_up then begin
+                buffer_page sys p ~read_from_disk:true;
+                scharge sv
+                  (float_of_int count *. sys.cfg.Config.redo_per_object_inst);
+                Buffer_pool.mark_dirty sv.sbuffer p
+              end)
+            mine;
+          if sv.srv_state = Srv_up then maybe_overflow sys sv ~objects:objs
+        end)
       sids
   end
 
@@ -831,7 +915,15 @@ let bump_versions sys txn =
       Hashtbl.replace counts p
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
     txn.updated;
-  Hashtbl.iter (fun p n -> bump_page_version sys p ~by:n) counts
+  Hashtbl.iter
+    (fun p n ->
+      bump_page_version sys p ~by:n;
+      (* Each committed object update appends one redo record to the
+         owning server's log; the periodic log flush (and a crash's
+         restart replay) consumes the counter. *)
+      let sv = server_of sys p in
+      sv.log_records <- sv.log_records + n)
+    counts
 
 (* Commit/abort participants: every server owning a page the transaction
    touched (read or write, either grain), in server order.  A
@@ -857,17 +949,28 @@ let participants sys txn =
 
 let commit_rpc sys txn =
   let parts = participants sys txn in
-  List.iter
-    (fun sid ->
-      Netlayer.control sys ~cls:Metrics.M_commit
-        ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid);
-      scharge sys.servers.(sid) sys.cfg.Config.lock_inst)
-    parts;
-  (* A transaction whose client crashed mid-commit does not commit: its
-     updates are discarded (no version bumps).  Its locks are still
-     released — crash reclamation usually already did, in which case
-     this is a no-op. *)
-  if not (txn_dead sys txn) then begin
+  let legs =
+    List.map
+      (fun sid ->
+        let ok =
+          Netlayer.control_checked sys ~cls:Metrics.M_commit
+            ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid)
+        in
+        if ok then scharge sys.servers.(sid) sys.cfg.Config.lock_inst;
+        (sid, ok))
+      parts
+  in
+  (* Presumed abort: the transaction commits only if every participant
+     heard the commit and none of them (nor the client) failed while it
+     ran.  A transaction whose client crashed mid-commit, or that was
+     doomed by a participant crash, does not commit: its updates are
+     discarded (no version bumps).  Its locks are still released —
+     crash reclamation usually already did, in which case this is a
+     no-op. *)
+  let committed =
+    (not (txn_dead sys txn)) && List.for_all snd legs
+  in
+  if committed then begin
     bump_versions sys txn;
     (* The commit point: recorded before the locks go, so every later
        conflicting operation is also later in the oracle's commit
@@ -876,22 +979,36 @@ let commit_rpc sys txn =
   end;
   release_txn_locks sys txn;
   List.iter
-    (fun sid ->
-      Netlayer.control sys ~cls:Metrics.M_commit_reply
-        ~src:(Netlayer.Server sid) ~dst:(Netlayer.Client txn.client))
-    parts
+    (fun (sid, ok) ->
+      (* A participant that never heard the request, or died before
+         answering, sends nothing: the in-doubt client resolves the
+         outcome locally by presumed abort. *)
+      if ok && sys.servers.(sid).srv_state = Srv_up then
+        Netlayer.control sys ~cls:Metrics.M_commit_reply
+          ~src:(Netlayer.Server sid) ~dst:(Netlayer.Client txn.client))
+    legs;
+  committed
 
 let abort_rpc sys txn =
   let parts = participants sys txn in
-  List.iter
-    (fun sid ->
-      Netlayer.control sys ~cls:Metrics.M_abort
-        ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid);
-      scharge sys.servers.(sid) sys.cfg.Config.lock_inst)
-    parts;
+  let legs =
+    List.map
+      (fun sid ->
+        (* A crashed participant lost the transaction's state with its
+           volatile tables, so an abort notice it never hears is moot:
+           give it away after the usual retries. *)
+        let ok =
+          Netlayer.control_checked sys ~cls:Metrics.M_abort
+            ~src:(Netlayer.Client txn.client) ~dst:(Netlayer.Server sid)
+        in
+        if ok then scharge sys.servers.(sid) sys.cfg.Config.lock_inst;
+        (sid, ok))
+      parts
+  in
   release_txn_locks sys txn;
   List.iter
-    (fun sid ->
-      Netlayer.control sys ~cls:Metrics.M_abort_reply
-        ~src:(Netlayer.Server sid) ~dst:(Netlayer.Client txn.client))
-    parts
+    (fun (sid, ok) ->
+      if ok && sys.servers.(sid).srv_state = Srv_up then
+        Netlayer.control sys ~cls:Metrics.M_abort_reply
+          ~src:(Netlayer.Server sid) ~dst:(Netlayer.Client txn.client))
+    legs

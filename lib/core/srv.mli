@@ -71,7 +71,17 @@ val release_txn_locks : Model.sys -> Model.txn -> unit
     {!abort_rpc}, and directly by crash recovery, which reclaims a
     crashed client's transaction without a network round trip. *)
 
-val commit_rpc : Model.sys -> Model.txn -> unit
-(** Release the transaction's server locks and acknowledge. *)
+val participants : Model.sys -> Model.txn -> int list
+(** The servers owning a page the transaction touched (read or write,
+    either grain), in server order; the client's home server when it
+    touched nothing yet.  These are the commit/abort endpoints, and the
+    servers whose crash dooms the transaction. *)
+
+val commit_rpc : Model.sys -> Model.txn -> bool
+(** Release the transaction's server locks and acknowledge.  Returns
+    whether the transaction actually committed: false when the client
+    crashed mid-commit, a participant crash doomed the transaction, or
+    a participant never heard the commit request (presumed abort — the
+    caller must treat the transaction as aborted). *)
 
 val abort_rpc : Model.sys -> Model.txn -> unit

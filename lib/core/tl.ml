@@ -12,7 +12,8 @@
    - CPU tracks carry "busy" spans recorded on idle<->busy edges;
    - disk and network tracks carry one-shot Complete spans whose
      [start, finish] intervals the resource already serializes;
-   - server tracks carry only instants.
+   - server tracks carry instants plus "down" spans (crash..reopen,
+     serialized per server by the fault driver, so they never overlap).
 
    With a partitioned topology (servers > 1) each server gets its own
    instant track, CPU track, and disk tracks, prefixed "s<sid>-"; the
@@ -42,6 +43,9 @@ type t = {
   n_cb_ack : int;
   n_cb_blocked : int;
   n_cb_forward : int;
+  n_replay : int;
+  n_reconstruct : int;
+  n_reopen : int;
 }
 
 let timeline t = t.tl
@@ -103,6 +107,9 @@ let create ?(servers = 1) ~num_clients ~disks ~capacity () =
     n_cb_ack = n "callback-ack";
     n_cb_blocked = n "callback-blocked";
     n_cb_forward = n "callback-forward";
+    n_replay = n "replay";
+    n_reconstruct = n "copy-reconstruction";
+    n_reopen = n "reopen";
   }
 
 (* Client lifecycle -------------------------------------------------- *)
@@ -163,3 +170,20 @@ let callback_ack t ~sid ~target ~now =
 
 let callback_forward t ~sid ~target ~now =
   server_instant t ~sid t.n_cb_forward ~arg:target ~now
+
+(* Server failure epochs --------------------------------------------- *)
+
+let srv_crash t ~sid ~now =
+  Telemetry.Timeline.instant t.tl ~track:t.trk_servers.(sid) ~name:t.n_crash now;
+  Telemetry.Timeline.span_begin t.tl ~track:t.trk_servers.(sid) ~name:t.n_down
+    now
+
+let srv_replay t ~sid ~records ~now =
+  server_instant t ~sid t.n_replay ~arg:records ~now
+
+let srv_reconstruct t ~sid ~rows ~now =
+  server_instant t ~sid t.n_reconstruct ~arg:rows ~now
+
+let srv_reopen t ~sid ~now =
+  Telemetry.Timeline.span_end t.tl ~track:t.trk_servers.(sid) now;
+  Telemetry.Timeline.instant t.tl ~track:t.trk_servers.(sid) ~name:t.n_reopen now

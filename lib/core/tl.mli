@@ -45,3 +45,19 @@ val callback_ack : t -> sid:int -> target:int -> now:float -> unit
 
 val callback_forward : t -> sid:int -> target:int -> now:float -> unit
 (** A callback was forwarded to [target]'s home server (servers > 1). *)
+
+val srv_crash : t -> sid:int -> now:float -> unit
+(** Opens the server's "down" span (its outage epoch), closed by
+    {!srv_reopen}; the fault driver serializes crash/reopen per server
+    so these spans never overlap. *)
+
+val srv_replay : t -> sid:int -> records:int -> now:float -> unit
+(** Restart recovery phase 1: redo-log replay ([records] log records
+    since the last flush). *)
+
+val srv_reconstruct : t -> sid:int -> rows:int -> now:float -> unit
+(** Restart recovery phase 2: client-assisted copy-table
+    reconstruction ([rows] re-shipped registrations). *)
+
+val srv_reopen : t -> sid:int -> now:float -> unit
+(** Ends the "down" span: the server is open for normal traffic. *)

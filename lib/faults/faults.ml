@@ -8,9 +8,13 @@ type profile = {
   retrans_timeout : float;
   retrans_backoff : float;
   retrans_max_timeout : float;
+  retrans_giveaway : int;
   disk_stall_prob : float;
   disk_stall_time : float;
   disk_stall_retries : int;
+  srv_crash_rate : float;
+  srv_restart_delay : float;
+  log_flush_interval : float;
 }
 
 let off =
@@ -22,9 +26,13 @@ let off =
     retrans_timeout = 0.02;
     retrans_backoff = 2.0;
     retrans_max_timeout = 0.5;
+    retrans_giveaway = 8;
     disk_stall_prob = 0.0;
     disk_stall_time = 0.02;
     disk_stall_retries = 3;
+    srv_crash_rate = 0.0;
+    srv_restart_delay = 2.0;
+    log_flush_interval = 1.0;
   }
 
 let storm ~rate =
@@ -34,6 +42,7 @@ let storm ~rate =
     msg_loss_prob = rate;
     msg_dup_prob = rate /. 2.0;
     disk_stall_prob = rate;
+    srv_crash_rate = rate /. 4.0;
   }
 
 let validate p =
@@ -45,20 +54,25 @@ let validate p =
   check (p.retrans_timeout > 0.0) "retrans_timeout";
   check (p.retrans_backoff >= 1.0) "retrans_backoff";
   check (p.retrans_max_timeout >= p.retrans_timeout) "retrans_max_timeout";
+  check (p.retrans_giveaway >= 1) "retrans_giveaway";
   check (p.disk_stall_prob >= 0.0 && p.disk_stall_prob < 1.0)
     "disk_stall_prob";
   check (p.disk_stall_time >= 0.0) "disk_stall_time";
-  check (p.disk_stall_retries >= 0) "disk_stall_retries"
+  check (p.disk_stall_retries >= 0) "disk_stall_retries";
+  check (p.srv_crash_rate >= 0.0) "srv_crash_rate";
+  check (p.srv_restart_delay >= 0.0) "srv_restart_delay";
+  check (p.log_flush_interval > 0.0) "log_flush_interval"
 
 let is_off p =
   p.crash_rate = 0.0 && p.msg_loss_prob = 0.0 && p.msg_dup_prob = 0.0
-  && p.disk_stall_prob = 0.0
+  && p.disk_stall_prob = 0.0 && p.srv_crash_rate = 0.0
 
 type t = {
   profile : profile;
   crash_rng : Rng.t;
   msg_rng : Rng.t;
   disk_rng : Rng.t;
+  srv_rng : Rng.t;
   mutable hook : (string -> unit) option;
   mutable crashes : int;
   mutable crash_aborts : int;
@@ -66,7 +80,10 @@ type t = {
   mutable msg_dups : int;
   mutable retransmits : int;
   mutable disk_stalls : int;
+  mutable srv_crashes : int;
+  mutable srv_giveaways : int;
   recovery : Stats.Welford.t;
+  srv_recovery : Stats.Welford.t;
 }
 
 let create ~profile ~seed =
@@ -77,6 +94,7 @@ let create ~profile ~seed =
     crash_rng = stream "faults/crash";
     msg_rng = stream "faults/msg";
     disk_rng = stream "faults/disk";
+    srv_rng = stream "faults/srv";
     hook = None;
     crashes = 0;
     crash_aborts = 0;
@@ -84,12 +102,16 @@ let create ~profile ~seed =
     msg_dups = 0;
     retransmits = 0;
     disk_stalls = 0;
+    srv_crashes = 0;
+    srv_giveaways = 0;
     recovery = Stats.Welford.create ();
+    srv_recovery = Stats.Welford.create ();
   }
 
 let profile t = t.profile
 let enabled t = not (is_off t.profile)
 let crash_faults t = t.profile.crash_rate > 0.0
+let srv_faults t = t.profile.srv_crash_rate > 0.0
 
 let message_faults t =
   t.profile.msg_loss_prob > 0.0 || t.profile.msg_dup_prob > 0.0
@@ -102,6 +124,11 @@ let next_crash_delay t =
   if t.profile.crash_rate <= 0.0 then
     invalid_arg "Faults.next_crash_delay: crash_rate is zero";
   Rng.exponential t.crash_rng ~mean:(1.0 /. t.profile.crash_rate)
+
+let next_srv_crash_delay t =
+  if t.profile.srv_crash_rate <= 0.0 then
+    invalid_arg "Faults.next_srv_crash_delay: srv_crash_rate is zero";
+  Rng.exponential t.srv_rng ~mean:(1.0 /. t.profile.srv_crash_rate)
 
 let draw_msg_loss t =
   t.profile.msg_loss_prob > 0.0
@@ -134,6 +161,9 @@ let note_crash t = t.crashes <- t.crashes + 1
 let note_crash_abort t = t.crash_aborts <- t.crash_aborts + 1
 let note_retransmit t = t.retransmits <- t.retransmits + 1
 let note_recovery t ~latency = Stats.Welford.add t.recovery latency
+let note_srv_crash t = t.srv_crashes <- t.srv_crashes + 1
+let note_srv_giveaway t = t.srv_giveaways <- t.srv_giveaways + 1
+let note_srv_recovery t ~latency = Stats.Welford.add t.srv_recovery latency
 
 let reset_counters t =
   t.crashes <- 0;
@@ -142,7 +172,10 @@ let reset_counters t =
   t.msg_dups <- 0;
   t.retransmits <- 0;
   t.disk_stalls <- 0;
-  Stats.Welford.reset t.recovery
+  t.srv_crashes <- 0;
+  t.srv_giveaways <- 0;
+  Stats.Welford.reset t.recovery;
+  Stats.Welford.reset t.srv_recovery
 
 let crashes t = t.crashes
 let crash_aborts t = t.crash_aborts
@@ -150,6 +183,13 @@ let msg_losses t = t.msg_losses
 let msg_dups t = t.msg_dups
 let retransmits t = t.retransmits
 let disk_stalls t = t.disk_stalls
-let injected t = t.crashes + t.msg_losses + t.msg_dups + t.disk_stalls
+let srv_crashes t = t.srv_crashes
+let srv_giveaways t = t.srv_giveaways
+
+let injected t =
+  t.crashes + t.msg_losses + t.msg_dups + t.disk_stalls + t.srv_crashes
+
 let recoveries t = Stats.Welford.count t.recovery
 let recovery_mean t = Stats.Welford.mean t.recovery
+let srv_recoveries t = Stats.Welford.count t.srv_recovery
+let srv_recovery_mean t = Stats.Welford.mean t.srv_recovery

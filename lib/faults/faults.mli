@@ -31,9 +31,19 @@ type profile = {
   retrans_timeout : float;  (** initial retransmission timeout, seconds *)
   retrans_backoff : float;  (** timeout multiplier per retransmission (>= 1) *)
   retrans_max_timeout : float;  (** backoff cap, seconds *)
+  retrans_giveaway : int;
+      (** attempts at an unresponsive (down) server before the sender
+          gives the message away and aborts locally (>= 1) *)
   disk_stall_prob : float;  (** probability an I/O stalls before service *)
   disk_stall_time : float;  (** duration of one stall, seconds *)
   disk_stall_retries : int;  (** bound on consecutive stalls of one I/O *)
+  srv_crash_rate : float;
+      (** mean crashes per second per server (exponential); 0 = never *)
+  srv_restart_delay : float;
+      (** server downtime before recovery begins, seconds *)
+  log_flush_interval : float;
+      (** redo-log checkpoint cadence: bounds the log prefix replayed on
+          restart (committed work is forced at commit and never lost) *)
 }
 
 val off : profile
@@ -41,8 +51,9 @@ val off : profile
     defaults so a profile can be built with [{ off with ... }]. *)
 
 val storm : rate:float -> profile
-(** A convenience profile exercising all three fault classes at once:
-    crash, loss and stall probability [rate], duplication [rate /. 2]. *)
+(** A convenience profile exercising every fault class at once: client
+    crash, loss and stall probability [rate], duplication [rate /. 2],
+    server crash rate [rate /. 4] (servers are rarer, heavier events). *)
 
 val validate : profile -> unit
 (** Raises [Invalid_argument] on out-of-range settings. *)
@@ -61,6 +72,7 @@ val create : profile:profile -> seed:int -> t
 val profile : t -> profile
 val enabled : t -> bool
 val crash_faults : t -> bool
+val srv_faults : t -> bool
 val message_faults : t -> bool
 val disk_faults : t -> bool
 
@@ -83,6 +95,11 @@ val next_crash_delay : t -> float
 (** Next exponential inter-crash delay ([1 /. crash_rate] mean).
     Must not be called when [crash_rate = 0]. *)
 
+val next_srv_crash_delay : t -> float
+(** Next exponential inter-crash delay for a server ([1 /.
+    srv_crash_rate] mean).  Must not be called when
+    [srv_crash_rate = 0]. *)
+
 val draw_msg_loss : t -> bool
 val draw_msg_dup : t -> bool
 val draw_disk_stall : t -> bool
@@ -97,6 +114,14 @@ val note_retransmit : t -> unit
 val note_recovery : t -> latency:float -> unit
 (** Crash-to-first-commit latency of a recovered client. *)
 
+val note_srv_crash : t -> unit
+val note_srv_giveaway : t -> unit
+(** A sender exhausted [retrans_giveaway] attempts at a down server. *)
+
+val note_srv_recovery : t -> latency:float -> unit
+(** Crash-to-reopen latency of a recovered server (replay + copy-table
+    reconstruction included). *)
+
 val reset_counters : t -> unit
 (** Clear counters and recovery statistics (end of warm-up).  Streams
     and the hook are untouched. *)
@@ -107,11 +132,18 @@ val msg_losses : t -> int
 val msg_dups : t -> int
 val retransmits : t -> int
 val disk_stalls : t -> int
+val srv_crashes : t -> int
+val srv_giveaways : t -> int
 
 val injected : t -> int
-(** Total faults injected: crashes + losses + duplicates + stalls
-    (retransmissions are consequences, not faults). *)
+(** Total faults injected: client crashes + losses + duplicates +
+    stalls + server crashes (retransmissions and giveaways are
+    consequences, not faults). *)
 
 val recoveries : t -> int
 val recovery_mean : t -> float
 (** Mean crash-to-first-commit latency; 0 when no client recovered. *)
+
+val srv_recoveries : t -> int
+val srv_recovery_mean : t -> float
+(** Mean server crash-to-reopen latency; 0 when no server recovered. *)

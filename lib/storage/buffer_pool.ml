@@ -31,6 +31,10 @@ let is_dirty t p =
   match Lru.peek t.frames p with Some frame -> frame.dirty | None -> false
 
 let drop t p = ignore (Lru.remove t.frames p)
+
+let reset t =
+  let pages = Lru.fold t.frames ~init:[] ~f:(fun acc p _ -> p :: acc) in
+  List.iter (fun p -> ignore (Lru.remove t.frames p)) pages
 let size t = Lru.size t.frames
 
 let dirty_count t =

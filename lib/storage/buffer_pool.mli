@@ -29,5 +29,11 @@ val mark_dirty : t -> page -> unit
 val clean : t -> page -> unit
 val is_dirty : t -> page -> bool
 val drop : t -> page -> unit
+
+val reset : t -> unit
+(** Empty the pool, dirty frames included — the volatile-memory loss of
+    a server crash.  Durable page state is modeled by the version
+    tables, so nothing needs writing back. *)
+
 val size : t -> int
 val dirty_count : t -> int

@@ -84,6 +84,8 @@ let mk_txn sys client =
       wpages = Ids.Page_set.empty;
       wobjs = Ids.Oid_set.empty;
       updated = Ids.Oid_set.empty;
+      doomed = false;
+      rpc_sid = -1;
     }
   in
   c.Model.running <- Some txn;

@@ -19,6 +19,7 @@ let () =
       ("faults", Test_faults.suite);
       ("runner", Test_runner.suite);
       ("shard", Test_shard.suite);
+      ("srvfault", Test_srvfault.suite);
       ("oracle", Test_oracle.suite);
       ("harness", Test_harness.suite);
       ("telemetry", Test_telemetry.suite);
