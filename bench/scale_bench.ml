@@ -1,0 +1,119 @@
+(* Population-scaling benchmark: the UNIFORM cell (PS-AA, write
+   probability 0.1) at 100, 1k, 10k and 50k client workstations,
+   reporting simulator events/sec (host cost), resident bytes per
+   client (memory cost of the population) and the simulated response
+   p99 (model-side effect of the load).
+
+   Each population offers the same load instead of the same duty
+   cycle: think_time = 0.05 * n seconds, so transactions arrive at
+   ~20/s regardless of n and the population phases in across one think
+   interval (see Client.client_loop).  A client's start offset,
+   think_time * cid / n = 0.05 * cid, is population-independent, so
+   every cell runs the *identical* transaction schedule — commits and
+   p99 match across populations by construction — and the only thing
+   that grows with n is exactly what this benchmark guards: per-client
+   resident state and the population-wide bookkeeping (sharing tables,
+   audits, crash sweeps).  A cell whose events/sec degrades with n is
+   a population-scaling regression, not a contention artefact.
+
+   Each line of output is a JSON object; paste the numbers into
+   BENCH_scale.json (see that file for the recording convention).
+
+   SCALE_BENCH_MEASURE scales the simulated measurement window in
+   seconds (default 30; CI smoke uses less).  SCALE_BENCH_POPS is a
+   comma-separated population list (default "100,1000,10000,50000").
+
+   Regenerating BENCH_scale.json:
+
+     dune build bench/scale_bench.exe
+     for i in 1 2 3 4 5; do
+       SCALE_BENCH_MEASURE=30 ./_build/default/bench/scale_bench.exe
+     done
+
+   Take the best events_per_sec per population (best-of-5 suppresses
+   scheduler noise on a busy 1-core container).  The 25-client
+   regression gate instead alternates the parent commit's oodbsim
+   binary (built in a worktree) run-for-run against the new one on the
+   fig3 reference cell, whose event schedule is byte-identical across
+   the two builds, making wall time the only degree of freedom. *)
+
+open Oodb_core
+
+let measure_s =
+  match Sys.getenv_opt "SCALE_BENCH_MEASURE" with
+  | Some s -> (try max 1.0 (float_of_string s) with _ -> 30.0)
+  | None -> 30.0
+
+let pops =
+  match Sys.getenv_opt "SCALE_BENCH_POPS" with
+  | Some s ->
+    List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  | None -> [ 100; 1000; 10_000; 50_000 ]
+
+let warmup_s = 5.0
+let seed = 42
+
+let cell ~clients =
+  (* The paper's Table 1 server (30 MIPS, 2 disks, 80 Mbit/s) saturates
+     below 10 txns/s; here the server hardware is scaled up so the cell
+     measures the cost of the population, not a full disk queue. *)
+  let cfg =
+    {
+      Config.default with
+      Config.num_clients = clients;
+      server_mips = 1500.0;
+      server_disks = 128;
+      network_mbits = 2000.0;
+    }
+  in
+  let think_time = 0.05 *. float_of_int clients in
+  let params =
+    Workload.Presets.(
+      make Uniform ~think_time ~db_pages:cfg.Config.db_pages
+        ~objects_per_page:cfg.Config.objects_per_page ~num_clients:clients
+        ~locality:Low ~write_prob:0.1)
+  in
+  let sys = Model.create ~cfg ~algo:Algo.PS_AA ~params ~seed in
+  Netlayer.install_edge_exchange sys;
+  Client.start sys;
+  Crash.install sys;
+  let engine = sys.Model.engine in
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  Simcore.Engine.run_until engine warmup_s;
+  Metrics.reset sys.Model.metrics ~now:warmup_s;
+  Simcore.Engine.run_until engine (warmup_s +. measure_s);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  sys.Model.live <- false;
+  let m = sys.Model.metrics in
+  let commits = Metrics.commits m in
+  assert (commits > 0);
+  let events = Simcore.Engine.events_processed engine in
+  (* Resident heap cost of the population: everything still live after
+     a full major collection, divided by n.  The caches, RNGs, response
+     stats and sharing-table rows dominate; fiber stacks live outside
+     the OCaml heap and are not counted.  [sys] must be kept reachable
+     past the stat or the collector frees the very state being
+     measured. *)
+  Gc.full_major ();
+  let live_words = (Gc.stat ()).Gc.live_words in
+  let bytes_per_client = live_words * 8 / clients in
+  ignore (Sys.opaque_identity sys);
+  Printf.printf
+    "{\"bench\": \"scale_cell\", \"clients\": %d, \"events\": %d, \
+     \"wall_s\": %.4f, \"events_per_sec\": %.0f, \"commits\": %d, \
+     \"bytes_per_client\": %d, \"resp_p99_ms\": %.1f}\n\
+     %!"
+    clients events wall_s
+    (float_of_int events /. wall_s)
+    commits bytes_per_client
+    (1000.0 *. Metrics.response_quantile m 0.99)
+
+let () =
+  Printf.printf
+    "# scale_bench: measure=%.0fs sim (SCALE_BENCH_MEASURE to change), \
+     pops=%s (SCALE_BENCH_POPS to change)\n\
+     %!"
+    measure_s
+    (String.concat "," (List.map string_of_int pops));
+  List.iter (fun clients -> cell ~clients) pops

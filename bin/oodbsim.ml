@@ -137,18 +137,30 @@ let run algo workload locality write_probs clients db_scale servers partition
       }
       ~factor:db_scale
   in
+  let est = Config.memory_estimate_bytes cfg in
+  if est > 4 * 1024 * 1024 * 1024 then
+    Format.eprintf
+      "oodbsim: warning: %d clients need roughly %d GB of memory at these \
+       cache sizes@."
+      cfg.Config.num_clients
+      (est / (1024 * 1024 * 1024));
   let jobs =
-    List.map
-      (fun write_prob ->
-        let params =
-          Workload.Presets.make workload ~db_pages:cfg.Config.db_pages
-            ~objects_per_page:cfg.Config.objects_per_page
-            ~num_clients:cfg.Config.num_clients ~locality ~write_prob
-        in
-        Job.make ~base_seed:seed ?max_events ~sweep:"oodbsim"
-          ~label:(Printf.sprintf "wp=%.3f" write_prob)
-          ~cfg ~algo ~params ~warmup ~measure ())
-      write_probs
+    try
+      Config.validate cfg;
+      List.map
+        (fun write_prob ->
+          let params =
+            Workload.Presets.make workload ~db_pages:cfg.Config.db_pages
+              ~objects_per_page:cfg.Config.objects_per_page
+              ~num_clients:cfg.Config.num_clients ~locality ~write_prob
+          in
+          Job.make ~base_seed:seed ?max_events ~sweep:"oodbsim"
+            ~label:(Printf.sprintf "wp=%.3f" write_prob)
+            ~cfg ~algo ~params ~warmup ~measure ())
+        write_probs
+    with Invalid_argument msg ->
+      Format.eprintf "oodbsim: %s@." msg;
+      exit 2
   in
   let results =
     try Harness.Pool.run ~jobs:njobs jobs
@@ -213,7 +225,22 @@ let wp_t =
            0.1)")
 
 let clients_t =
-  Arg.(value & opt int 10 & info [ "c"; "clients" ] ~doc:"Client workstations")
+  let mb_per_1k =
+    Config.memory_estimate_bytes { Config.default with Config.num_clients = 1000 }
+    / (1024 * 1024)
+  in
+  Arg.(
+    value & opt int 10
+    & info [ "c"; "clients" ]
+        ~doc:
+          (Printf.sprintf
+             "Client workstations. Sparse sharing tables keep server-side \
+              costs proportional to actual copy holders, so populations in \
+              the tens of thousands are routine; budget roughly %d MB of \
+              memory per 1000 clients at the default cache sizes. The \
+              per-client-hot-region presets (HOTCOLD, PRIVATE) support at \
+              most 25/50 clients; use UNIFORM or HICON beyond that."
+             mb_per_1k))
 
 let scale_t =
   Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Database/buffer scale factor")

@@ -66,7 +66,7 @@ let () =
   let writer_done = ref false in
   Client.run_one sys ~client:0 writer_ops (fun () -> writer_done := true);
   run_until_cond engine ~deadline:1.0 (fun () ->
-      match sys.Model.clients.(0).Model.running with
+      match sys.Model.clients.Model.running.(0) with
       | Some t -> Ids.Oid_set.cardinal t.Model.updated >= 3
       | None -> false);
   dump_locks "after client 0's three updates" sys;

@@ -10,14 +10,14 @@ let dump_state sys =
   let b = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "  clients:";
-  Array.iter
-    (fun c ->
-      add " %d:%s%s" c.cid
-        (if c.up then "up" else "DOWN")
-        (match c.running with
-        | Some t -> Printf.sprintf "(txn %d)" t.tid
-        | None -> ""))
-    sys.clients;
+  let cs = sys.clients in
+  for cid = 0 to cs.n - 1 do
+    add " %d:%s%s" cid
+      (if cs.up.(cid) then "up" else "DOWN")
+      (match cs.running.(cid) with
+      | Some t -> Printf.sprintf "(txn %d)" t.tid
+      | None -> "")
+  done;
   Array.iter
     (fun sv ->
       let tag =
@@ -104,89 +104,94 @@ let check_lock_compat sys ~context =
    and the point of that knob is proving the serializability oracle —
    not this audit — catches the resulting write skew. *)
 let check_copy_coverage ?only sys ~context =
-  if not sys.cfg.Config.srv_skip_reconstruction then
-    Array.iter
-      (fun c ->
-        if c.up && (match only with Some cid -> cid = c.cid | None -> true)
-        then
-          let covered_partition p =
-            (Model.server_of sys p).srv_state = Srv_up
-          in
-          if Algo.page_grain_copies sys.algo then
-            Lru.iter c.cache (fun p _ ->
-                if
-                  covered_partition p
-                  && not
-                       (Locking.Copy_table.holds (Model.server_of sys p).pcopies
-                          p ~client:c.cid)
-                then
-                  violation sys ~context
-                    "client %d caches page %d without a copy registration"
-                    c.cid p)
-          else if sys.algo = Algo.OS then
-            Lru.iter c.ocache (fun o _ ->
-                if
-                  covered_partition o.Ids.Oid.page
-                  && not
-                       (Locking.Copy_table.holds
-                          (Model.server_of sys o.Ids.Oid.page).ocopies o
-                          ~client:c.cid)
-                then
-                  violation sys ~context
-                    "client %d caches object %s without a copy registration"
-                    c.cid (oid_str o))
-          else
-            (* PS-OO: object-grain registrations for the available slots
-               of each cached page. *)
-            Lru.iter c.cache (fun p entry ->
-                if covered_partition p then
-                  for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
-                    if not (Ids.Int_set.mem slot entry.unavailable) then
-                      let o = Ids.Oid.make ~page:p ~slot in
-                      if
-                        not
-                          (Locking.Copy_table.holds
-                             (Model.server_of sys p).ocopies o ~client:c.cid)
-                      then
-                        violation sys ~context
-                          "client %d caches available object %s without a \
-                           copy registration"
-                          c.cid (oid_str o)
-                  done))
-      sys.clients
+  if not sys.cfg.Config.srv_skip_reconstruction then begin
+    let cs = sys.clients in
+    let check_client cid =
+      if cs.up.(cid) then
+        let covered_partition p = (Model.server_of sys p).srv_state = Srv_up in
+        if Algo.page_grain_copies sys.algo then
+          Lru.iter cs.cache.(cid) (fun p _ ->
+              if
+                covered_partition p
+                && not
+                     (Locking.Copy_table.holds (Model.server_of sys p).pcopies
+                        p ~client:cid)
+              then
+                violation sys ~context
+                  "client %d caches page %d without a copy registration" cid p)
+        else if sys.algo = Algo.OS then
+          Lru.iter cs.ocache.(cid) (fun o _ ->
+              if
+                covered_partition o.Ids.Oid.page
+                && not
+                     (Locking.Copy_table.holds
+                        (Model.server_of sys o.Ids.Oid.page).ocopies o
+                        ~client:cid)
+              then
+                violation sys ~context
+                  "client %d caches object %s without a copy registration" cid
+                  (oid_str o))
+        else
+          (* PS-OO: object-grain registrations for the available slots
+             of each cached page. *)
+          Lru.iter cs.cache.(cid) (fun p entry ->
+              if covered_partition p then
+                for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
+                  if not (Ids.Int_set.mem slot entry.unavailable) then
+                    let o = Ids.Oid.make ~page:p ~slot in
+                    if
+                      not
+                        (Locking.Copy_table.holds
+                           (Model.server_of sys p).ocopies o ~client:cid)
+                    then
+                      violation sys ~context
+                        "client %d caches available object %s without a \
+                         copy registration"
+                        cid (oid_str o)
+                done)
+    in
+    (* Per-transaction-boundary audits scope to the one client whose
+       cache changed; the full sweep remains for fault handlers and the
+       negative tests that corrupt arbitrary clients. *)
+    match only with
+    | Some cid -> check_client cid
+    | None ->
+      for cid = 0 to cs.n - 1 do
+        check_client cid
+      done
+  end
 
 (* Invariant 4: a crashed client was fully reclaimed — cold caches, no
    transaction, no copy-table presence (it must not be a callback
    target: its cache is gone, so a callback would wait forever or,
    worse, "succeed" against nothing). *)
 let check_crashed_clients sys ~context =
-  Array.iter
-    (fun c ->
-      if not c.up then begin
-        (match c.running with
-        | Some t ->
-          violation sys ~context "crashed client %d still runs txn %d" c.cid
-            t.tid
-        | None -> ());
-        if Lru.size c.cache > 0 || Lru.size c.ocache > 0 then
-          violation sys ~context
-            "crashed client %d retains %d pages / %d objects in cache" c.cid
-            (Lru.size c.cache) (Lru.size c.ocache);
-        let count table_of =
-          Array.fold_left
-            (fun acc sv ->
-              acc
-              + Locking.Copy_table.client_copies (table_of sv) ~client:c.cid)
-            0 sys.servers
-        in
-        let pc = count (fun sv -> sv.pcopies) in
-        let oc = count (fun sv -> sv.ocopies) in
-        if pc > 0 || oc > 0 then
-          violation sys ~context
-            "crashed client %d still registered for %d pages / %d objects"
-            c.cid pc oc
-      end)
-    sys.clients
+  let cs = sys.clients in
+  for cid = 0 to cs.n - 1 do
+    if not cs.up.(cid) then begin
+      (match cs.running.(cid) with
+      | Some t ->
+        violation sys ~context "crashed client %d still runs txn %d" cid t.tid
+      | None -> ());
+      if Lru.size cs.cache.(cid) > 0 || Lru.size cs.ocache.(cid) > 0 then
+        violation sys ~context
+          "crashed client %d retains %d pages / %d objects in cache" cid
+          (Lru.size cs.cache.(cid))
+          (Lru.size cs.ocache.(cid));
+      let count table_of =
+        Array.fold_left
+          (fun acc sv ->
+            acc + Locking.Copy_table.client_copies (table_of sv) ~client:cid)
+          0 sys.servers
+      in
+      let pc = count (fun sv -> sv.pcopies) in
+      let oc = count (fun sv -> sv.ocopies) in
+      if pc > 0 || oc > 0 then
+        violation sys ~context
+          "crashed client %d still registered for %d pages / %d objects" cid
+          pc oc
+    end
+  done
 
 (* Invariant 5: deadlock detection runs at every edge addition, so no
    cycle survives between events. *)
@@ -209,24 +214,23 @@ let check_update_disjoint sys ~context =
   if sys.cfg.Config.srv_skip_reconstruction then ()
   else
   let owner = Hashtbl.create 64 in
-  Array.iter
-    (fun c ->
-      match c.running with
-      (* A doomed transaction's updates are already discarded in spirit:
-         it can only abort, and its covering locks at the crashed server
-         are gone, so a post-recovery writer may legitimately overlap. *)
-      | Some t when c.up && not t.doomed ->
-        Ids.Oid_set.iter
-          (fun o ->
-            match Hashtbl.find_opt owner o with
-            | Some other ->
-              violation sys ~context
-                "object %s updated by both txn %d and txn %d"
-                (oid_str o) other t.tid
-            | None -> Hashtbl.replace owner o t.tid)
-          t.updated
-      | Some _ | None -> ())
-    sys.clients
+  let cs = sys.clients in
+  for cid = 0 to cs.n - 1 do
+    match cs.running.(cid) with
+    (* A doomed transaction's updates are already discarded in spirit:
+       it can only abort, and its covering locks at the crashed server
+       are gone, so a post-recovery writer may legitimately overlap. *)
+    | Some t when cs.up.(cid) && not t.doomed ->
+      Ids.Oid_set.iter
+        (fun o ->
+          match Hashtbl.find_opt owner o with
+          | Some other ->
+            violation sys ~context "object %s updated by both txn %d and txn %d"
+              (oid_str o) other t.tid
+          | None -> Hashtbl.replace owner o t.tid)
+        t.updated
+    | Some _ | None -> ()
+  done
 
 (* Invariant 7: a down server was fully reclaimed — crash purging left
    no volatile state behind (locks, copy registrations, token owners).
@@ -244,10 +248,11 @@ let check_crashed_servers sys ~context =
             "down server %d still holds %d page / %d object locks" sv.sid pl
             ol;
         let copies table =
-          Array.fold_left
-            (fun acc c ->
-              acc + Locking.Copy_table.client_copies table ~client:c.cid)
-            0 sys.clients
+          let acc = ref 0 in
+          for cid = 0 to sys.clients.n - 1 do
+            acc := !acc + Locking.Copy_table.client_copies table ~client:cid
+          done;
+          !acc
         in
         let pc = copies sv.pcopies in
         let oc = copies sv.ocopies in

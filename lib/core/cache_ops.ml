@@ -38,26 +38,26 @@ let oracle_forget_page sys cid p =
         Oracle.History.drop_copy o ~client:cid ~oid:(Ids.Oid.make ~page:p ~slot)
       done)
 
-let drop_page sys c p ~discard_dirty =
-  match Lru.remove c.cache p with
+let drop_page sys cid p ~discard_dirty =
+  match Lru.remove sys.clients.cache.(cid) p with
   | None -> ()
   | Some entry ->
     if (not discard_dirty) && not (Ids.Int_set.is_empty entry.dirty) then
       invalid_arg "Cache_ops.drop_page: dropping uncommitted updates";
-    release_page_copy_refs sys c.cid p entry;
-    oracle_forget_page sys c.cid p
+    release_page_copy_refs sys cid p entry;
+    oracle_forget_page sys cid p
 
-let drop_object sys c oid =
-  match Lru.remove c.ocache oid with
+let drop_object sys cid oid =
+  match Lru.remove sys.clients.ocache.(cid) oid with
   | None -> ()
   | Some _ ->
     Locking.Copy_table.unregister
-      (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:c.cid;
+      (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:cid;
     Model.oracle_hook sys (fun o ->
-        Oracle.History.drop_copy o ~client:c.cid ~oid)
+        Oracle.History.drop_copy o ~client:cid ~oid)
 
-let mark_unavailable sys c oid =
-  match Lru.peek c.cache oid.Ids.Oid.page with
+let mark_unavailable sys cid oid =
+  match Lru.peek sys.clients.cache.(cid) oid.Ids.Oid.page with
   | None -> ()
   | Some entry ->
     if not (Ids.Int_set.mem oid.Ids.Oid.slot entry.unavailable) then begin
@@ -66,63 +66,63 @@ let mark_unavailable sys c oid =
          reference for the object. *)
       if not (Algo.page_grain_copies sys.algo) then
         Locking.Copy_table.unregister
-          (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:c.cid;
+          (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:cid;
       Model.oracle_hook sys (fun o ->
-          Oracle.History.drop_copy o ~client:c.cid ~oid)
+          Oracle.History.drop_copy o ~client:cid ~oid)
     end
 
-let install_page sys c txn p ~unavailable ~version =
-  match Lru.find c.cache p with
+let install_page sys cid txn p ~unavailable ~version =
+  match Lru.find sys.clients.cache.(cid) p with
   | Some entry ->
     (* Re-receiving a page we still cache: the incoming copy replaces
        the old one (releasing the old copy's registrations — the ones
        made when the incoming copy was shipped take over), merging so
        our own uncommitted updates stay visible and available. *)
-    release_page_copy_refs sys c.cid p entry;
+    release_page_copy_refs sys cid p entry;
     if not (Ids.Int_set.is_empty entry.dirty) then begin
       Metrics.note_client_merge sys.metrics
         ~objects:(Ids.Int_set.cardinal entry.dirty);
-      Resources.Cpu.system c.ccpu
+      Resources.Cpu.system sys.clients.ccpu.(cid)
         (sys.cfg.Config.copy_merge_inst
         *. float_of_int (Ids.Int_set.cardinal entry.dirty))
     end;
     entry.unavailable <- Ids.Int_set.diff unavailable entry.dirty;
     entry.fetch_version <- version;
-    oracle_note_page_copy sys c.cid p entry;
+    oracle_note_page_copy sys cid p entry;
     ignore txn;
     None
   | None ->
     let entry =
       { unavailable; dirty = Ids.Int_set.empty; fetch_version = version }
     in
-    oracle_note_page_copy sys c.cid p entry;
-    (match Lru.add c.cache p entry with
+    oracle_note_page_copy sys cid p entry;
+    (match Lru.add sys.clients.cache.(cid) p entry with
     | None -> None
     | Some (victim, ventry) ->
-      release_page_copy_refs sys c.cid victim ventry;
-      oracle_forget_page sys c.cid victim;
+      release_page_copy_refs sys cid victim ventry;
+      oracle_forget_page sys cid victim;
       if Ids.Int_set.is_empty ventry.dirty then None
       else Some (victim, ventry.dirty, ventry.fetch_version))
 
-let install_object sys c oid =
-  match Lru.find c.ocache oid with
+let install_object sys cid oid =
+  match Lru.find sys.clients.ocache.(cid) oid with
   | Some entry ->
     (* Already cached: the shipment added a duplicate reference at the
        server; the merged copy keeps a single one. *)
     Locking.Copy_table.unregister
-      (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:c.cid;
+      (Model.server_of sys oid.Ids.Oid.page).ocopies oid ~client:cid;
     if not entry.odirty then
       Model.oracle_hook sys (fun o ->
-          Oracle.History.install_copy o ~client:c.cid ~oid);
+          Oracle.History.install_copy o ~client:cid ~oid);
     None
   | None -> (
     Model.oracle_hook sys (fun o ->
-        Oracle.History.install_copy o ~client:c.cid ~oid);
-    match Lru.add c.ocache oid { odirty = false } with
+        Oracle.History.install_copy o ~client:cid ~oid);
+    match Lru.add sys.clients.ocache.(cid) oid { odirty = false } with
     | None -> None
     | Some (victim, ventry) ->
       Locking.Copy_table.unregister
-        (Model.server_of sys victim.Ids.Oid.page).ocopies victim ~client:c.cid;
+        (Model.server_of sys victim.Ids.Oid.page).ocopies victim ~client:cid;
       Model.oracle_hook sys (fun o ->
-          Oracle.History.drop_copy o ~client:c.cid ~oid:victim);
+          Oracle.History.drop_copy o ~client:cid ~oid:victim);
       if ventry.odirty then Some victim else None)

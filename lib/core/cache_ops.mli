@@ -8,26 +8,27 @@
     of attaching drop notices to the next message (see DESIGN.md).
     Registrations are reference counted ({!Locking.Copy_table}) so a
     copy in transit survives the concurrent purge of its predecessor;
-    at quiescence the tables exactly mirror the client caches. *)
+    at quiescence the tables exactly mirror the client caches.
+
+    Clients are addressed by id (the index into {!Model.clients}). *)
 
 open Storage
 
-val drop_page :
-  Model.sys -> Model.client -> Ids.page -> discard_dirty:bool -> unit
+val drop_page : Model.sys -> int -> Ids.page -> discard_dirty:bool -> unit
 (** Remove a page from the client cache and deregister its page copy
     and any object copies.  Raises if the entry still carries
     uncommitted updates unless [discard_dirty] (abort path). *)
 
-val drop_object : Model.sys -> Model.client -> Ids.Oid.t -> unit
+val drop_object : Model.sys -> int -> Ids.Oid.t -> unit
 (** Object-server variant of {!drop_page}. *)
 
-val mark_unavailable : Model.sys -> Model.client -> Ids.Oid.t -> unit
+val mark_unavailable : Model.sys -> int -> Ids.Oid.t -> unit
 (** Mark one slot unavailable in the cached page (no-op when the page is
     not cached) and deregister the object copy. *)
 
 val install_page :
   Model.sys ->
-  Model.client ->
+  int ->
   Model.txn ->
   Ids.page ->
   unavailable:Ids.Int_set.t ->
@@ -41,8 +42,7 @@ val install_page :
     evicted a page with uncommitted updates, which the caller must ship
     to the server. *)
 
-val install_object :
-  Model.sys -> Model.client -> Ids.Oid.t -> Ids.Oid.t option
+val install_object : Model.sys -> int -> Ids.Oid.t -> Ids.Oid.t option
 (** Object-server insert.  Returns a dirty eviction victim the caller
     must ship. *)
 

@@ -2,8 +2,8 @@ open Storage
 open Simcore
 open Model
 
-let local_lock_charge sys c =
-  Resources.Cpu.system c.ccpu sys.cfg.Config.lock_inst
+let local_lock_charge sys cid =
+  Resources.Cpu.system sys.clients.ccpu.(cid) sys.cfg.Config.lock_inst
 
 (* Zombie guard: a fiber that resumed from a non-cancellable suspension
    (CPU, disk, network) after its client crashed must not touch caches,
@@ -22,17 +22,17 @@ let max_read_retries = 64
    suspends the fiber, and a callback arriving in that window must
    already see the lock (otherwise it would mark/purge an object the
    transaction is about to use). *)
-let record_read_locks sys c txn oid =
+let record_read_locks sys cid txn oid =
   if not (Ids.Oid_set.mem oid txn.read_objs) then begin
     txn.read_objs <- Ids.Oid_set.add oid txn.read_objs;
     txn.read_pages <- Ids.Page_set.add oid.Ids.Oid.page txn.read_pages;
     Model.oracle_hook sys (fun o -> Oracle.History.read o ~tid:txn.tid ~oid);
-    local_lock_charge sys c
+    local_lock_charge sys cid
   end
 
 (* --- Read access ------------------------------------------------------ *)
 
-let rec fetch_page sys c txn oid ~tries =
+let rec fetch_page sys cid txn oid ~tries =
   if tries > max_read_retries then
     failwith "Client: read livelock (unavailable after many refetches)";
   match Srv.read_rpc sys txn oid with
@@ -44,7 +44,7 @@ let rec fetch_page sys c txn oid ~tries =
        transit: the copy is registered in no table, so installing it
        would leave a stale, never-called-back page. *)
     if txn.doomed then raise Txn_aborted;
-    (match Cache_ops.install_page sys c txn oid.Ids.Oid.page ~unavailable ~version with
+    (match Cache_ops.install_page sys cid txn oid.Ids.Oid.page ~unavailable ~version with
     | Some (victim, dirty, fetch_version) ->
       (* Under redo-at-server the log carries the updates, so dirty
          evictions need not ship the page. *)
@@ -56,12 +56,13 @@ let rec fetch_page sys c txn oid ~tries =
        slipped in between the lock probe and the reply; ask again (the
        probe will now block behind that writer). *)
     if Ids.Int_set.mem oid.Ids.Oid.slot unavailable then
-      fetch_page sys c txn oid ~tries:(tries + 1)
+      fetch_page sys cid txn oid ~tries:(tries + 1)
 
-let read_access sys c txn oid =
+let read_access sys cid txn oid =
+  let cs = sys.clients in
   match sys.algo with
   | Algo.OS ->
-    if not (Lru.mem c.ocache oid) then begin
+    if not (Lru.mem cs.ocache.(cid) oid) then begin
       match Srv.read_rpc sys txn oid with
       | Srv.R_aborted -> raise Txn_aborted
       | Srv.R_page _ -> assert false
@@ -72,23 +73,23 @@ let read_access sys c txn oid =
         if txn.doomed then raise Txn_aborted;
         List.iter
           (fun o ->
-            match Cache_ops.install_object sys c o with
+            match Cache_ops.install_object sys cid o with
             | Some victim ->
               if sys.cfg.Config.commit_mode = Config.Ship_pages then
                 Srv.ship_dirty_objs sys txn [ victim ] ~at_commit:false
             | None -> ())
           group
     end
-    else Lru.touch c.ocache oid;
-    record_read_locks sys c txn oid
+    else Lru.touch cs.ocache.(cid) oid;
+    record_read_locks sys cid txn oid
   | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
     let available =
-      match Lru.find c.cache oid.Ids.Oid.page with
+      match Lru.find cs.cache.(cid) oid.Ids.Oid.page with
       | Some entry -> not (Ids.Int_set.mem oid.Ids.Oid.slot entry.unavailable)
       | None -> false
     in
-    if not available then fetch_page sys c txn oid ~tries:0;
-    record_read_locks sys c txn oid
+    if not available then fetch_page sys cid txn oid ~tries:0;
+    record_read_locks sys cid txn oid
 
 (* --- Write access ----------------------------------------------------- *)
 
@@ -105,30 +106,30 @@ let have_write_permission sys txn oid =
    2. the updater holds the server-side write lock that covers the
       object (the page lock, the object lock, or either for PS-AA).
    A protocol bug that loses mutual exclusion trips these instantly.
+   Check 1 consults the [sys.updaters] index instead of scanning every
+   client, so its cost is O(updaters of this object) — in a correct
+   run, zero or one entry.
 
    Disabled under the [srv_skip_reconstruction] sabotage: skipping the
    copy-table rebuild deliberately breaks callback-based mutual
    exclusion, and the knob exists to prove the serializability oracle —
    the history-level checker — catches the damage end to end.  Leaving
    this state-level assertion armed would catch it first. *)
-let assert_update_invariants sys c txn oid =
+let assert_update_invariants sys cid txn oid =
   if sys.cfg.Config.srv_skip_reconstruction then ()
   else begin
-  Array.iter
-    (fun (other : Model.client) ->
-      if other.cid <> c.cid then
-        match other.running with
-        (* A doomed transaction can only abort: its updates are already
-           discarded in spirit and its covering locks died with the
-           crashed server, so a post-recovery writer may overlap it. *)
-        | Some t when Ids.Oid_set.mem oid t.updated && not t.doomed ->
-          failwith
-            (Printf.sprintf
-               "invariant violation: object %d.%d updated concurrently by \
-                txn %d (client %d) and txn %d (client %d)"
-               oid.Ids.Oid.page oid.Ids.Oid.slot txn.tid c.cid t.tid other.cid)
-        | Some _ | None -> ())
-    sys.clients;
+  List.iter
+    (fun (t : Model.txn) ->
+      (* A doomed transaction can only abort: its updates are already
+         discarded in spirit and its covering locks died with the
+         crashed server, so a post-recovery writer may overlap it. *)
+      if t != txn && not t.doomed then
+        failwith
+          (Printf.sprintf
+             "invariant violation: object %d.%d updated concurrently by \
+              txn %d (client %d) and txn %d (client %d)"
+             oid.Ids.Oid.page oid.Ids.Oid.slot txn.tid cid t.tid t.client))
+    (Model.updaters_of sys oid);
   let sv = Model.server_of sys oid.Ids.Oid.page in
   let holds_page =
     Locking.Lock_table.held_by sv.plocks oid.Ids.Oid.page ~txn:txn.tid
@@ -148,21 +149,24 @@ let assert_update_invariants sys c txn oid =
          txn.tid oid.Ids.Oid.page oid.Ids.Oid.slot)
   end
 
-let mark_updated sys c txn oid =
-  assert_update_invariants sys c txn oid;
-  if not (Ids.Oid_set.mem oid txn.updated) then
+let mark_updated sys cid txn oid =
+  assert_update_invariants sys cid txn oid;
+  if not (Ids.Oid_set.mem oid txn.updated) then begin
     Model.oracle_hook sys (fun o -> Oracle.History.write o ~tid:txn.tid ~oid);
+    Model.note_updater sys txn oid
+  end;
   txn.updated <- Ids.Oid_set.add oid txn.updated;
+  let cs = sys.clients in
   match sys.algo with
   | Algo.OS -> (
-    match Lru.peek c.ocache oid with
+    match Lru.peek cs.ocache.(cid) oid with
     | Some entry -> entry.odirty <- true
     | None ->
       (* The object was read moments ago and callbacks against in-use
          objects block, so it must still be cached. *)
       assert false)
   | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA -> (
-    match Lru.peek c.cache oid.Ids.Oid.page with
+    match Lru.peek cs.cache.(cid) oid.Ids.Oid.page with
     | Some entry ->
       (* Invariant: the read lock recorded before this write blocks any
          callback that would mark the target. *)
@@ -175,7 +179,7 @@ let mark_updated sys c txn oid =
       entry.dirty <- Ids.Int_set.add oid.Ids.Oid.slot entry.dirty
     | None -> assert false)
 
-let write_access sys c txn oid =
+let write_access sys cid txn oid =
   if not (have_write_permission sys txn oid) then begin
     match Srv.write_rpc sys txn oid with
     | Srv.W_aborted -> raise Txn_aborted
@@ -193,28 +197,29 @@ let write_access sys c txn oid =
      covering lock; recording the update would trip the isolation
      invariants against a post-recovery writer. *)
   if txn.doomed then raise Txn_aborted;
-  mark_updated sys c txn oid;
-  local_lock_charge sys c
+  mark_updated sys cid txn oid;
+  local_lock_charge sys cid
 
 (* --- Operations ------------------------------------------------------- *)
 
-let exec_op sys c txn (op : Workload.Refstring.op) =
+let exec_op sys cid txn (op : Workload.Refstring.op) =
   check_live sys txn;
   if txn.doomed then raise Txn_aborted;
-  read_access sys c txn op.oid;
-  if op.write then write_access sys c txn op.oid;
+  read_access sys cid txn op.oid;
+  if op.write then write_access sys cid txn op.oid;
   let cost =
     if op.write then sys.params.Workload.Wparams.per_object_write_instr
     else sys.params.Workload.Wparams.per_object_read_instr
   in
-  Resources.Cpu.user c.ccpu cost
+  Resources.Cpu.user sys.clients.ccpu.(cid) cost
 
 (* --- Transaction termination ------------------------------------------ *)
 
-let finish_txn c =
-  c.running <- None;
-  let hooks = c.end_hooks in
-  c.end_hooks <- [];
+let finish_txn sys cid =
+  ignore (Model.clear_running sys cid);
+  let cs = sys.clients in
+  let hooks = cs.end_hooks.(cid) in
+  cs.end_hooks.(cid) <- [];
   List.iter (fun resume -> resume ()) hooks
 
 let updated_pages txn =
@@ -222,7 +227,8 @@ let updated_pages txn =
     (fun o acc -> Ids.Page_set.add o.Ids.Oid.page acc)
     txn.updated Ids.Page_set.empty
 
-let commit sys c txn =
+let commit sys cid txn =
+  let cs = sys.clients in
   check_live sys txn;
   (* A doomed transaction must not ship updates: the crashed server
      lost its locks, so the data would install without coverage. *)
@@ -235,7 +241,7 @@ let commit sys c txn =
     let dirty =
       Ids.Oid_set.fold
         (fun o acc ->
-          match Lru.peek c.ocache o with
+          match Lru.peek cs.ocache.(cid) o with
           | Some entry when entry.odirty -> o :: acc
           | Some _ | None -> acc)
         txn.updated []
@@ -244,7 +250,7 @@ let commit sys c txn =
   | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
     Ids.Page_set.iter
       (fun p ->
-        match Lru.peek c.cache p with
+        match Lru.peek cs.cache.(cid) p with
         | Some entry when not (Ids.Int_set.is_empty entry.dirty) ->
           Srv.ship_dirty_page sys txn p ~dirty:entry.dirty
             ~fetch_version:entry.fetch_version ~at_commit:true
@@ -264,35 +270,35 @@ let commit sys c txn =
   | Algo.OS ->
     Ids.Oid_set.iter
       (fun o ->
-        match Lru.peek c.ocache o with
+        match Lru.peek cs.ocache.(cid) o with
         | Some entry -> entry.odirty <- false
         | None -> ())
       txn.updated
   | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
     Ids.Page_set.iter
       (fun p ->
-        match Lru.peek c.cache p with
+        match Lru.peek cs.cache.(cid) p with
         | Some entry ->
           entry.dirty <- Ids.Int_set.empty;
           entry.fetch_version <- Model.page_version sys p
         | None -> ())
       (updated_pages txn));
-  finish_txn c
+  finish_txn sys cid
 
-let abort_cleanup sys c txn =
+let abort_cleanup sys cid txn =
   Model.oracle_hook sys (fun o -> Oracle.History.abort o ~tid:txn.tid);
   Model.tl_hook sys (fun x ->
-      Tl.txn_abort x ~client:c.cid ~tid:txn.tid ~now:(Engine.now sys.engine));
+      Tl.txn_abort x ~client:cid ~tid:txn.tid ~now:(Engine.now sys.engine));
   (* Purge uncommitted updates from the cache (purge-at-client,
      Section 3.1 / footnote 2), unblock any pending callbacks, then let
      the server release the transaction's locks. *)
   (match sys.algo with
-  | Algo.OS -> Ids.Oid_set.iter (Cache_ops.drop_object sys c) txn.updated
+  | Algo.OS -> Ids.Oid_set.iter (Cache_ops.drop_object sys cid) txn.updated
   | Algo.PS | Algo.PS_OO | Algo.PS_OA | Algo.PS_AA ->
     Ids.Page_set.iter
-      (fun p -> Cache_ops.drop_page sys c p ~discard_dirty:true)
+      (fun p -> Cache_ops.drop_page sys cid p ~discard_dirty:true)
       (updated_pages txn));
-  finish_txn c;
+  finish_txn sys cid;
   Srv.abort_rpc sys txn;
   Metrics.note_abort sys.metrics
 
@@ -303,7 +309,7 @@ let make_txn sys ~client ~ops ~first_started =
   {
     tid = fresh_tid sys;
     client;
-    epoch = sys.clients.(client).epoch;
+    epoch = sys.clients.epoch.(client);
     ops;
     started = now;
     first_started;
@@ -317,24 +323,23 @@ let make_txn sys ~client ~ops ~first_started =
     rpc_sid = -1;
   }
 
-let restart_delay c =
+let restart_delay sys cid =
+  let hist = sys.clients.resp_history.(cid) in
   let mean =
-    if Stats.Welford.count c.resp_history > 0 then
-      Stats.Welford.mean c.resp_history
-    else 0.25
+    if Stats.Welford.count hist > 0 then Stats.Welford.mean hist else 0.25
   in
-  Rng.exponential c.crng ~mean
+  Rng.exponential sys.clients.crng.(cid) ~mean
 
-let rec attempt sys c ops ~first_started ~restarts =
-  let txn = make_txn sys ~client:c.cid ~ops ~first_started in
+let rec attempt sys cid ops ~first_started ~restarts =
+  let txn = make_txn sys ~client:cid ~ops ~first_started in
   txn.restarts <- restarts;
-  c.running <- Some txn;
+  Model.set_running sys cid txn;
   Model.oracle_hook sys (fun o ->
-      Oracle.History.begin_txn o ~tid:txn.tid ~client:c.cid);
+      Oracle.History.begin_txn o ~tid:txn.tid ~client:cid);
   Model.tl_hook sys (fun x ->
-      Tl.txn_begin x ~client:c.cid ~tid:txn.tid ~now:txn.started);
-  if restarts = 0 then Trace.txn sys ~tid:txn.tid ~client:c.cid "start"
-  else Trace.txn sys ~tid:txn.tid ~client:c.cid "restart #%d" restarts;
+      Tl.txn_begin x ~client:cid ~tid:txn.tid ~now:txn.started);
+  if restarts = 0 then Trace.txn sys ~tid:txn.tid ~client:cid "start"
+  else Trace.txn sys ~tid:txn.tid ~client:cid "restart #%d" restarts;
   (* Start times are replicated on every server's graph so any of them
      can pick a deadlock victim locally (see Waits_for.link). *)
   let start = Engine.now sys.engine in
@@ -342,66 +347,78 @@ let rec attempt sys c ops ~first_started ~restarts =
     (fun sv -> Locking.Waits_for.begin_txn sv.wfg txn.tid ~start)
     sys.servers;
   match
-    Array.iter (exec_op sys c txn) ops;
-    commit sys c txn
+    Array.iter (exec_op sys cid txn) ops;
+    commit sys cid txn
   with
   | () ->
     let now = Engine.now sys.engine in
     let response = now -. first_started in
-    Trace.txn sys ~tid:txn.tid ~client:c.cid
+    Trace.txn sys ~tid:txn.tid ~client:cid
       "commit (response %.0f ms, %d updates)" (1000.0 *. response)
       (Ids.Oid_set.cardinal txn.updated);
     Metrics.note_commit sys.metrics ~response;
-    Model.tl_hook sys (fun x -> Tl.txn_commit x ~client:c.cid ~tid:txn.tid ~now);
-    Stats.Welford.add c.resp_history response;
+    Model.tl_hook sys (fun x -> Tl.txn_commit x ~client:cid ~tid:txn.tid ~now);
+    Stats.Welford.add sys.clients.resp_history.(cid) response;
     (* First commit after a cold restart ends the outage window. *)
-    (match c.crashed_at with
+    (match sys.clients.crashed_at.(cid) with
     | Some t0 ->
       Faults.note_recovery sys.faults ~latency:(now -. t0);
-      c.crashed_at <- None
+      sys.clients.crashed_at.(cid) <- None
     | None -> ());
-    Audit.check sys ~context:"commit" ~coverage_of:c.cid
+    Audit.check sys ~context:"commit" ~coverage_of:cid
   | exception Txn_aborted ->
     (* A deadlock abort that raced with a crash of this client belongs
        to the crash handler: everything is already reclaimed. *)
     check_live sys txn;
-    Trace.txn sys ~tid:txn.tid ~client:c.cid "abort (%s)"
+    Trace.txn sys ~tid:txn.tid ~client:cid "abort (%s)"
       (if txn.doomed then "server crash" else "deadlock victim");
-    abort_cleanup sys c txn;
-    Audit.check sys ~context:"abort" ~coverage_of:c.cid;
-    Proc.hold sys.engine (restart_delay c);
+    abort_cleanup sys cid txn;
+    Audit.check sys ~context:"abort" ~coverage_of:cid;
+    Proc.hold sys.engine (restart_delay sys cid);
     (* The client may have crashed during the back-off; the replacement
        incarnation resubmits, not this fiber. *)
     check_live sys txn;
-    attempt sys c ops ~first_started ~restarts:(restarts + 1)
+    attempt sys cid ops ~first_started ~restarts:(restarts + 1)
 
 let run_one sys ~client ops k =
-  let c = sys.clients.(client) in
   Proc.spawn sys.engine (fun () ->
-      (try attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0
+      (try
+         attempt sys client ops ~first_started:(Engine.now sys.engine)
+           ~restarts:0
        with Client_crashed -> ());
       k ())
 
-let client_loop sys c ~epoch =
+let client_loop sys cid ~epoch =
   (* Iterative so the fiber stack stays flat across thousands of
      transactions.  The loop belongs to one client incarnation: a crash
      bumps the epoch, so this fiber winds down (wherever it was) and the
      restart spawns a fresh loop. *)
-  while sys.live && c.up && c.epoch = epoch do
+  let cs = sys.clients in
+  (* Large-population runs bound concurrency with think_time; phase the
+     population across one think interval so simulated time zero is not
+     a thundering herd of [n] simultaneous transactions.  No RNG draw,
+     and no hold at all when think_time is zero, so the paper-scale
+     schedules are untouched. *)
+  let think = sys.params.Workload.Wparams.think_time in
+  if think > 0.0 then
+    Proc.hold sys.engine (think *. float_of_int cid /. float_of_int cs.n);
+  while sys.live && cs.up.(cid) && cs.epoch.(cid) = epoch do
     try
       let ops =
-        Workload.Refstring.generate ~rng:c.crng ~params:sys.params
-          ~client:c.cid ~objects_per_page:sys.cfg.Config.objects_per_page
+        Workload.Refstring.generate ~rng:cs.crng.(cid) ~params:sys.params
+          ~client:cid ~objects_per_page:sys.cfg.Config.objects_per_page
       in
-      attempt sys c ops ~first_started:(Engine.now sys.engine) ~restarts:0;
+      attempt sys cid ops ~first_started:(Engine.now sys.engine) ~restarts:0;
       let think = sys.params.Workload.Wparams.think_time in
       if think > 0.0 then Proc.hold sys.engine think else Proc.yield sys.engine
     with Client_crashed -> ()
   done
 
 let start_one sys cid =
-  let c = sys.clients.(cid) in
-  let epoch = c.epoch in
-  Proc.spawn sys.engine (fun () -> client_loop sys c ~epoch)
+  let epoch = sys.clients.epoch.(cid) in
+  Proc.spawn sys.engine (fun () -> client_loop sys cid ~epoch)
 
-let start sys = Array.iter (fun c -> start_one sys c.cid) sys.clients
+let start sys =
+  for cid = 0 to sys.clients.n - 1 do
+    start_one sys cid
+  done

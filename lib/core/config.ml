@@ -100,9 +100,28 @@ let objs_msg_bytes t ~count = (count * object_bytes t) + t.control_msg_bytes
 let msg_instr t ~bytes =
   t.fixed_msg_inst +. (t.per_byte_msg_inst *. float_of_int bytes)
 
+(* Rough worst-case resident memory per client: both caches filled to
+   capacity (an LRU node, a hash bucket and an entry record per slot)
+   plus the client fiber's stack and fixed per-client bookkeeping.
+   Order-of-magnitude for the CLI's sizing hint, not an accounting. *)
+let client_memory_bytes t =
+  let slot_bytes = 128 in
+  (client_buf_pages t * slot_bytes)
+  + (client_buf_objects t * slot_bytes)
+  + 8192
+
+let memory_estimate_bytes t = t.num_clients * client_memory_bytes t
+
 let validate t =
   let check b what = if not b then invalid_arg ("Config: bad " ^ what) in
   check (t.num_clients > 0) "num_clients";
+  if t.num_clients > 1_000_000 then
+    invalid_arg
+      (Printf.sprintf
+         "Config: %d clients is over the 1M-site limit (the simulator keeps \
+          per-client state resident; did you mean --scale to grow the \
+          database instead?)"
+         t.num_clients);
   check (t.client_mips > 0.0 && t.server_mips > 0.0) "MIPS";
   check (t.client_buf_frac > 0.0 && t.client_buf_frac <= 1.0) "client_buf_frac";
   check (t.server_buf_frac > 0.0 && t.server_buf_frac <= 1.0) "server_buf_frac";

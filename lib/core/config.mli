@@ -124,6 +124,13 @@ val objs_msg_bytes : t -> count:int -> int
 val msg_instr : t -> bytes:int -> float
 (** CPU cost to send or to receive a message of the given size. *)
 
+val client_memory_bytes : t -> int
+(** Rough worst-case resident bytes per client (caches full, fiber
+    stack, bookkeeping) — an order-of-magnitude sizing hint. *)
+
+val memory_estimate_bytes : t -> int
+(** [client_memory_bytes] across the whole population. *)
+
 val validate : t -> unit
 (** Raises [Invalid_argument] on inconsistent settings. *)
 

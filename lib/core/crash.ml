@@ -4,22 +4,22 @@ open Model
 open Locking
 
 let crash_client sys cid =
-  let c = sys.clients.(cid) in
-  if c.up then begin
+  let cs = sys.clients in
+  if cs.up.(cid) then begin
     (* Bump the epoch first: every fiber of the old incarnation is
        suspended right now (this runs in the driver fiber), and the
        liveness guards it hits on resume must already see the change. *)
-    c.up <- false;
-    c.epoch <- c.epoch + 1;
-    if c.crashed_at = None then
-      c.crashed_at <- Some (Engine.now sys.engine);
+    cs.up.(cid) <- false;
+    cs.epoch.(cid) <- cs.epoch.(cid) + 1;
+    if cs.crashed_at.(cid) = None then
+      cs.crashed_at.(cid) <- Some (Engine.now sys.engine);
     Faults.note_crash sys.faults;
     Trace.event sys "client %d crashed" cid;
     (* Closes any open txn span, then opens the "down" recovery-epoch
        span, ended by the restart hook below. *)
     Model.tl_hook sys (fun x ->
         Tl.crash x ~client:cid ~now:(Engine.now sys.engine));
-    (match c.running with
+    (match cs.running.(cid) with
     | Some txn ->
       Faults.note_crash_abort sys.faults;
       (* No-op if the server already committed the transaction (the
@@ -32,20 +32,22 @@ let crash_client sys cid =
          wherever it is registered. *)
       Waits_for.cancel_wait sys.servers.(0).wfg txn.tid;
       Srv.release_txn_locks sys txn;
-      c.running <- None
+      ignore (Model.clear_running sys cid)
     | None -> ());
     (* Callbacks blocked on the dead transaction retry immediately. *)
-    let hooks = c.end_hooks in
-    c.end_hooks <- [];
+    let hooks = cs.end_hooks.(cid) in
+    cs.end_hooks.(cid) <- [];
     List.iter (fun resume -> resume ()) hooks;
     (* The buffer pool is volatile: every cached copy is gone.  Raw
        removal, not Cache_ops.drop_* — those piggyback deregistration
        messages, but a dead workstation sends nothing; the server purges
        its registrations unilaterally below. *)
-    List.iter (fun (p, _) -> ignore (Lru.remove c.cache p)) (Lru.to_list c.cache);
     List.iter
-      (fun (o, _) -> ignore (Lru.remove c.ocache o))
-      (Lru.to_list c.ocache);
+      (fun (p, _) -> ignore (Lru.remove cs.cache.(cid) p))
+      (Lru.to_list cs.cache.(cid));
+    List.iter
+      (fun (o, _) -> ignore (Lru.remove cs.ocache.(cid) o))
+      (Lru.to_list cs.ocache.(cid));
     Model.oracle_hook sys (fun o -> Oracle.History.purge_client o ~client:cid);
     (* Purging also clears references for copies still in transit, so a
        pending callback's resend loop terminates instead of re-calling a
@@ -67,9 +69,9 @@ let crash_client sys cid =
   end
 
 let restart_client sys cid =
-  let c = sys.clients.(cid) in
-  if not c.up then begin
-    c.up <- true;
+  let cs = sys.clients in
+  if not cs.up.(cid) then begin
+    cs.up.(cid) <- true;
     Trace.event sys "client %d restarted (cold cache)" cid;
     Model.tl_hook sys (fun x ->
         Tl.restart x ~client:cid ~now:(Engine.now sys.engine));
@@ -100,18 +102,21 @@ let crash_server sys sid =
        must be cancelled before the tables are purged: cancellation
        dequeues the pending lock/callback/token request, so the
        releases below wake nobody doomed. *)
-    Array.iter
-      (fun c ->
-        match c.running with
-        | Some txn
-          when (not txn.doomed)
-               && (txn.rpc_sid = sid || List.mem sid (Srv.participants sys txn))
-          ->
-          txn.doomed <- true;
-          Trace.event sys "txn %d doomed by crash of server %d" txn.tid sid;
-          Waits_for.cancel_wait sys.servers.(0).wfg txn.tid
-        | Some _ | None -> ())
-      sys.clients;
+    (* Client-array order, not hashtable order: cancelling a wait
+       schedules the victim fiber's resumption, so the iteration order
+       here is part of the event schedule and must stay deterministic. *)
+    let cs = sys.clients in
+    for cid = 0 to cs.n - 1 do
+      match cs.running.(cid) with
+      | Some txn
+        when (not txn.doomed)
+             && (txn.rpc_sid = sid || List.mem sid (Srv.participants sys txn))
+        ->
+        txn.doomed <- true;
+        Trace.event sys "txn %d doomed by crash of server %d" txn.tid sid;
+        Waits_for.cancel_wait sys.servers.(0).wfg txn.tid
+      | Some _ | None -> ()
+    done;
     (* Purge the volatile tables.  Lock holders are swept through the
        table's own per-transaction maps (the object-lock index entries
        of cancelled waiters unwind in their own fibers).  All queues
@@ -132,7 +137,7 @@ let crash_server sys sid =
       (fun tid -> Lock_table.release_all sv.plocks ~txn:tid)
       (holders sv.plocks);
     Hashtbl.reset sv.token_owner;
-    for cid = 0 to Array.length sys.clients - 1 do
+    for cid = 0 to cs.n - 1 do
       ignore (Copy_table.purge_client sv.pcopies ~client:cid);
       ignore (Copy_table.purge_client sv.ocopies ~client:cid)
     done;
@@ -146,26 +151,27 @@ let crash_server sys sid =
    inside: the enumeration and the registrations form one atomic
    snapshot of the client's cache, so a copy installed or dropped later
    is handled by the normal install/drop bookkeeping. *)
-let reconstruct_client_copies sys sv c =
+let reconstruct_client_copies sys sv cid =
+  let cs = sys.clients in
   let register = not sys.cfg.Config.srv_skip_reconstruction in
   let rows = ref 0 in
   let owned p = Model.owner_sid sys p = sv.sid in
   if Algo.page_grain_copies sys.algo then
-    Lru.iter c.cache (fun p _ ->
+    Lru.iter cs.cache.(cid) (fun p _ ->
         if owned p then begin
           incr rows;
-          if register then Copy_table.register sv.pcopies p ~client:c.cid
+          if register then Copy_table.register sv.pcopies p ~client:cid
         end)
   else if sys.algo = Algo.OS then
-    Lru.iter c.ocache (fun o _ ->
+    Lru.iter cs.ocache.(cid) (fun o _ ->
         if owned o.Ids.Oid.page then begin
           incr rows;
-          if register then Copy_table.register sv.ocopies o ~client:c.cid
+          if register then Copy_table.register sv.ocopies o ~client:cid
         end)
   else
     (* PS-OO: object-grain registrations for the available slots of
        each cached page. *)
-    Lru.iter c.cache (fun p entry ->
+    Lru.iter cs.cache.(cid) (fun p entry ->
         if owned p then
           for slot = 0 to sys.cfg.Config.objects_per_page - 1 do
             if not (Ids.Int_set.mem slot entry.unavailable) then begin
@@ -173,7 +179,7 @@ let reconstruct_client_copies sys sv c =
               if register then
                 Copy_table.register sv.ocopies
                   (Ids.Oid.make ~page:p ~slot)
-                  ~client:c.cid
+                  ~client:cid
             end
           done);
   !rows
@@ -205,21 +211,20 @@ let restart_server sys sid =
        client is asked to reconnect and re-ship its copy-table rows;
        the registration batch is atomic with the report. *)
     let total = ref 0 in
-    Array.iter
-      (fun c ->
-        if c.up then begin
-          Netlayer.control sys ~cls:Metrics.M_recover ~src:(Netlayer.Server sid)
-            ~dst:(Netlayer.Client c.cid);
-          let rows = reconstruct_client_copies sys sv c in
-          total := !total + rows;
-          Netlayer.objs_data sys ~cls:Metrics.M_recover
-            ~src:(Netlayer.Client c.cid) ~dst:(Netlayer.Server sid)
-            ~count:rows;
-          if rows > 0 then
-            Resources.Cpu.system sv.scpu
-              (float_of_int rows *. sys.cfg.Config.register_copy_inst)
-        end)
-      sys.clients;
+    let cs = sys.clients in
+    for cid = 0 to cs.n - 1 do
+      if cs.up.(cid) then begin
+        Netlayer.control sys ~cls:Metrics.M_recover ~src:(Netlayer.Server sid)
+          ~dst:(Netlayer.Client cid);
+        let rows = reconstruct_client_copies sys sv cid in
+        total := !total + rows;
+        Netlayer.objs_data sys ~cls:Metrics.M_recover
+          ~src:(Netlayer.Client cid) ~dst:(Netlayer.Server sid) ~count:rows;
+        if rows > 0 then
+          Resources.Cpu.system sv.scpu
+            (float_of_int rows *. sys.cfg.Config.register_copy_inst)
+      end
+    done;
     Model.tl_hook sys (fun x ->
         Tl.srv_reconstruct x ~sid ~rows:!total ~now:(Engine.now sys.engine));
     (* Phase 3: reopen. *)
@@ -229,27 +234,28 @@ let restart_server sys sid =
     Trace.event sys
       "server %d reopened (%d copy rows reconstructed from %d clients)" sid
       !total
-      (Array.fold_left (fun n c -> if c.up then n + 1 else n) 0 sys.clients);
+      (Array.fold_left (fun n up -> if up then n + 1 else n) 0 cs.up);
     Model.tl_hook sys (fun x -> Tl.srv_reopen x ~sid ~now);
     Faults.run_hook sys.faults "server-restart"
   end
 
 let install sys =
   let f = sys.faults in
-  if Faults.crash_faults f then
-    Array.iter
-      (fun c ->
-        Proc.spawn sys.engine (fun () ->
-            let restart_delay = (Faults.profile f).Faults.restart_delay in
-            while sys.live do
-              Proc.hold sys.engine (Faults.next_crash_delay f);
-              if sys.live && c.up then begin
-                crash_client sys c.cid;
-                Proc.hold sys.engine restart_delay;
-                if sys.live then restart_client sys c.cid
-              end
-            done))
-      sys.clients;
+  if Faults.crash_faults f then begin
+    let cs = sys.clients in
+    for cid = 0 to cs.n - 1 do
+      Proc.spawn sys.engine (fun () ->
+          let restart_delay = (Faults.profile f).Faults.restart_delay in
+          while sys.live do
+            Proc.hold sys.engine (Faults.next_crash_delay f);
+            if sys.live && cs.up.(cid) then begin
+              crash_client sys cid;
+              Proc.hold sys.engine restart_delay;
+              if sys.live then restart_client sys cid
+            end
+          done)
+    done
+  end;
   if Faults.srv_faults f then
     Array.iter
       (fun sv ->

@@ -26,18 +26,22 @@ type txn = {
   mutable rpc_sid : int;
 }
 
-type client = {
-  cid : int;
-  ccpu : Resources.Cpu.t;
-  crng : Rng.t;
-  cache : (Ids.page, page_entry) Lru.t;
-  ocache : (Ids.Oid.t, obj_entry) Lru.t;
-  mutable running : txn option;
-  mutable end_hooks : (unit -> unit) list;
-  resp_history : Stats.Welford.t;
-  mutable up : bool;
-  mutable epoch : int;
-  mutable crashed_at : float option;
+(* Per-client state in struct-of-arrays layout, indexed by client id.
+   At tens of thousands of clients the hot sweeps (liveness guards,
+   audit scans over [up]/[running]) touch one contiguous word per
+   client instead of chasing a pointer per record. *)
+type clients = {
+  n : int;
+  ccpu : Resources.Cpu.t array;
+  crng : Rng.t array;
+  cache : (Ids.page, page_entry) Lru.t array;
+  ocache : (Ids.Oid.t, obj_entry) Lru.t array;
+  running : txn option array;
+  end_hooks : (unit -> unit) list array;
+  resp_history : Stats.Welford.t array;
+  up : bool array;
+  epoch : int array;
+  crashed_at : float option array;
 }
 
 type srv_state = Srv_up | Srv_down | Srv_recovering
@@ -70,11 +74,17 @@ type sys = {
   params : Workload.Wparams.t;
   net : Resources.Network.t;
   servers : server array;
-  clients : client array;
+  clients : clients;
   metrics : Metrics.t;
   faults : Faults.t;
   oracle : Oracle.History.t option;
   timeline : Tl.t option;
+  (* Population-independent indexes over the active transactions: the
+     de-escalation path resolves lock holders by tid, and the per-update
+     isolation assertion resolves concurrent updaters by oid.  Both
+     used to scan every client. *)
+  by_tid : (int, txn) Hashtbl.t;
+  updaters : (Ids.Oid.t, txn list) Hashtbl.t;
   mutable next_tid : int;
   mutable live : bool;
 }
@@ -87,9 +97,11 @@ exception Client_crashed
     network) after the crash and must unwind without touching any
     state — the crash handler already reclaimed everything. *)
 
+let num_clients sys = sys.clients.n
+
 let txn_live sys (txn : txn) =
-  let c = sys.clients.(txn.client) in
-  c.up && c.epoch = txn.epoch
+  let cs = sys.clients in
+  cs.up.(txn.client) && cs.epoch.(txn.client) = txn.epoch
 
 let fresh_tid sys =
   let tid = sys.next_tid in
@@ -126,7 +138,44 @@ let bump_page_version sys p ~by =
   if by > 0 then
     Hashtbl.replace (server_of sys p).versions p (page_version sys p + by)
 
-let client_txn sys cid = sys.clients.(cid).running
+let client_txn sys cid = sys.clients.running.(cid)
+
+(* --- Active-transaction indexes --------------------------------------- *)
+
+let txn_of_tid sys tid = Hashtbl.find_opt sys.by_tid tid
+
+let set_running sys cid txn =
+  sys.clients.running.(cid) <- Some txn;
+  Hashtbl.replace sys.by_tid txn.tid txn
+
+(* End the client's transaction: drop it from both indexes and return
+   it.  The updater bindings are keyed by the transaction's final
+   [updated] set, so this must run before anything clears that set. *)
+let clear_running sys cid =
+  match sys.clients.running.(cid) with
+  | None -> None
+  | Some txn ->
+    sys.clients.running.(cid) <- None;
+    Hashtbl.remove sys.by_tid txn.tid;
+    Ids.Oid_set.iter
+      (fun o ->
+        match Hashtbl.find_opt sys.updaters o with
+        | None -> ()
+        | Some l -> (
+          match List.filter (fun t -> t != txn) l with
+          | [] -> Hashtbl.remove sys.updaters o
+          | l' -> Hashtbl.replace sys.updaters o l'))
+      txn.updated;
+    Some txn
+
+let note_updater sys txn oid =
+  let l =
+    match Hashtbl.find_opt sys.updaters oid with Some l -> l | None -> []
+  in
+  Hashtbl.replace sys.updaters oid (txn :: l)
+
+let updaters_of sys oid =
+  match Hashtbl.find_opt sys.updaters oid with Some l -> l | None -> []
 
 let obj_in_use txn oid =
   Ids.Oid_set.mem oid txn.read_objs || Ids.Oid_set.mem oid txn.updated
@@ -234,24 +283,36 @@ let create ~cfg ~algo ~params ~seed =
      detection sees the union (distributed deadlock detection with an
      idealized coordinator; see DESIGN.md). *)
   Locking.Waits_for.link (Array.map (fun sv -> sv.wfg) servers);
+  let n = cfg.Config.num_clients in
+  (* Field-by-field construction is effect-equivalent to the old
+     record-per-client loop: [Cpu.create] is pure allocation, so the
+     only shared-state effect is [Rng.split], and [Array.init] performs
+     its ascending per-client splits in the historical order. *)
   let clients =
-    Array.init cfg.Config.num_clients (fun cid ->
-        {
-          cid;
-          ccpu =
-            Resources.Cpu.create engine
-              ~name:(Printf.sprintf "client%d" cid)
-              ~mips:cfg.Config.client_mips;
-          crng = Rng.split rng;
-          cache = Lru.create ~capacity:(Config.client_buf_pages cfg);
-          ocache = Lru.create ~capacity:(Config.client_buf_objects cfg);
-          running = None;
-          end_hooks = [];
-          resp_history = Stats.Welford.create ();
-          up = true;
-          epoch = 0;
-          crashed_at = None;
-        })
+    let ccpu =
+      Array.init n (fun cid ->
+          Resources.Cpu.create engine
+            ~name:(Printf.sprintf "client%d" cid)
+            ~mips:cfg.Config.client_mips)
+    in
+    let crng = Array.init n (fun _ -> Rng.split rng) in
+    {
+      n;
+      ccpu;
+      crng;
+      cache =
+        Array.init n (fun _ ->
+            Lru.create ~capacity:(Config.client_buf_pages cfg));
+      ocache =
+        Array.init n (fun _ ->
+            Lru.create ~capacity:(Config.client_buf_objects cfg));
+      running = Array.make n None;
+      end_hooks = Array.make n [];
+      resp_history = Array.init n (fun _ -> Stats.Welford.create ());
+      up = Array.make n true;
+      epoch = Array.make n 0;
+      crashed_at = Array.make n None;
+    }
   in
   let timeline =
     if cfg.Config.timeline then
@@ -278,6 +339,8 @@ let create ~cfg ~algo ~params ~seed =
            Some (Oracle.History.create ~clients:cfg.Config.num_clients)
          else None);
       timeline;
+      by_tid = Hashtbl.create 256;
+      updaters = Hashtbl.create 256;
       next_tid = 1;
       live = true;
     }
@@ -298,10 +361,10 @@ let create ~cfg ~algo ~params ~seed =
           ~tracks:(Tl.trk_disks tlx ~sid:sv.sid))
       servers;
     Array.iteri
-      (fun i c ->
-        Resources.Cpu.attach_timeline c.ccpu ~timeline:tl
+      (fun i cpu ->
+        Resources.Cpu.attach_timeline cpu ~timeline:tl
           ~track:(Tl.trk_client_cpus tlx).(i))
-      clients;
+      clients.ccpu;
     Resources.Network.attach_timeline sys.net ~timeline:tl
       ~track:(Tl.trk_net tlx));
   sys

@@ -46,21 +46,27 @@ type txn = {
           they appear in any page/object set *)
 }
 
-type client = {
-  cid : int;
-  ccpu : Resources.Cpu.t;
-  crng : Rng.t;
-  cache : (Ids.page, page_entry) Lru.t;  (** page-grain cache (PS family) *)
-  ocache : (Ids.Oid.t, obj_entry) Lru.t;  (** object-grain cache (OS) *)
-  mutable running : txn option;
-  mutable end_hooks : (unit -> unit) list;
+(** Per-client state in struct-of-arrays layout, indexed by client id.
+    The SoA shape keeps the population-wide sweeps (liveness guards,
+    audit scans over [up]/[running]) to one contiguous word per client,
+    which is what makes 10k+ client runs affordable. *)
+type clients = {
+  n : int;  (** the population; every array below has this length *)
+  ccpu : Resources.Cpu.t array;
+  crng : Rng.t array;
+  cache : (Ids.page, page_entry) Lru.t array;
+      (** page-grain cache (PS family) *)
+  ocache : (Ids.Oid.t, obj_entry) Lru.t array;
+      (** object-grain cache (OS) *)
+  running : txn option array;
+  end_hooks : (unit -> unit) list array;
       (** resumers of callbacks blocked on the running transaction;
           drained when it terminates *)
-  resp_history : Stats.Welford.t;
+  resp_history : Stats.Welford.t array;
       (** all-time response times, used to size restart delays *)
-  mutable up : bool;  (** false while crashed (awaiting cold restart) *)
-  mutable epoch : int;  (** incarnation counter, bumped at each crash *)
-  mutable crashed_at : float option;
+  up : bool array;  (** false while crashed (awaiting cold restart) *)
+  epoch : int array;  (** incarnation counter, bumped at each crash *)
+  crashed_at : float option array;
       (** time of the crash that started the current outage; cleared at
           the first commit after restart (recovery-latency metric) *)
 }
@@ -119,13 +125,20 @@ type sys = {
   servers : server array;
       (** the partitioned page servers; index 0 doubles as the deadlock
           coordinator when there is more than one *)
-  clients : client array;
+  clients : clients;
   metrics : Metrics.t;
   faults : Faults.t;  (** fault-injection state (streams, counters, hook) *)
   oracle : Oracle.History.t option;
       (** history recorder, present iff [Config.oracle] *)
   timeline : Tl.t option;
       (** timeline recorder, present iff [Config.timeline] *)
+  by_tid : (int, txn) Hashtbl.t;
+      (** running transactions by tid (maintained by [set_running] /
+          [clear_running]); O(1) holder resolution for de-escalation *)
+  updaters : (Ids.Oid.t, txn list) Hashtbl.t;
+      (** running transactions with the object in their [updated] set
+          (maintained by [note_updater] / [clear_running]); O(1)
+          write-isolation assertion *)
   mutable next_tid : int;
   mutable live : bool;
       (** cleared at simulation end so client loops stop resubmitting *)
@@ -147,6 +160,7 @@ val txn_live : sys -> txn -> bool
     client crashed while one of their fibers was suspended. *)
 
 val fresh_tid : sys -> int
+val num_clients : sys -> int
 
 (** {2 Partition map}
 
@@ -175,6 +189,32 @@ val bump_page_version : sys -> Ids.page -> by:int -> unit
 
 val client_txn : sys -> int -> txn option
 (** The transaction currently running at a client, if any. *)
+
+(** {2 Active-transaction indexes}
+
+    Both indexes mirror the [running] array exactly: a transaction is
+    present while (and only while) it is some client's running
+    transaction.  All mutation goes through the three functions below
+    so the mirrors cannot drift. *)
+
+val txn_of_tid : sys -> int -> txn option
+(** The running transaction with this tid, if any — O(1), replaces the
+    all-clients scan the de-escalation path used to do. *)
+
+val set_running : sys -> int -> txn -> unit
+(** Install the client's running transaction and index it by tid. *)
+
+val clear_running : sys -> int -> txn option
+(** End the client's running transaction: clear the slot and drop the
+    tid and per-object updater bindings.  Returns the ended
+    transaction.  Must run before its [updated] set is discarded. *)
+
+val note_updater : sys -> txn -> Ids.Oid.t -> unit
+(** Record that the (running) transaction updated the object; called on
+    the first update of each object. *)
+
+val updaters_of : sys -> Ids.Oid.t -> txn list
+(** Running transactions with the object in their updated set. *)
 
 val obj_in_use : txn -> Ids.Oid.t -> bool
 (** The transaction read or updated this object (local object lock). *)

@@ -72,7 +72,7 @@ let reset_resource_stats sys =
       Resources.Cpu.reset_stats sv.scpu;
       Resources.Disk_array.reset_stats sv.sdisks)
     sys.servers;
-  Array.iter (fun c -> Resources.Cpu.reset_stats c.ccpu) sys.clients;
+  Array.iter Resources.Cpu.reset_stats sys.clients.ccpu;
   Resources.Network.reset_stats sys.net
 
 let total_deadlocks sys =
@@ -111,10 +111,10 @@ let run ?(seed = 42) ?max_events ?(warmup = 40.0) ?(measure = 200.0) ~cfg
   let clients_util =
     let s =
       Array.fold_left
-        (fun acc c -> acc +. Resources.Cpu.utilization c.ccpu)
-        0.0 sys.clients
+        (fun acc ccpu -> acc +. Resources.Cpu.utilization ccpu)
+        0.0 sys.clients.ccpu
     in
-    s /. float_of_int (Array.length sys.clients)
+    s /. float_of_int sys.clients.n
   in
   {
     algo;

@@ -218,16 +218,6 @@ let maybe_overflow sys sv ~objects =
 
 (* --- PS-AA de-escalation --------------------------------------------- *)
 
-let client_of_txn sys tid =
-  let found = ref None in
-  Array.iter
-    (fun c ->
-      match c.running with
-      | Some t when t.tid = tid -> found := Some c
-      | _ -> ())
-    sys.clients;
-  !found
-
 (* Ask the holder of a page write lock to de-escalate: it registers
    object write locks for the objects it has updated on the page and
    gives up the page lock (Section 3.3.3).  Runs at the page's owning
@@ -240,29 +230,33 @@ let deescalate_page sys p holder =
        for it to finish. *)
     Ivar.read inflight
   | None -> (
-    match client_of_txn sys holder with
+    match Model.txn_of_tid sys holder with
     | None -> () (* holder finished in the meantime *)
-    | Some hc ->
+    | Some ht ->
+      let hcid = ht.client in
       let inflight = Ivar.create sys.engine in
       Hashtbl.replace sv.deesc_inflight p inflight;
       Netlayer.control sys ~cls:Metrics.M_deescalate
-        ~src:(Netlayer.Server sv.sid) ~dst:(Netlayer.Client hc.cid);
+        ~src:(Netlayer.Server sv.sid) ~dst:(Netlayer.Client hcid);
       (* Client side: atomically convert the local bookkeeping so any
          further updates at the holder request proper object locks. *)
-      Resources.Cpu.system hc.ccpu sys.cfg.Config.lock_inst;
+      Resources.Cpu.system sys.clients.ccpu.(hcid) sys.cfg.Config.lock_inst;
+      (* Re-resolve after the suspensions above: the holder may have
+         ended (or its client started a new transaction) while the
+         message and CPU charge were in flight. *)
       let objs =
-        match hc.running with
-        | Some t when t.tid = holder && Ids.Page_set.mem p t.wpages ->
+        match Model.txn_of_tid sys holder with
+        | Some t when Ids.Page_set.mem p t.wpages ->
           let objs =
             Ids.Oid_set.filter (fun o -> o.Ids.Oid.page = p) t.updated
           in
           t.wpages <- Ids.Page_set.remove p t.wpages;
           t.wobjs <- Ids.Oid_set.union objs t.wobjs;
           objs
-        | _ -> Ids.Oid_set.empty
+        | Some _ | None -> Ids.Oid_set.empty
       in
       Netlayer.control sys ~cls:Metrics.M_deescalate_reply
-        ~src:(Netlayer.Client hc.cid) ~dst:(Netlayer.Server sv.sid);
+        ~src:(Netlayer.Client hcid) ~dst:(Netlayer.Server sv.sid);
       let n = Ids.Oid_set.cardinal objs in
       if n > 0 then begin
         scharge sv (float_of_int n *. sys.cfg.Config.deescalate_inst);
@@ -302,7 +296,7 @@ let rec deescalate_loop sys txn p =
   let sv = server_of sys p in
   match Lock_table.holder sv.plocks p with
   | Some h when h <> txn.tid -> (
-    match client_of_txn sys h with
+    match Model.txn_of_tid sys h with
     | Some _ ->
       deescalate_page sys p h;
       deescalate_loop sys txn p
@@ -347,8 +341,8 @@ let acquire_token sys txn p =
                   resume (Ok r)
                 end
               in
-              let oc = sys.clients.(owner_client) in
-              oc.end_hooks <- (fun () -> fire `Retry) :: oc.end_hooks;
+              let hooks = sys.clients.end_hooks in
+              hooks.(owner_client) <- (fun () -> fire `Retry) :: hooks.(owner_client);
               Waits_for.set_wait ~info:"token" sv.wfg txn.tid
                 ~blockers:[ t.tid ] ~cancel:(fun () -> fire `Aborted);
               ignore (Waits_for.check_deadlock sv.wfg ~from:txn.tid))
@@ -370,7 +364,7 @@ let acquire_token sys txn p =
         if txn_dead sys txn then Lock_types.Aborted
         else begin
           (* The bounce refreshed the new owner's copy. *)
-          (match Lru.peek sys.clients.(txn.client).cache p with
+          (match Lru.peek sys.clients.cache.(txn.client) p with
           | Some entry ->
             entry.fetch_version <- page_version sys p;
             Cache_ops.oracle_note_page_copy sys txn.client p entry

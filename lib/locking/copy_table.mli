@@ -11,7 +11,14 @@
     the old one releases the old copy's reference, and dropping a copy
     releases exactly one reference, so a registration in flight is
     never erased by the concurrent purge of its predecessor.  A site is
-    a callback target while it holds any reference. *)
+    a callback target while it holds any reference.
+
+    The representation is sparse: each item keeps a compact ascending
+    vector of holder sites and each site keeps an item -> refcount
+    index, so [holders]/[holders_except] cost O(holders of the item),
+    [client_copies] is O(1) and [purge_client] is O(that site's
+    copies) — population-independent, which is what makes 10k+ client
+    runs feasible. *)
 
 type 'item t
 

@@ -9,7 +9,7 @@ type 'item waiter = {
 
 type 'item entry = {
   mutable lock_holder : txn option;
-  mutable queue : 'item waiter list; (* FIFO order, head first *)
+  queue : 'item waiter Queue.t; (* FIFO order, head first *)
 }
 
 type 'item t = {
@@ -41,14 +41,15 @@ let entry t item =
   match Hashtbl.find_opt t.entries item with
   | Some e -> e
   | None ->
-    let e = { lock_holder = None; queue = [] } in
+    let e = { lock_holder = None; queue = Queue.create () } in
     Hashtbl.replace t.entries item e;
     e
 
 let entry_opt t item = Hashtbl.find_opt t.entries item
 
 let maybe_gc t item e =
-  if e.lock_holder = None && e.queue = [] then Hashtbl.remove t.entries item
+  if e.lock_holder = None && Queue.is_empty e.queue then
+    Hashtbl.remove t.entries item
 
 let record_lock t item txn =
   let existing =
@@ -69,7 +70,7 @@ let forget_lock t item txn =
 let blockers_of e w =
   let ahead = ref [] in
   (try
-     List.iter
+     Queue.iter
        (fun w' ->
          if w' == w then raise Exit
          else if w'.kind = Lock && w'.w_txn <> w.w_txn then
@@ -81,21 +82,21 @@ let blockers_of e w =
   | Some _ | None -> !ahead)
 
 let refresh_edges t e =
-  List.iter
+  Queue.iter
     (fun w -> Waits_for.update_blockers t.waits_for w.w_txn (blockers_of e w))
     e.queue
 
 (* Grant the longest grantable prefix of the queue. *)
 let rec process_queue t item e =
-  match e.queue with
-  | [] -> maybe_gc t item e
-  | w :: rest ->
+  match Queue.peek_opt e.queue with
+  | None -> maybe_gc t item e
+  | Some w ->
     let compatible =
       match e.lock_holder with None -> true | Some h -> h = w.w_txn
     in
     if not compatible then refresh_edges t e
     else begin
-      e.queue <- rest;
+      ignore (Queue.pop e.queue);
       if w.kind = Lock && e.lock_holder <> Some w.w_txn then begin
         e.lock_holder <- Some w.w_txn;
         record_lock t item w.w_txn;
@@ -107,7 +108,7 @@ let rec process_queue t item e =
     end
 
 let grantable_now e ~txn =
-  e.queue = []
+  Queue.is_empty e.queue
   && (match e.lock_holder with None -> true | Some h -> h = txn)
 
 let try_acquire t item ~txn ~kind =
@@ -140,9 +141,14 @@ let acquire t item ~txn ~kind =
     t.blocked_total <- t.blocked_total + 1;
     Proc.suspend t.engine (fun resume ->
         let w = { w_txn = txn; kind; resume } in
-        e.queue <- e.queue @ [ w ];
+        Queue.add w e.queue;
         let cancel () =
-          e.queue <- List.filter (fun w' -> not (w' == w)) e.queue;
+          (* Cancellation is rare (deadlock victim / crash), so an O(n)
+             queue rebuild here is fine; the hot path above is O(1). *)
+          let keep = Queue.create () in
+          Queue.iter (fun w' -> if not (w' == w) then Queue.add w' keep) e.queue;
+          Queue.clear e.queue;
+          Queue.transfer keep e.queue;
           w.resume (Ok Aborted);
           (* Removing a queued request may unblock its successors. *)
           process_queue t item e
@@ -208,7 +214,7 @@ let lock_count t =
     t.entries 0
 
 let waiter_count t =
-  Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.entries 0
+  Hashtbl.fold (fun _ e acc -> acc + Queue.length e.queue) t.entries 0
 
 let waits t = t.blocked_total
 
@@ -220,7 +226,7 @@ let iter_holders t f =
 
 let iter_waiters t f =
   Hashtbl.iter
-    (fun item e -> List.iter (fun w -> f item w.w_txn) e.queue)
+    (fun item e -> Queue.iter (fun w -> f item w.w_txn) e.queue)
     t.entries
 
 let dump_waiting t show =
@@ -232,11 +238,13 @@ let dump_waiting t show =
           | Some h -> string_of_int h
           | None -> "-")
           (String.concat ";"
-             (List.map
-                (fun w ->
-                  Printf.sprintf "%d%s" w.w_txn
-                    (match w.kind with Lock -> "L" | Probe -> "P"))
-                e.queue))
+             (List.rev
+                (Queue.fold
+                   (fun acc w ->
+                     Printf.sprintf "%d%s" w.w_txn
+                       (match w.kind with Lock -> "L" | Probe -> "P")
+                     :: acc)
+                   [] e.queue)))
       in
-      List.fold_left (fun acc w -> (w.w_txn, desc) :: acc) acc e.queue)
+      Queue.fold (fun acc w -> (w.w_txn, desc) :: acc) acc e.queue)
     t.entries []

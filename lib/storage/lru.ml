@@ -16,7 +16,12 @@ type ('k, 'v) t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+  (* Start the table small and let it grow: pre-sizing to [2 * capacity]
+     charges every client ~16 bytes per slot of a cache it may never
+     fill (the object cache holds thousands of slots), which at 10k+
+     clients is gigabytes of idle buckets. *)
+  let initial = min 64 (2 * capacity) in
+  { cap = capacity; table = Hashtbl.create initial; head = None; tail = None }
 
 let capacity t = t.cap
 let size t = Hashtbl.length t.table

@@ -65,6 +65,24 @@ let make ?trans_size ?page_locality ?(access_pattern = Wparams.Unclustered)
       if is_private && locality = Low then { Wparams.lo = 4; hi = 12 }
       else locality_range locality
   in
+  (* The partitioned presets carve one hot region per client out of a
+     fixed fraction of the database, so they only support a bounded
+     population; fail with the bound (rather than a bare out-of-range
+     region error from [Wparams.validate]) so large-population runs are
+     steered to the shared-region presets. *)
+  (match which with
+  | Hotcold | Private_ | Interleaved_private ->
+    let denom = match which with Hotcold -> 25 | _ -> 50 in
+    let span = db_pages / denom in
+    let supported = if span = 0 then 0 else db_pages / span in
+    if num_clients > supported then
+      invalid_arg
+        (Printf.sprintf
+           "Presets: %s gives each client a private hot region of %d pages \
+            (db_pages/%d), so at most %d clients fit a %d-page database; \
+            use UNIFORM or HICON for larger populations"
+           (name_to_string which) span denom supported db_pages)
+  | Uniform | Hicon -> ());
   let clients =
     Array.init num_clients (fun client ->
         let hot_region = hot_region_of ~db_pages ~num_clients which client in

@@ -1,0 +1,187 @@
+(* Scaling properties of the sparse copy table.
+
+   The table used to be a dense per-item [int array] over all clients;
+   the sparse rewrite (compact holder vectors + per-site item indexes)
+   must be observationally identical, so a reference model with the old
+   dense shape is driven through random register/unregister/purge
+   storms and every query compared after every step.  A separate check
+   pins the purge-client cost: purging a site must not walk the whole
+   table. *)
+
+open Locking
+
+(* --- Dense reference model ------------------------------------------------ *)
+
+module Dense = struct
+  type t = {
+    clients : int;
+    rows : (int, int array) Hashtbl.t; (* item -> per-client refcounts *)
+  }
+
+  let create ~clients = { clients; rows = Hashtbl.create 64 }
+
+  let row t item =
+    match Hashtbl.find_opt t.rows item with
+    | Some r -> r
+    | None ->
+      let r = Array.make t.clients 0 in
+      Hashtbl.replace t.rows item r;
+      r
+
+  let register t item ~client =
+    let r = row t item in
+    r.(client) <- r.(client) + 1
+
+  let unregister t item ~client =
+    match Hashtbl.find_opt t.rows item with
+    | Some r when r.(client) > 0 -> r.(client) <- r.(client) - 1
+    | Some _ | None -> ()
+
+  let refs t item ~client =
+    match Hashtbl.find_opt t.rows item with
+    | Some r -> r.(client)
+    | None -> 0
+
+  let holders t item =
+    match Hashtbl.find_opt t.rows item with
+    | None -> []
+    | Some r ->
+      let acc = ref [] in
+      for c = t.clients - 1 downto 0 do
+        if r.(c) > 0 then acc := c :: !acc
+      done;
+      !acc
+
+  let holders_except t item ~client =
+    List.filter (fun c -> c <> client) (holders t item)
+
+  let copies t =
+    Hashtbl.fold
+      (fun _ r acc ->
+        acc + Array.fold_left (fun a n -> if n > 0 then a + 1 else a) 0 r)
+      t.rows 0
+
+  let client_copies t ~client =
+    Hashtbl.fold
+      (fun _ r acc -> if r.(client) > 0 then acc + 1 else acc)
+      t.rows 0
+
+  let purge_client t ~client =
+    Hashtbl.fold
+      (fun _ r acc ->
+        if r.(client) > 0 then begin
+          r.(client) <- 0;
+          acc + 1
+        end
+        else acc)
+      t.rows 0
+end
+
+(* --- Model equivalence under random storms -------------------------------- *)
+
+type op = Register of int * int | Unregister of int * int | Purge of int
+
+let op_gen ~clients ~items =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun i c -> Register (i, c)) (int_bound (items - 1))
+            (int_bound (clients - 1)));
+        (4, map2 (fun i c -> Unregister (i, c)) (int_bound (items - 1))
+            (int_bound (clients - 1)));
+        (1, map (fun c -> Purge c) (int_bound (clients - 1)));
+      ])
+
+let show_op = function
+  | Register (i, c) -> Printf.sprintf "Register(%d,%d)" i c
+  | Unregister (i, c) -> Printf.sprintf "Unregister(%d,%d)" i c
+  | Purge c -> Printf.sprintf "Purge(%d)" c
+
+let prop_sparse_matches_dense =
+  let clients = 7 and items = 9 in
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+      QCheck.Gen.(list_size (int_range 0 120) (op_gen ~clients ~items))
+  in
+  QCheck.Test.make ~name:"sparse copy table matches dense reference" ~count:300
+    arb
+    (fun ops ->
+      let sparse = Copy_table.create ~clients in
+      let dense = Dense.create ~clients in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Register (i, c) ->
+            Copy_table.register sparse i ~client:c;
+            Dense.register dense i ~client:c
+          | Unregister (i, c) ->
+            Copy_table.unregister sparse i ~client:c;
+            Dense.unregister dense i ~client:c
+          | Purge c ->
+            let got = Copy_table.purge_client sparse ~client:c in
+            let want = Dense.purge_client dense ~client:c in
+            if got <> want then
+              QCheck.Test.fail_reportf "purge returned %d, expected %d" got
+                want);
+          (* Compare every observation the server makes. *)
+          Copy_table.copies sparse = Dense.copies dense
+          && List.for_all
+               (fun c ->
+                 Copy_table.client_copies sparse ~client:c
+                 = Dense.client_copies dense ~client:c)
+               (List.init clients Fun.id)
+          && List.for_all
+               (fun i ->
+                 Copy_table.holders sparse i = Dense.holders dense i
+                 && List.for_all
+                      (fun c ->
+                        Copy_table.refs sparse i ~client:c
+                        = Dense.refs dense i ~client:c
+                        && Copy_table.holds sparse i ~client:c
+                           = (Dense.refs dense i ~client:c > 0)
+                        && Copy_table.holders_except sparse i ~client:c
+                           = Dense.holders_except dense i ~client:c)
+                      (List.init clients Fun.id))
+               (List.init items Fun.id))
+        ops)
+
+(* --- Purge cost: no full-table walk --------------------------------------- *)
+
+(* A site's purge must cost O(that site's copies), independent of the
+   table size.  Build a table with 200k rows held by other sites, then
+   purge a site holding nothing many times over: each purge is O(1), so
+   even a slow CI box finishes far inside the bound, while a dense
+   full-table walk (2 * 10^8 row visits here) cannot. *)
+let test_purge_cost_independent_of_table () =
+  let rows = 200_000 and purges = 1_000 in
+  let ct = Copy_table.create ~clients:4 in
+  for i = 0 to rows - 1 do
+    Copy_table.register ct i ~client:(1 + (i mod 3))
+  done;
+  (* Client 0 holds a handful; the first purge returns them, the rest
+     purge an empty site. *)
+  for i = 0 to 9 do
+    Copy_table.register ct i ~client:0
+  done;
+  let t0 = Unix.gettimeofday () in
+  let first = Copy_table.purge_client ct ~client:0 in
+  for _ = 2 to purges do
+    ignore (Copy_table.purge_client ct ~client:0 : int)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "first purge returns the site's copies" 10 first;
+  Alcotest.(check int) "table untouched for other sites" rows
+    (Copy_table.copies ct);
+  if dt > 1.0 then
+    Alcotest.failf
+      "%d purges over a %d-row table took %.2fs — purge_client is walking \
+       the table"
+      purges rows dt
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_sparse_matches_dense;
+    Alcotest.test_case "purge cost independent of table size" `Quick
+      test_purge_cost_independent_of_table;
+  ]

@@ -119,11 +119,10 @@ let test_group_fetch_caches_neighbours () =
   let sys = mk_sys ~cfg Algo.OS in
   run_staggered sys [ (0.0, 0, [ read_op 5 3 ]) ];
   (* The whole page-worth of objects arrived with one fetch. *)
-  let c0 = sys.Model.clients.(0) in
+  let ocache0 = sys.Model.clients.Model.ocache.(0) in
   let cached =
     List.length
-      (List.filter (fun s -> Lru.mem c0.Model.ocache (oid 5 s))
-         (List.init 20 Fun.id))
+      (List.filter (fun s -> Lru.mem ocache0 (oid 5 s)) (List.init 20 Fun.id))
   in
   Alcotest.(check int) "group members cached" 20 cached;
   Alcotest.(check int) "one read request" 1
@@ -142,7 +141,7 @@ let test_group_fetch_skips_locked () =
   (* Client 0's group fetch of page 5 must not have received the
      write-locked object 5.0 (it was not purged at client 1 either). *)
   Alcotest.(check bool) "group fetch ran" true
-    (Lru.mem sys.Model.clients.(0).Model.ocache (oid 5 3))
+    (Lru.mem sys.Model.clients.Model.ocache.(0) (oid 5 3))
 
 let test_group_reduces_messages () =
   let run g =

@@ -208,11 +208,13 @@ let test_crash_reclaims_state () =
   let sys = mk_running_sys ~algo:Algo.PS_AA ~seed:5 in
   Simcore.Engine.run_until sys.Model.engine 10.0;
   Crash.crash_client sys 0;
-  let c = sys.Model.clients.(0) in
-  Alcotest.(check bool) "client down" false c.Model.up;
-  Alcotest.(check bool) "no running transaction" true (c.Model.running = None);
-  Alcotest.(check int) "page cache dropped" 0 (Lru.size c.Model.cache);
-  Alcotest.(check int) "object cache dropped" 0 (Lru.size c.Model.ocache);
+  let cs = sys.Model.clients in
+  Alcotest.(check bool) "client down" false cs.Model.up.(0);
+  Alcotest.(check bool)
+    "no running transaction" true
+    (cs.Model.running.(0) = None);
+  Alcotest.(check int) "page cache dropped" 0 (Lru.size cs.Model.cache.(0));
+  Alcotest.(check int) "object cache dropped" 0 (Lru.size cs.Model.ocache.(0));
   Alcotest.(check int) "page copies purged" 0
     (Locking.Copy_table.client_copies sys.Model.servers.(0).pcopies ~client:0);
   Alcotest.(check int) "object copies purged" 0
@@ -227,7 +229,7 @@ let test_crash_reclaims_state () =
   (* [crashed_at] is cleared at the first commit of the restarted
      incarnation, so this asserts the client actually recovered. *)
   Alcotest.(check bool) "restarted client committed again" true
-    (c.Model.crashed_at = None);
+    (cs.Model.crashed_at.(0) = None);
   Alcotest.(check bool) "recovery latency recorded" true
     (Faults.recoveries sys.Model.faults >= 1)
 
@@ -244,11 +246,13 @@ let test_audit_detects_corruption () =
     | exception Audit.Violation _ -> ());
     restore ()
   in
-  let c = sys.Model.clients.(0) in
-  Alcotest.(check bool) "client has cached pages" true (Lru.size c.Model.cache > 0);
+  let cs = sys.Model.clients in
+  Alcotest.(check bool)
+    "client has cached pages" true
+    (Lru.size cs.Model.cache.(0) > 0);
   expect_violation "a down client with live state"
-    (fun () -> c.Model.up <- false)
-    (fun () -> c.Model.up <- true);
+    (fun () -> cs.Model.up.(0) <- false)
+    (fun () -> cs.Model.up.(0) <- true);
   (* Unregistering a live client's copies breaks callback coverage. *)
   expect_violation "a cached page with no copy registration"
     (fun () ->

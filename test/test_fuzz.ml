@@ -62,49 +62,47 @@ let audit sys =
   if Locking.Waits_for.waiting_count sys.Model.servers.(0).wfg <> 0 then
     failwith "audit: waits-for entries leaked";
   let cached_pages = ref 0 and cached_objects = ref 0 in
-  Array.iter
-    (fun (c : Model.client) ->
-      if c.Model.running <> None then failwith "audit: transaction stuck";
-      if Algo.page_grain_copies sys.Model.algo then
-        Lru.iter c.Model.cache (fun p _ ->
-            incr cached_pages;
-            (* At quiescence the copy tables are an exact mirror: one
-               reference per cached copy, none in flight. *)
-            if
-              Locking.Copy_table.refs sys.Model.servers.(0).pcopies p
-                ~client:c.Model.cid
-              <> 1
-            then failwith "audit: cached page not registered exactly once")
-      else if sys.Model.algo = Algo.OS then
-        Lru.iter c.Model.ocache (fun o _ ->
+  let cs = sys.Model.clients in
+  for cid = 0 to cs.Model.n - 1 do
+    if cs.Model.running.(cid) <> None then failwith "audit: transaction stuck";
+    if Algo.page_grain_copies sys.Model.algo then
+      Lru.iter cs.Model.cache.(cid) (fun p _ ->
+          incr cached_pages;
+          (* At quiescence the copy tables are an exact mirror: one
+             reference per cached copy, none in flight. *)
+          if
+            Locking.Copy_table.refs sys.Model.servers.(0).pcopies p ~client:cid
+            <> 1
+          then failwith "audit: cached page not registered exactly once")
+    else if sys.Model.algo = Algo.OS then
+      Lru.iter cs.Model.ocache.(cid) (fun o _ ->
+          incr cached_objects;
+          if
+            Locking.Copy_table.refs sys.Model.servers.(0).ocopies o ~client:cid
+            <> 1
+          then failwith "audit: cached object not registered exactly once")
+    else
+      (* PS-OO: every available object of every cached page holds
+         exactly one reference; marked slots hold none. *)
+      Lru.iter cs.Model.cache.(cid) (fun p entry ->
+          for slot = 0 to sys.Model.cfg.Config.objects_per_page - 1 do
+            let o = Ids.Oid.make ~page:p ~slot in
+            let expect =
+              if Ids.Int_set.mem slot entry.Model.unavailable then 0 else 1
+            in
             incr cached_objects;
-            if
+            let got =
               Locking.Copy_table.refs sys.Model.servers.(0).ocopies o
-                ~client:c.Model.cid
-              <> 1
-            then failwith "audit: cached object not registered exactly once")
-      else
-        (* PS-OO: every available object of every cached page holds
-           exactly one reference; marked slots hold none. *)
-        Lru.iter c.Model.cache (fun p entry ->
-            for slot = 0 to sys.Model.cfg.Config.objects_per_page - 1 do
-              let o = Ids.Oid.make ~page:p ~slot in
-              let expect =
-                if Ids.Int_set.mem slot entry.Model.unavailable then 0 else 1
-              in
-              incr cached_objects;
-              let got =
-                Locking.Copy_table.refs sys.Model.servers.(0).ocopies o
-                  ~client:c.Model.cid
-              in
-              if got <> expect then
-                failwith
-                  (Printf.sprintf
-                     "audit: PS-OO object %d.%d at client %d has %d refs, \
-                      expected %d"
-                     p slot c.Model.cid got expect)
-            done))
-    sys.Model.clients;
+                ~client:cid
+            in
+            if got <> expect then
+              failwith
+                (Printf.sprintf
+                   "audit: PS-OO object %d.%d at client %d has %d refs, \
+                    expected %d"
+                   p slot cid got expect)
+          done)
+  done;
   (* No registrations beyond the cached copies. *)
   if Algo.page_grain_copies sys.Model.algo then begin
     if Locking.Copy_table.copies sys.Model.servers.(0).pcopies <> !cached_pages then

@@ -69,12 +69,11 @@ let test_netlayer_page_bigger_than_control () =
 (* --- Cache_ops ----------------------------------------------------------- *)
 
 let mk_txn sys client =
-  let c = sys.Model.clients.(client) in
   let txn =
     {
       Model.tid = Model.fresh_tid sys;
       client;
-      epoch = sys.Model.clients.(client).Model.epoch;
+      epoch = sys.Model.clients.Model.epoch.(client);
       ops = [||];
       started = 0.0;
       first_started = 0.0;
@@ -88,17 +87,17 @@ let mk_txn sys client =
       rpc_sid = -1;
     }
   in
-  c.Model.running <- Some txn;
+  Model.set_running sys client txn;
   txn
 
 let test_install_page_fresh () =
   let sys = mk_sys () in
-  let c = sys.Model.clients.(0) in
+  let cache = sys.Model.clients.Model.cache.(0) in
   let txn = mk_txn sys 0 in
   let unavailable = Ids.Int_set.of_list [ 3; 7 ] in
-  let evicted = Cache_ops.install_page sys c txn 5 ~unavailable ~version:4 in
+  let evicted = Cache_ops.install_page sys 0 txn 5 ~unavailable ~version:4 in
   Alcotest.(check bool) "no eviction" true (evicted = None);
-  match Lru.peek c.Model.cache 5 with
+  match Lru.peek cache 5 with
   | Some e ->
     Alcotest.(check bool) "unavailable kept" true
       (Ids.Int_set.equal e.Model.unavailable unavailable);
@@ -117,9 +116,7 @@ let test_read_registers_object_copies () =
   Model.index_obj_lock sys.Model.servers.(0) (oid 5 3);
   (match run_fiber sys (fun () -> Srv.read_rpc sys txn (oid 5 0)) with
   | Srv.R_page { unavailable; version } ->
-    ignore
-      (Cache_ops.install_page sys sys.Model.clients.(0) txn 5 ~unavailable
-         ~version)
+    ignore (Cache_ops.install_page sys 0 txn 5 ~unavailable ~version)
   | _ -> Alcotest.fail "expected page");
   Alcotest.(check int) "available object registered once" 1
     (Locking.Copy_table.refs sys.Model.servers.(0).ocopies (oid 5 0) ~client:0);
@@ -128,22 +125,22 @@ let test_read_registers_object_copies () =
 
 let test_install_page_merges_local_dirty () =
   let sys = mk_sys () in
-  let c = sys.Model.clients.(0) in
+  let cache = sys.Model.clients.Model.cache.(0) in
   let txn = mk_txn sys 0 in
   run_fiber sys (fun () ->
       ignore
-        (Cache_ops.install_page sys c txn 5 ~unavailable:Ids.Int_set.empty
+        (Cache_ops.install_page sys 0 txn 5 ~unavailable:Ids.Int_set.empty
            ~version:0);
-      (match Lru.peek c.Model.cache 5 with
+      (match Lru.peek cache 5 with
       | Some e -> e.Model.dirty <- Ids.Int_set.of_list [ 2 ]
       | None -> assert false);
       (* Re-receive with slot 2 marked unavailable by the server: the
          local uncommitted update must stay visible/available. *)
       ignore
-        (Cache_ops.install_page sys c txn 5
+        (Cache_ops.install_page sys 0 txn 5
            ~unavailable:(Ids.Int_set.of_list [ 2; 9 ])
            ~version:3));
-  (match Lru.peek c.Model.cache 5 with
+  (match Lru.peek cache 5 with
   | Some e ->
     Alcotest.(check bool) "own update stays available" false
       (Ids.Int_set.mem 2 e.Model.unavailable);
@@ -155,24 +152,24 @@ let test_install_page_merges_local_dirty () =
 
 let test_install_page_eviction_reports_dirty () =
   let sys = mk_sys () in
-  let c = sys.Model.clients.(0) in
+  let cache = sys.Model.clients.Model.cache.(0) in
   let txn = mk_txn sys 0 in
-  let cap = Lru.capacity c.Model.cache in
+  let cap = Lru.capacity cache in
   (* Fill the cache, dirty page 0, then overflow. *)
   for p = 0 to cap - 1 do
     ignore
-      (Cache_ops.install_page sys c txn p ~unavailable:Ids.Int_set.empty
+      (Cache_ops.install_page sys 0 txn p ~unavailable:Ids.Int_set.empty
          ~version:0)
   done;
-  (match Lru.peek c.Model.cache 0 with
+  (match Lru.peek cache 0 with
   | Some e -> e.Model.dirty <- Ids.Int_set.of_list [ 1 ]
   | None -> assert false);
-  Lru.touch c.Model.cache 0;
+  Lru.touch cache 0;
   (* Insert enough fresh pages to evict page 0 (now MRU, evicted last). *)
   let shipped = ref [] in
   for p = cap to 2 * cap do
     match
-      Cache_ops.install_page sys c txn p ~unavailable:Ids.Int_set.empty
+      Cache_ops.install_page sys 0 txn p ~unavailable:Ids.Int_set.empty
         ~version:0
     with
     | Some (victim, dirty, _) -> shipped := (victim, dirty) :: !shipped
@@ -185,21 +182,21 @@ let test_install_page_eviction_reports_dirty () =
 
 let test_drop_page_protects_dirty () =
   let sys = mk_sys () in
-  let c = sys.Model.clients.(0) in
+  let cache = sys.Model.clients.Model.cache.(0) in
   let txn = mk_txn sys 0 in
   ignore
-    (Cache_ops.install_page sys c txn 5 ~unavailable:Ids.Int_set.empty
+    (Cache_ops.install_page sys 0 txn 5 ~unavailable:Ids.Int_set.empty
        ~version:0);
-  (match Lru.peek c.Model.cache 5 with
+  (match Lru.peek cache 5 with
   | Some e -> e.Model.dirty <- Ids.Int_set.of_list [ 0 ]
   | None -> assert false);
   Alcotest.(check bool) "dirty drop rejected" true
     (try
-       Cache_ops.drop_page sys c 5 ~discard_dirty:false;
+       Cache_ops.drop_page sys 0 5 ~discard_dirty:false;
        false
      with Invalid_argument _ -> true);
-  Cache_ops.drop_page sys c 5 ~discard_dirty:true;
-  Alcotest.(check bool) "dropped" false (Lru.mem c.Model.cache 5)
+  Cache_ops.drop_page sys 0 5 ~discard_dirty:true;
+  Alcotest.(check bool) "dropped" false (Lru.mem cache 5)
 
 (* --- Cb (direct) ----------------------------------------------------------- *)
 
@@ -213,25 +210,25 @@ let test_cb_not_cached () =
 
 let test_cb_adaptive_purges_idle () =
   let sys = mk_sys () in
-  let c = sys.Model.clients.(1) in
+  let cache = sys.Model.clients.Model.cache.(1) in
   let txn = mk_txn sys 1 in
   ignore
-    (Cache_ops.install_page sys c txn 5 ~unavailable:Ids.Int_set.empty
+    (Cache_ops.install_page sys 1 txn 5 ~unavailable:Ids.Int_set.empty
        ~version:0);
-  c.Model.running <- None;
+  ignore (Model.clear_running sys 1);
   (* txn over, page idle *)
   let r =
     run_fiber sys (fun () -> Cb.handle sys ~sv:sys.Model.servers.(0) ~client:1 ~writer:99 (Cb.Adaptive (oid 5 0)))
   in
   Alcotest.(check bool) "purged" true (r = Cb.Purged);
-  Alcotest.(check bool) "gone" false (Lru.mem c.Model.cache 5)
+  Alcotest.(check bool) "gone" false (Lru.mem cache 5)
 
 let test_cb_adaptive_marks_in_use () =
   let sys = mk_sys () in
-  let c = sys.Model.clients.(1) in
+  let cache = sys.Model.clients.Model.cache.(1) in
   let txn = mk_txn sys 1 in
   ignore
-    (Cache_ops.install_page sys c txn 5 ~unavailable:Ids.Int_set.empty
+    (Cache_ops.install_page sys 1 txn 5 ~unavailable:Ids.Int_set.empty
        ~version:0);
   (* The running txn uses another object of the page. *)
   txn.Model.read_objs <- Ids.Oid_set.singleton (oid 5 1);
@@ -240,7 +237,7 @@ let test_cb_adaptive_marks_in_use () =
     run_fiber sys (fun () -> Cb.handle sys ~sv:sys.Model.servers.(0) ~client:1 ~writer:99 (Cb.Adaptive (oid 5 0)))
   in
   Alcotest.(check bool) "marked" true (r = Cb.Marked);
-  (match Lru.peek c.Model.cache 5 with
+  (match Lru.peek cache 5 with
   | Some e ->
     Alcotest.(check bool) "slot marked" true (Ids.Int_set.mem 0 e.Model.unavailable)
   | None -> Alcotest.fail "page purged instead of marked")

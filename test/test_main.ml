@@ -10,6 +10,7 @@ let () =
       ("resources", Test_resources.suite);
       ("storage", Test_storage.suite);
       ("locking", Test_locking.suite);
+      ("copy-scale", Test_copy_scale.suite);
       ("workload", Test_workload.suite);
       ("core-units", Test_core_units.suite);
       ("kernel-units", Test_kernel_units.suite);

@@ -60,23 +60,30 @@ let audit sys =
     + Locking.Lock_table.waiter_count sys.Model.servers.(0).olocks);
   Alcotest.(check int) "no waiting txns" 0
     (Locking.Waits_for.waiting_count sys.Model.servers.(0).wfg);
-  Array.iter
-    (fun (c : Model.client) ->
-      Alcotest.(check bool) "client idle" true (c.Model.running = None);
-      (* Page-grain copy tracking must match the cache exactly. *)
-      if Algo.page_grain_copies sys.Model.algo then
-        Lru.iter c.Model.cache (fun p _ ->
-            if not (Locking.Copy_table.holds sys.Model.servers.(0).pcopies p ~client:c.Model.cid)
-            then Alcotest.failf "cached page %d not registered" p);
-      if sys.Model.algo = Algo.OS then
-        Lru.iter c.Model.ocache (fun o _ ->
-            if not (Locking.Copy_table.holds sys.Model.servers.(0).ocopies o ~client:c.Model.cid)
-            then
-              Alcotest.failf "cached object %d.%d not registered" o.Ids.Oid.page
-                o.Ids.Oid.slot))
-    sys.Model.clients
+  let cs = sys.Model.clients in
+  for cid = 0 to cs.Model.n - 1 do
+    Alcotest.(check bool) "client idle" true (cs.Model.running.(cid) = None);
+    (* Page-grain copy tracking must match the cache exactly. *)
+    if Algo.page_grain_copies sys.Model.algo then
+      Lru.iter cs.Model.cache.(cid) (fun p _ ->
+          if
+            not
+              (Locking.Copy_table.holds sys.Model.servers.(0).pcopies p
+                 ~client:cid)
+          then Alcotest.failf "cached page %d not registered" p);
+    if sys.Model.algo = Algo.OS then
+      Lru.iter cs.Model.ocache.(cid) (fun o _ ->
+          if
+            not
+              (Locking.Copy_table.holds sys.Model.servers.(0).ocopies o
+                 ~client:cid)
+          then
+            Alcotest.failf "cached object %d.%d not registered" o.Ids.Oid.page
+              o.Ids.Oid.slot)
+  done
 
-let cache_entry sys client p = Lru.peek sys.Model.clients.(client).Model.cache p
+let cache_entry sys client p =
+  Lru.peek sys.Model.clients.Model.cache.(client) p
 let caches_page sys client p = cache_entry sys client p <> None
 
 let slot_unavailable sys client p s =
@@ -111,11 +118,11 @@ let test_os_callback_purges_object_only () =
       (0.0, 1, [ read_op 5 0; read_op 5 1 ]);
       (1.0, 0, [ read_op 5 0; write_op 5 0 ]);
     ];
-  let c1 = sys.Model.clients.(1) in
+  let ocache1 = sys.Model.clients.Model.ocache.(1) in
   Alcotest.(check bool) "victim object purged" false
-    (Lru.mem c1.Model.ocache (oid 5 0));
+    (Lru.mem ocache1 (oid 5 0));
   Alcotest.(check bool) "other object survives" true
-    (Lru.mem c1.Model.ocache (oid 5 1));
+    (Lru.mem ocache1 (oid 5 1));
   audit sys
 
 (* --- PS-OO: marks objects, never purges pages ----------------------------- *)

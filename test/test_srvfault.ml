@@ -132,17 +132,16 @@ let test_crash_purges_server () =
     (Locking.Lock_table.lock_count sv.Model.plocks);
   Alcotest.(check int) "object locks purged" 0
     (Locking.Lock_table.lock_count sv.Model.olocks);
-  Array.iter
-    (fun (c : Model.client) ->
-      Alcotest.(check int)
-        (Printf.sprintf "client %d page copies purged" c.Model.cid)
-        0
-        (Locking.Copy_table.client_copies sv.Model.pcopies ~client:c.Model.cid);
-      Alcotest.(check int)
-        (Printf.sprintf "client %d object copies purged" c.Model.cid)
-        0
-        (Locking.Copy_table.client_copies sv.Model.ocopies ~client:c.Model.cid))
-    sys.Model.clients;
+  for cid = 0 to sys.Model.clients.Model.n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "client %d page copies purged" cid)
+      0
+      (Locking.Copy_table.client_copies sv.Model.pcopies ~client:cid);
+    Alcotest.(check int)
+      (Printf.sprintf "client %d object copies purged" cid)
+      0
+      (Locking.Copy_table.client_copies sv.Model.ocopies ~client:cid)
+  done;
   Alcotest.(check int) "write tokens returned" 0
     (Hashtbl.length sv.Model.token_owner);
   Alcotest.(check int) "buffer pool cold" 0
