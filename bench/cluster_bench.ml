@@ -1,0 +1,80 @@
+(* Clustering-sensitivity benchmark: the generic OCB cell (write
+   probability 0.2, theta 0) for every protocol under each placement
+   policy, reporting simulator events/sec (host-side cost of the
+   generic generator) alongside simulated throughput, response p99 and
+   callback blocks (model-side effect of clustering quality).
+
+   Each line of output is a JSON object; paste the numbers into
+   BENCH_cluster.json (see that file for the recording convention).
+
+   CLUSTER_BENCH_MEASURE scales the simulated measurement window in
+   seconds (default 60; CI smoke uses 5).
+
+   Regenerating BENCH_cluster.json:
+
+     dune build bench/cluster_bench.exe
+     for i in 1 2 3; do
+       CLUSTER_BENCH_MEASURE=120 ./_build/default/bench/cluster_bench.exe
+     done
+
+   Take the best events_per_sec per cell; tps/resp_p99/cb_blocks are
+   deterministic per cell, so any run supplies them.  The ordering to
+   check: page-grain PS loses the most throughput from dfs to scatter,
+   the object-grain protocols (OS, PS-OO) the least. *)
+
+open Oodb_core
+
+let measure_s =
+  match Sys.getenv_opt "CLUSTER_BENCH_MEASURE" with
+  | Some s -> (try max 1.0 (float_of_string s) with _ -> 60.0)
+  | None -> 60.0
+
+let warmup_s = 5.0
+let seed = 42
+
+let cell ~policy ~algo =
+  let cfg = Config.default in
+  let params = Experiments.cluster_params ~policy ~theta:0.0 in
+  let quality =
+    match params.Workload.Wparams.generic with
+    | Some g -> Workload.Generic.quality g
+    | None -> assert false
+  in
+  let sys = Model.create ~cfg ~algo ~params ~seed in
+  Netlayer.install_edge_exchange sys;
+  Client.start sys;
+  Crash.install sys;
+  let engine = sys.Model.engine in
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  Simcore.Engine.run_until engine warmup_s;
+  Metrics.reset sys.Model.metrics ~now:warmup_s;
+  Simcore.Engine.run_until engine (warmup_s +. measure_s);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  sys.Model.live <- false;
+  let m = sys.Model.metrics in
+  let commits = Metrics.commits m in
+  assert (commits > 0);
+  let events = Simcore.Engine.events_processed engine in
+  Printf.printf
+    "{\"bench\": \"cluster_cell\", \"policy\": \"%s\", \"quality\": %.4f, \
+     \"algo\": \"%s\", \"events\": %d, \"wall_s\": %.4f, \"events_per_sec\": \
+     %.0f, \"commits\": %d, \"tps\": %.2f, \"resp_p99_ms\": %.1f, \
+     \"cb_blocks\": %d}\n\
+     %!"
+    (Workload.Placement.name policy)
+    quality (Algo.to_string algo) events wall_s
+    (float_of_int events /. wall_s)
+    commits
+    (Metrics.throughput m ~now:(warmup_s +. measure_s))
+    (1000.0 *. Metrics.response_quantile m 0.99)
+    (Metrics.callback_blocks m)
+
+let () =
+  Printf.printf
+    "# cluster_bench: measure=%.0fs sim (CLUSTER_BENCH_MEASURE to change)\n%!"
+    measure_s;
+  List.iter
+    (fun policy ->
+      List.iter (fun algo -> cell ~policy ~algo) Algo.all)
+    Experiments.cluster_policies

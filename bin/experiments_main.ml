@@ -94,6 +94,21 @@ let write_srvfault_timelines ~dir (series : Experiments.srvfault_series) =
         p.Experiments.svresults)
     series.Experiments.svpoints
 
+let write_cluster_timelines ~dir (series : Experiments.cluster_series) =
+  mkdir_p dir;
+  List.iter
+    (fun (p : Experiments.cluster_point) ->
+      List.iter
+        (fun (algo, r) ->
+          write_timeline ~dir ~id:"clustersweep"
+            ~coord:
+              (Printf.sprintf "%s-z%.2f"
+                 (Workload.Placement.name p.Experiments.cpolicy)
+                 p.Experiments.ctheta)
+            algo r)
+        p.Experiments.cresults)
+    series.Experiments.cpoints
+
 let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
     ?(percentiles = false) ~njobs ~csv_dir ~detail id =
   match id with
@@ -138,6 +153,22 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
     | None -> true
     | Some dir ->
       write_csv ~dir ~id:"srvfaultsweep" (Report.srvfault_series_to_csv series))
+  | "clustersweep" ->
+    let progress j r =
+      Format.printf "  %s@.%!" (Experiments.progress_line j r)
+    in
+    let jobs =
+      Experiments.cluster_jobs ~time_scale ~oracle
+        ~timeline:(timeline_dir <> None) ()
+    in
+    let results = Harness.Pool.run ~jobs:njobs ~progress jobs in
+    let series = Experiments.cluster_series_of_results results in
+    Format.printf "%a@." Report.pp_cluster_series series;
+    Option.iter (fun dir -> write_cluster_timelines ~dir series) timeline_dir;
+    (match csv_dir with
+    | None -> true
+    | Some dir ->
+      write_csv ~dir ~id:"clustersweep" (Report.cluster_series_to_csv series))
   | "shardsweep" ->
     let progress j r =
       Format.printf "  %s@.%!" (Experiments.progress_line j r)
@@ -178,7 +209,7 @@ let run_figure ?(time_scale = 1.0) ?(oracle = false) ?timeline_dir
 let all_ids =
   [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
     "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "faultsweep";
-    "shardsweep"; "srvfaultsweep" ]
+    "shardsweep"; "srvfaultsweep"; "clustersweep" ]
 
 let run ids time_scale oracle timeline_dir percentiles njobs csv_dir detail =
   let ids = if ids = [] then all_ids else ids in
@@ -212,7 +243,7 @@ let ids_t =
     & info [] ~docv:"ID"
         ~doc:
           "Experiment ids (fig3..fig14, table1, table2, faultsweep, \
-           shardsweep, srvfaultsweep); all when omitted")
+           shardsweep, srvfaultsweep, clustersweep); all when omitted")
 
 let time_scale_t =
   Arg.(

@@ -46,6 +46,62 @@ let partition_conv =
         Format.pp_print_string ppf
           (match p with Oodb_core.Config.Hash -> "hash" | Oodb_core.Config.Range -> "range") )
 
+let placement_conv =
+  let parse s =
+    match Workload.Placement.of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown placement policy %S (seq|dfs|scatter)" s))
+  in
+  Arg.conv
+    (parse, fun ppf p -> Format.pp_print_string ppf (Workload.Placement.name p))
+
+(* "60/20/20" — traversal/match/update weights. *)
+let mix_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ a; b; c ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      | Some traversal, Some match_, Some update ->
+        Ok { Workload.Generic.traversal; match_; update }
+      | _ -> Error (`Msg (Printf.sprintf "bad mix %S (expected T/M/U)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad mix %S (expected T/M/U)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf (m : Workload.Generic.mix) ->
+        Format.fprintf ppf "%d/%d/%d" m.traversal m.match_ m.update )
+
+(* "period:amp", e.g. "60:0.5". *)
+let diurnal_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ p; a ] -> (
+      match (float_of_string_opt p, float_of_string_opt a) with
+      | Some period, Some amp -> Ok (period, amp)
+      | _ -> Error (`Msg (Printf.sprintf "bad diurnal %S (expected PERIOD:AMP)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad diurnal %S (expected PERIOD:AMP)" s))
+  in
+  Arg.conv (parse, fun ppf (p, a) -> Format.fprintf ppf "%g:%g" p a)
+
+(* "at:duration:boost", e.g. "40:20:3". *)
+let flash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ at; d; b ] -> (
+      match
+        (float_of_string_opt at, float_of_string_opt d, float_of_string_opt b)
+      with
+      | Some at, Some duration, Some boost -> Ok (at, duration, boost)
+      | _ ->
+        Error (`Msg (Printf.sprintf "bad flash %S (expected AT:DURATION:BOOST)" s)))
+    | _ ->
+      Error (`Msg (Printf.sprintf "bad flash %S (expected AT:DURATION:BOOST)" s))
+  in
+  Arg.conv (parse, fun ppf (a, d, b) -> Format.fprintf ppf "%g:%g:%g" a d b)
+
 let locality_conv =
   let parse = function
     | "low" -> Ok Workload.Presets.Low
@@ -106,7 +162,9 @@ let run algo workload locality write_probs clients db_scale servers partition
     seed njobs warmup measure verbose trace oracle oracle_dump_dir
     timeline_file percentiles crash_rate restart_delay msg_loss msg_dup
     disk_stall srv_crash_rate srv_restart_delay log_flush
-    skip_reconstruction max_events =
+    skip_reconstruction max_events generic objects classes fanout graph_depth
+    placement zipf mix traversal_depth match_size update_size think diurnal
+    flash =
   if trace then Oodb_core.Trace.setup ~level:(Some Logs.Debug);
   let write_probs = if write_probs = [] then [ 0.1 ] else write_probs in
   let faults =
@@ -147,13 +205,47 @@ let run algo workload locality write_probs clients db_scale servers partition
   let jobs =
     try
       Config.validate cfg;
-      List.map
-        (fun write_prob ->
+      let arrival =
+        match (diurnal, flash) with
+        | None, None -> None
+        | _ ->
+          let a = Workload.Arrival.off in
+          let a =
+            match diurnal with
+            | None -> a
+            | Some (diurnal_period, diurnal_amp) ->
+              { a with Workload.Arrival.diurnal_period; diurnal_amp }
+          in
+          let a =
+            match flash with
+            | None -> a
+            | Some (flash_at, flash_duration, flash_boost) ->
+              { a with Workload.Arrival.flash_at; flash_duration; flash_boost }
+          in
+          Some a
+      in
+      let mk_params write_prob =
+        if generic then
+          Workload.Presets.ocb ?objects ?classes ?fanout ?depth:graph_depth
+            ?policy:placement ?theta:zipf ?mix ?traversal_depth ?match_size
+            ?update_size ~think_time:think ?arrival ~db_pages:cfg.Config.db_pages
+            ~objects_per_page:cfg.Config.objects_per_page
+            ~num_clients:cfg.Config.num_clients ~write_prob ()
+        else
           let params =
-            Workload.Presets.make workload ~db_pages:cfg.Config.db_pages
+            Workload.Presets.make ~think_time:think workload
+              ~db_pages:cfg.Config.db_pages
               ~objects_per_page:cfg.Config.objects_per_page
               ~num_clients:cfg.Config.num_clients ~locality ~write_prob
           in
+          (* Traffic shapes compose with the presets too; [None] keeps
+             the paper's constant arrival rate. *)
+          Option.iter Workload.Arrival.validate arrival;
+          { params with Workload.Wparams.arrival }
+      in
+      List.map
+        (fun write_prob ->
+          let params = mk_params write_prob in
           Job.make ~base_seed:seed ?max_events ~sweep:"oodbsim"
             ~label:(Printf.sprintf "wp=%.3f" write_prob)
             ~cfg ~algo ~params ~warmup ~measure ())
@@ -401,6 +493,125 @@ let skip_reconstruction_t =
            go unnoticed.  Exists to prove the serializability oracle \
            catches the resulting anomalies; pair with --oracle.")
 
+let generic_t =
+  Arg.(
+    value & flag
+    & info [ "generic" ]
+        ~doc:
+          "Use the OCB-style generic object-base workload instead of a \
+           preset: a seed-deterministic class/reference graph laid out by a \
+           clustering policy, driven by a traversal/match/update transaction \
+           mix.  The $(b,--workload)/$(b,--locality) presets are ignored; \
+           shape it with $(b,--objects), $(b,--classes), $(b,--fanout), \
+           $(b,--graph-depth), $(b,--placement), $(b,--zipf), $(b,--mix), \
+           $(b,--traversal-depth), $(b,--match-size), $(b,--update-size).")
+
+let objects_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "objects" ] ~docv:"N"
+        ~doc:"Generic workload: object-base size (default 25000)")
+
+let classes_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "classes" ] ~docv:"N"
+        ~doc:"Generic workload: number of classes (default 20)")
+
+let fanout_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fanout" ] ~docv:"N"
+        ~doc:
+          "Generic workload: mean inter-object references per non-leaf \
+           object (default 3)")
+
+let graph_depth_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "graph-depth" ] ~docv:"N"
+        ~doc:"Generic workload: reference-graph depth in levels (default 8)")
+
+let placement_t =
+  Arg.(
+    value
+    & opt (some placement_conv) None
+    & info [ "placement" ] ~docv:"POLICY"
+        ~doc:
+          "Generic workload: object-placement (clustering) policy — \
+           $(b,seq) (creation order), $(b,dfs) (depth-first by reference, \
+           the default) or $(b,scatter) (random, worst-case clustering)")
+
+let zipf_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "zipf" ] ~docv:"THETA"
+        ~doc:
+          "Generic workload: Zipf skew of hotspot object/root selection \
+           (0 = uniform, the default; larger = hotter)")
+
+let mix_t =
+  Arg.(
+    value
+    & opt (some mix_conv) None
+    & info [ "mix" ] ~docv:"T/M/U"
+        ~doc:
+          "Generic workload: relative weights of traversal, match and \
+           update transactions (default 60/20/20)")
+
+let traversal_depth_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "traversal-depth" ] ~docv:"N"
+        ~doc:"Generic workload: levels walked by a traversal (default 6)")
+
+let match_size_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "match-size" ] ~docv:"N"
+        ~doc:"Generic workload: instances read by a match (default 20)")
+
+let update_size_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "update-size" ] ~docv:"N"
+        ~doc:"Generic workload: objects written by an update (default 8)")
+
+let think_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "think" ] ~docv:"SECONDS"
+        ~doc:
+          "Think time between a client's transactions (sim seconds; \
+           default 0, the paper's closed zero-think loop)")
+
+let diurnal_t =
+  Arg.(
+    value
+    & opt (some diurnal_conv) None
+    & info [ "diurnal" ] ~docv:"PERIOD:AMP"
+        ~doc:
+          "Sinusoidal arrival-rate modulation: one cycle every PERIOD sim \
+           seconds with amplitude AMP in [0,1) (think times divide by the \
+           instantaneous rate factor)")
+
+let flash_t =
+  Arg.(
+    value
+    & opt (some flash_conv) None
+    & info [ "flash" ] ~docv:"AT:DURATION:BOOST"
+        ~doc:
+          "Flash crowd: multiply the arrival rate by BOOST during \
+           [AT, AT+DURATION) sim seconds")
+
 let max_events_t =
   Arg.(
     value
@@ -423,6 +634,9 @@ let cmd =
       $ oracle_dump_dir_t $ timeline_t $ percentiles_t $ crash_rate_t
       $ restart_delay_t $ msg_loss_t $ msg_dup_t $ disk_stall_t
       $ srv_crash_rate_t $ srv_restart_delay_t $ log_flush_t
-      $ skip_reconstruction_t $ max_events_t)
+      $ skip_reconstruction_t $ max_events_t $ generic_t $ objects_t
+      $ classes_t $ fanout_t $ graph_depth_t $ placement_t $ zipf_t $ mix_t
+      $ traversal_depth_t $ match_size_t $ update_size_t $ think_t $ diurnal_t
+      $ flash_t)
 
 let () = exit (Cmd.eval cmd)

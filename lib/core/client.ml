@@ -410,6 +410,14 @@ let client_loop sys cid ~epoch =
       in
       attempt sys cid ops ~first_started:(Engine.now sys.engine) ~restarts:0;
       let think = sys.params.Workload.Wparams.think_time in
+      (* Traffic-shape modulation only applies when an arrival profile is
+         set, so the default path holds for exactly [think]. *)
+      let think =
+        match sys.params.Workload.Wparams.arrival with
+        | None -> think
+        | Some a ->
+          Workload.Arrival.think a ~base:think ~now:(Engine.now sys.engine)
+      in
       if think > 0.0 then Proc.hold sys.engine think else Proc.yield sys.engine
     with Client_crashed -> ()
   done

@@ -314,6 +314,111 @@ let srvfault_series_of_results results =
         srvfault_rates chunks;
   }
 
+(* --- Cluster sweep (generic-workload clustering experiment) ------------- *)
+
+(* The OCB-style generic workload rerun under each placement policy and
+   two hotspot skews: how much each protocol pays for a badly clustered
+   object base.  Page-grain PS feels declustering through false sharing
+   (traversal working sets smear across pages), while the object-grain
+   protocols should stay comparatively flat.  Policies are ordered from
+   best to worst expected clustering quality. *)
+let cluster_policies = [ Placement.Dfs_ref; Placement.Sequential;
+                         Placement.Scatter ]
+
+let cluster_thetas = [ 0.0; 0.8 ]
+let cluster_write_prob = 0.2
+
+type cluster_point = {
+  cpolicy : Placement.policy;
+  ctheta : float;
+  cquality : float;  (** co-resident reference-edge fraction of the layout *)
+  cresults : (Algo.t * Runner.result) list;
+}
+
+type cluster_series = { ccells : (Placement.policy * float) list;
+                        cpoints : cluster_point list }
+
+let cluster_cells () =
+  List.concat_map
+    (fun policy -> List.map (fun theta -> (policy, theta)) cluster_thetas)
+    cluster_policies
+
+(* 5000 objects = 250 pages: the whole base fits the 312-page client
+   buffer, so after warm-up the sweep is contention-bound, not
+   disk-bound — placement then moves only the page-grain lock/callback
+   footprint, which is the effect under test (a 25k-object base drowns
+   it in cold-fetch disk traffic for every protocol).  Transactions are
+   kept small (a depth-4 traversal capped at 24 objects, match 10,
+   update 4) so that true object-level conflicts stay rare and what
+   remains is page co-tenancy: ~15 objects per transaction out of 5000
+   rarely collide on objects, but at scatter they spread over ~15 of
+   250 pages, so page-grain write locks keep colliding with unrelated
+   work — the false-sharing signal. *)
+let cluster_objects = 5_000
+
+let cluster_params ~policy ~theta =
+  let cfg = Config.default in
+  Presets.ocb ~objects:cluster_objects ~policy ~theta ~traversal_depth:4
+    ~traversal_cap:24 ~match_size:10 ~update_size:4
+    ~db_pages:cfg.Config.db_pages
+    ~objects_per_page:cfg.Config.objects_per_page
+    ~num_clients:cfg.Config.num_clients ~write_prob:cluster_write_prob ()
+
+let cluster_quality ~policy ~theta =
+  match (cluster_params ~policy ~theta).Wparams.generic with
+  | Some g -> Generic.quality g
+  | None -> assert false
+
+let cluster_jobs ?(seed = 42) ?(time_scale = 1.0) ?(oracle = false)
+    ?(timeline = false) ?max_events () =
+  let cfg = { Config.default with Config.oracle; timeline } in
+  List.concat_map
+    (fun (policy, theta) ->
+      let params = cluster_params ~policy ~theta in
+      List.map
+        (fun algo ->
+          Job.make ~base_seed:seed ?max_events ~sweep:"clustersweep"
+            ~label:
+              (Printf.sprintf "%s z=%.2f %-5s" (Placement.name policy) theta
+                 (Algo.to_string algo))
+            ~cfg ~algo ~params ~warmup:(30.0 *. time_scale)
+            ~measure:(120.0 *. time_scale) ())
+        Algo.all)
+    (cluster_cells ())
+
+let cluster_series_of_results results =
+  let algos = List.length Algo.all in
+  let cells = cluster_cells () in
+  let rec chunk = function
+    | [] -> []
+    | rs ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> invalid_arg "Experiments.cluster_series_of_results: missing"
+        | r :: rest ->
+          let c, rest = take (n - 1) rest in
+          (r :: c, rest)
+      in
+      let point, rest = take algos rs in
+      point :: chunk rest
+  in
+  let chunks = chunk results in
+  if List.length chunks <> List.length cells then
+    invalid_arg "Experiments.cluster_series_of_results: result/cell mismatch";
+  {
+    ccells = cells;
+    cpoints =
+      List.map2
+        (fun (cpolicy, ctheta) rs ->
+          {
+            cpolicy;
+            ctheta;
+            cquality = cluster_quality ~policy:cpolicy ~theta:ctheta;
+            cresults = List.combine Algo.all rs;
+          })
+        cells chunks;
+  }
+
 let progress_line (j : Job.t) (r : Runner.result) =
   Printf.sprintf "%s %s: %.2f tps" j.Job.sweep j.Job.label r.Runner.throughput
 

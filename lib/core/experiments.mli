@@ -138,6 +138,51 @@ val srvfault_jobs :
 
 val srvfault_series_of_results : Runner.result list -> srvfault_series
 
+(** {2 Cluster sweep}
+
+    The clustering-sensitivity experiment: the OCB-style generic
+    workload (default knobs, wp=0.2) rerun for every protocol under
+    each placement policy and two Zipf skews.  Policies are listed
+    best-clustered first (depth-first by reference, sequential,
+    random scatter); page-grain PS should degrade fastest as
+    clustering quality drops, while the object-grain protocols stay
+    comparatively flat. *)
+
+val cluster_policies : Workload.Placement.policy list
+val cluster_thetas : float list
+val cluster_write_prob : float
+
+type cluster_point = {
+  cpolicy : Workload.Placement.policy;
+  ctheta : float;
+  cquality : float;  (** co-resident reference-edge fraction of the layout *)
+  cresults : (Algo.t * Runner.result) list;
+}
+
+type cluster_series = {
+  ccells : (Workload.Placement.policy * float) list;
+  cpoints : cluster_point list;
+}
+
+val cluster_cells : unit -> (Workload.Placement.policy * float) list
+(** Policy-major, theta-minor. *)
+
+val cluster_params :
+  policy:Workload.Placement.policy -> theta:float -> Workload.Wparams.t
+
+val cluster_jobs :
+  ?seed:int ->
+  ?time_scale:float ->
+  ?oracle:bool ->
+  ?timeline:bool ->
+  ?max_events:int ->
+  unit ->
+  Job.t list
+(** Cell-major (policy, then theta), algorithm-minor, like
+    {!jobs_of_spec}. *)
+
+val cluster_series_of_results : Runner.result list -> cluster_series
+
 val progress_line : Job.t -> Runner.result -> string
 (** One-line completion message for a cell ("fig3 wp=0.05 PS-AA: ... tps"). *)
 

@@ -399,6 +399,72 @@ let srvfault_series_to_csv (s : Experiments.srvfault_series) =
     s.svpoints;
   Buffer.contents buf
 
+(* --- Cluster sweep -------------------------------------------------------- *)
+
+let cluster_throughput (p : Experiments.cluster_point) algo =
+  match List.assoc_opt algo p.Experiments.cresults with
+  | Some r -> r.Runner.throughput
+  | None -> nan
+
+let pp_cluster_series ppf (s : Experiments.cluster_series) =
+  Format.fprintf ppf
+    "@[<v>clustersweep: OCB generic workload, placement x skew (wp=0.20)@,";
+  Format.fprintf ppf "throughput (transactions/second)@,";
+  Format.fprintf ppf "%8s%6s%6s" "policy" "z" "qual";
+  List.iter (fun a -> Format.fprintf ppf "%9s" (Algo.to_string a)) Algo.all;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (p : Experiments.cluster_point) ->
+      Format.fprintf ppf "%8s%6.2f%6.2f"
+        (Workload.Placement.name p.cpolicy)
+        p.ctheta p.cquality;
+      List.iter
+        (fun a -> Format.fprintf ppf "%9.2f" (cluster_throughput p a))
+        Algo.all;
+      Format.fprintf ppf "@,")
+    s.cpoints;
+  Format.fprintf ppf "cluster detail@,";
+  List.iter
+    (fun (p : Experiments.cluster_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Format.fprintf ppf
+            "%s z=%.2f q=%.2f %-6s tput=%6.2f commits=%5d aborts=%4d \
+             dlk=%3d cb-blk=%5d msgs/c=%6.1f p99=%6.1fms@,"
+            (Workload.Placement.name p.cpolicy)
+            p.ctheta p.cquality (Algo.to_string a) r.Runner.throughput
+            r.Runner.commits r.Runner.aborts r.Runner.deadlocks
+            r.Runner.callback_blocks r.Runner.msgs_per_commit
+            (1000.0 *. r.Runner.resp_p99))
+        p.cresults)
+    s.cpoints;
+  Format.fprintf ppf "@]"
+
+let cluster_series_to_csv (s : Experiments.cluster_series) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "policy,theta,quality,algo,throughput,resp_ms,commits,aborts,deadlocks,\
+     callback_blocks,msgs_per_commit,resp_p50_ms,resp_p99_ms,\
+     lock_wait_p99_ms\n";
+  List.iter
+    (fun (p : Experiments.cluster_point) ->
+      List.iter
+        (fun (a, (r : Runner.result)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%s,%.2f,%.4f,%s,%.4f,%.1f,%d,%d,%d,%d,%.2f,%.1f,%.1f,%.1f\n"
+               (Workload.Placement.name p.cpolicy)
+               p.ctheta p.cquality (Algo.to_string a) r.Runner.throughput
+               (1000.0 *. r.Runner.resp_mean)
+               r.Runner.commits r.Runner.aborts r.Runner.deadlocks
+               r.Runner.callback_blocks r.Runner.msgs_per_commit
+               (1000.0 *. r.Runner.resp_p50)
+               (1000.0 *. r.Runner.resp_p99)
+               (1000.0 *. r.Runner.lock_wait_p99)))
+        p.cresults)
+    s.cpoints;
+  Buffer.contents buf
+
 let pp_figure5 ppf curves =
   Format.fprintf ppf
     "@[<v>fig5: per-page update probability vs per-object write probability@,";

@@ -54,6 +54,16 @@ val pp_srvfault_series :
 val srvfault_series_to_csv : Experiments.srvfault_series -> string
 (** CSV with header [srate,algo,throughput,...,lock_wait_p99_ms]. *)
 
+val pp_cluster_series : Format.formatter -> Experiments.cluster_series -> unit
+(** Cluster sweep: throughput table (one row per placement-policy x
+    skew cell, annotated with the layout's clustering quality) plus a
+    per-cell detail listing (callback blocks, messages/commit, tail
+    response). *)
+
+val cluster_series_to_csv : Experiments.cluster_series -> string
+(** CSV with header [policy,theta,quality,algo,throughput,...,
+    lock_wait_p99_ms]. *)
+
 val pp_figure5 : Format.formatter -> (int * (float * float) list) list -> unit
 
 val pp_workload_table : Format.formatter -> Config.t -> unit

@@ -1,0 +1,64 @@
+type t = {
+  diurnal_period : float;
+  diurnal_amp : float;
+  flash_at : float;
+  flash_duration : float;
+  flash_boost : float;
+}
+
+let off =
+  {
+    diurnal_period = 0.0;
+    diurnal_amp = 0.0;
+    flash_at = 0.0;
+    flash_duration = 0.0;
+    flash_boost = 1.0;
+  }
+
+let is_off t =
+  (t.diurnal_period = 0.0 || t.diurnal_amp = 0.0)
+  && (t.flash_duration = 0.0 || t.flash_boost = 1.0)
+
+let validate t =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if t.diurnal_period < 0.0 then
+    fail "Arrival: diurnal period %.3f must be >= 0 (0 = off)" t.diurnal_period;
+  if t.diurnal_amp < 0.0 || t.diurnal_amp >= 1.0 then
+    fail
+      "Arrival: diurnal amplitude %.3f outside [0, 1) (1 would stall the \
+       trough entirely)"
+      t.diurnal_amp;
+  if t.diurnal_amp > 0.0 && t.diurnal_period = 0.0 then
+    fail "Arrival: diurnal amplitude %.3f needs a positive period"
+      t.diurnal_amp;
+  if t.flash_at < 0.0 then fail "Arrival: flash-crowd start %.3f must be >= 0" t.flash_at;
+  if t.flash_duration < 0.0 then
+    fail "Arrival: flash-crowd duration %.3f must be >= 0" t.flash_duration;
+  if t.flash_boost < 1.0 || t.flash_boost > 100.0 then
+    fail
+      "Arrival: flash-crowd boost %.3f outside [1, 100] (arrival-rate \
+       multiplier during the crowd)"
+      t.flash_boost
+
+let pi = 4.0 *. atan 1.0
+
+(* Instantaneous arrival-rate multiplier: 1.0 at rest, raised during a
+   flash crowd, modulated sinusoidally over the diurnal period. *)
+let rate_factor t ~now =
+  let diurnal =
+    if t.diurnal_period > 0.0 && t.diurnal_amp > 0.0 then
+      1.0 +. (t.diurnal_amp *. sin (2.0 *. pi *. now /. t.diurnal_period))
+    else 1.0
+  in
+  let flash =
+    if
+      t.flash_duration > 0.0 && now >= t.flash_at
+      && now < t.flash_at +. t.flash_duration
+    then t.flash_boost
+    else 1.0
+  in
+  diurnal *. flash
+
+(* Think times scale inversely with the arrival rate: a 3x crowd
+   submits three times as fast. *)
+let think t ~base ~now = base /. rate_factor t ~now

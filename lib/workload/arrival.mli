@@ -1,0 +1,29 @@
+(** Traffic-shape modulation of the client arrival path.
+
+    Two deterministic shapes compose multiplicatively on the
+    instantaneous arrival rate: a sinusoidal {e diurnal} cycle
+    ([1 + amp * sin(2*pi*now/period)]) and a {e flash crowd} that
+    multiplies the rate by [flash_boost] during
+    [\[flash_at, flash_at + flash_duration)].  Client think times are
+    divided by the combined factor.  {!off} is the identity; runs with
+    the default knobs never consult this module. *)
+
+type t = {
+  diurnal_period : float;  (** sim seconds per cycle; 0 = off *)
+  diurnal_amp : float;  (** amplitude in [0, 1) *)
+  flash_at : float;  (** crowd start, sim seconds *)
+  flash_duration : float;  (** 0 = off *)
+  flash_boost : float;  (** rate multiplier in [1, 100] *)
+}
+
+val off : t
+val is_off : t -> bool
+
+val validate : t -> unit
+(** Raises [Invalid_argument] with a friendly message on a bad knob. *)
+
+val rate_factor : t -> now:float -> float
+(** Instantaneous arrival-rate multiplier (strictly positive). *)
+
+val think : t -> base:float -> now:float -> float
+(** [base] think time scaled down by {!rate_factor}. *)

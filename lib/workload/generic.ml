@@ -1,0 +1,173 @@
+open Simcore
+
+type mix = { traversal : int; match_ : int; update : int }
+
+let default_mix = { traversal = 60; match_ = 20; update = 20 }
+
+type t = {
+  name : string;
+  base : Objbase.t;
+  policy : Placement.policy;
+  pos : int array;
+  objects_per_page : int;
+  theta : float;
+  zobj : Zipf.t;
+  zroot : Zipf.t;
+  mix : mix;
+  mix_total : int;
+  traversal_depth : int;
+  traversal_cap : int;
+  match_size : int;
+  update_size : int;
+  write_prob : float;
+  quality : float;
+}
+
+let validate_knobs ~(spec : Objbase.spec) ~mix ~traversal_depth ~traversal_cap
+    ~match_size ~update_size ~write_prob ~theta ~db_pages ~objects_per_page =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  Objbase.validate_spec spec;
+  let capacity = db_pages * objects_per_page in
+  if spec.Objbase.objects > capacity then
+    fail
+      "Generic: object base of %d objects does not fit a %d-page database \
+       with %d objects/page (%d slots); shrink --objects or grow --scale"
+      spec.Objbase.objects db_pages objects_per_page capacity;
+  if mix.traversal < 0 || mix.match_ < 0 || mix.update < 0 then
+    fail "Generic: mix weights must be non-negative (got %d/%d/%d)"
+      mix.traversal mix.match_ mix.update;
+  if mix.traversal + mix.match_ + mix.update <= 0 then
+    fail "Generic: mix weights %d/%d/%d sum to zero; enable at least one \
+          transaction type"
+      mix.traversal mix.match_ mix.update;
+  if traversal_depth < 1 || traversal_depth > spec.Objbase.depth then
+    fail "Generic: traversal depth %d outside [1, %d] (the graph depth)"
+      traversal_depth spec.Objbase.depth;
+  if traversal_cap < 1 then
+    fail "Generic: traversal cap %d must be positive" traversal_cap;
+  if match_size < 1 then
+    fail "Generic: match size %d must be positive" match_size;
+  if update_size < 1 then
+    fail "Generic: update size %d must be positive" update_size;
+  if write_prob < 0.0 || write_prob > 1.0 then
+    fail "Generic: write probability %.3f outside [0, 1]" write_prob;
+  if theta < 0.0 || theta > 4.0 then
+    fail "Generic: Zipf skew %.3f outside [0, 4] (0 = uniform)" theta
+
+let knob_string ~(spec : Objbase.spec) ~policy ~theta ~mix ~traversal_depth
+    ~traversal_cap ~match_size ~update_size ~write_prob =
+  Printf.sprintf "o%d,c%d,f%d,d%d,%s,z%.2f,mix%d/%d/%d,td%d,tc%d,m%d,u%d,wp%.2f"
+    spec.Objbase.objects spec.Objbase.classes spec.Objbase.fanout
+    spec.Objbase.depth (Placement.name policy) theta mix.traversal mix.match_
+    mix.update traversal_depth traversal_cap match_size update_size write_prob
+
+let make ?(classes = 20) ?(objects = 25_000) ?(fanout = 3) ?(depth = 8)
+    ?(policy = Placement.Dfs_ref) ?(theta = 0.0) ?(mix = default_mix)
+    ?(traversal_depth = 6) ?(traversal_cap = 160) ?(match_size = 20)
+    ?(update_size = 8) ?(write_prob = 0.2) ~db_pages ~objects_per_page
+    ~seed () =
+  let spec = { Objbase.classes; objects; fanout; depth } in
+  validate_knobs ~spec ~mix ~traversal_depth ~traversal_cap ~match_size
+    ~update_size ~write_prob ~theta ~db_pages ~objects_per_page;
+  let knobs =
+    knob_string ~spec ~policy ~theta ~mix ~traversal_depth ~traversal_cap
+      ~match_size ~update_size ~write_prob
+  in
+  (* The base and the layout derive from [seed] and the knobs alone —
+     pure functions of the description, like Job seeds — so a rebuilt
+     params value is bit-identical wherever it is constructed. *)
+  let base =
+    Objbase.generate spec ~seed:(Rng.key_seed ~seed ~key:("objbase|" ^ knobs))
+  in
+  let pos =
+    Placement.layout policy base
+      ~seed:(Rng.key_seed ~seed ~key:("placement|" ^ knobs))
+  in
+  {
+    name = Printf.sprintf "OCB[%s]" knobs;
+    base;
+    policy;
+    pos;
+    objects_per_page;
+    theta;
+    zobj = Zipf.make ~n:objects ~theta;
+    zroot = Zipf.make ~n:(Array.length base.Objbase.roots) ~theta;
+    mix;
+    mix_total = mix.traversal + mix.match_ + mix.update;
+    traversal_depth;
+    traversal_cap;
+    match_size;
+    update_size;
+    write_prob;
+    quality = Placement.quality base ~pos ~objects_per_page;
+  }
+
+let name t = t.name
+let quality t = t.quality
+let policy t = t.policy
+
+let oid_of t obj =
+  Placement.oid_of ~pos:t.pos ~objects_per_page:t.objects_per_page obj
+
+(* --- Transaction generation -------------------------------------------- *)
+
+(* A set-oriented traversal: start at a Zipf-ranked root and walk the
+   reference graph depth-first to [traversal_depth] levels, visiting
+   each object once, reading it, and updating it with [write_prob].
+   The op order is discovery order, so a well-clustered placement turns
+   the walk into long same-page runs. *)
+let gen_traversal t rng out =
+  let root = t.base.Objbase.roots.(Zipf.draw t.zroot rng) in
+  let seen = Hashtbl.create 64 in
+  let rec walk obj level =
+    if
+      level <= t.traversal_depth
+      && (not (Hashtbl.mem seen obj))
+      && Hashtbl.length seen < t.traversal_cap
+    then begin
+      Hashtbl.add seen obj ();
+      out := (oid_of t obj, Rng.bool rng ~p:t.write_prob) :: !out;
+      Array.iter (fun child -> walk child (level + 1)) t.base.Objbase.refs.(obj)
+    end
+  in
+  walk root 1
+
+(* A simple match: a set-oriented, read-only selection over one class'
+   instances. *)
+let gen_match t rng out =
+  let cls = Rng.int rng (Objbase.num_classes t.base) in
+  let members = t.base.Objbase.instances.(cls) in
+  let n = Array.length members in
+  if n > 0 then begin
+    let k = min t.match_size n in
+    Array.iter
+      (fun idx -> out := (oid_of t members.(idx), false) :: !out)
+      (Rng.sample_without_replacement rng ~k ~n)
+  end
+
+(* An update transaction: read-modify-write a handful of Zipf-hot
+   objects — the skew knob concentrates these on a few pages (or
+   scatters them, per placement). *)
+let gen_update t rng out =
+  let seen = Hashtbl.create 16 in
+  let wanted = min t.update_size (Objbase.num_objects t.base) in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < wanted && !attempts < 64 * wanted do
+    incr attempts;
+    let obj = Zipf.draw t.zobj rng in
+    if not (Hashtbl.mem seen obj) then begin
+      Hashtbl.add seen obj ();
+      out := (oid_of t obj, true) :: !out
+    end
+  done
+
+let generate t ~rng =
+  let out = ref [] in
+  let pick = Rng.int rng t.mix_total in
+  if pick < t.mix.traversal then gen_traversal t rng out
+  else if pick < t.mix.traversal + t.mix.match_ then gen_match t rng out
+  else gen_update t rng out;
+  (* Traversals of a barren root (or an empty class) must still yield a
+     non-empty transaction: fall back to one hot object read. *)
+  if !out = [] then out := [ (oid_of t (Zipf.draw t.zobj rng), false) ];
+  Array.of_list (List.rev !out)

@@ -1,0 +1,62 @@
+(** OCB-style generic workload: object base + placement + mixes.
+
+    Ties an {!Objbase} reference graph, a {!Placement} clustering
+    policy and Zipf-skewed hotspot selection into a transaction
+    generator with three OCB-style mix components:
+
+    - {e traversal}: depth-first walk from a Zipf-ranked root,
+      updating visited objects with [write_prob];
+    - {e match}: read-only selection over one class' instances;
+    - {e update}: read-modify-write of a few Zipf-hot objects.
+
+    The object base and layout derive from [seed] plus the knob values
+    alone (via [Rng.key_seed]), so rebuilding the same description
+    anywhere yields bit-identical structures — the jobs=1 == jobs=N
+    property.  Protocols feel clustering quality through page
+    co-residency of the traversal working sets. *)
+
+type mix = { traversal : int; match_ : int; update : int }
+(** Relative weights of the three transaction types. *)
+
+val default_mix : mix
+(** 60/20/20. *)
+
+type t
+
+val make :
+  ?classes:int ->
+  ?objects:int ->
+  ?fanout:int ->
+  ?depth:int ->
+  ?policy:Placement.policy ->
+  ?theta:float ->
+  ?mix:mix ->
+  ?traversal_depth:int ->
+  ?traversal_cap:int ->
+  ?match_size:int ->
+  ?update_size:int ->
+  ?write_prob:float ->
+  db_pages:int ->
+  objects_per_page:int ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: 20 classes, 25k objects, fan-out 3, depth 8, depth-first
+    placement, no skew, 60/20/20 mix, traversal depth 6 capped at 160
+    objects, match 20, update 8, write prob 0.2.  Raises
+    [Invalid_argument] with a friendly message on any out-of-range
+    knob or when the base does not fit the database. *)
+
+val name : t -> string
+(** Encodes every knob (e.g. ["OCB[o25000,c20,f3,d8,dfs,z0.80,...]"]),
+    so a Job key derived from it uniquely seeds the cell. *)
+
+val quality : t -> float
+(** Clustering quality of the chosen placement
+    (see {!Placement.quality}). *)
+
+val policy : t -> Placement.policy
+val oid_of : t -> int -> Storage.Ids.Oid.t
+
+val generate : t -> rng:Simcore.Rng.t -> (Storage.Ids.Oid.t * bool) array
+(** Draw one transaction as (oid, write) pairs; never empty. *)

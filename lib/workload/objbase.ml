@@ -1,0 +1,102 @@
+open Simcore
+
+type spec = { classes : int; objects : int; fanout : int; depth : int }
+
+type t = {
+  spec : spec;
+  class_of : int array;
+  refs : int array array;
+  roots : int array;
+  instances : int array array;
+}
+
+let validate_spec s =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if s.objects < 1 then fail "Objbase: need at least one object (got %d)" s.objects;
+  if s.classes < 1 || s.classes > s.objects then
+    fail
+      "Objbase: class count %d outside [1, %d] (at most one class per object)"
+      s.classes s.objects;
+  if s.fanout < 1 || s.fanout > 64 then
+    fail
+      "Objbase: reference fan-out %d outside [1, 64] (mean references per \
+       non-leaf object)"
+      s.fanout;
+  if s.depth < 1 || s.depth > 64 then
+    fail "Objbase: graph depth %d outside [1, 64] (levels of the reference DAG)"
+      s.depth;
+  if s.depth > s.objects then
+    fail "Objbase: graph depth %d exceeds the %d-object population" s.depth
+      s.objects
+
+(* Objects are partitioned into [depth] contiguous levels; an object's
+   references point one level down.  Contiguity matters: it makes the
+   Sequential placement policy lay each level out in runs of whole
+   pages, giving the clustering sweep a mid-quality reference point
+   between depth-first placement and random scatter. *)
+let level_of s i = i * s.depth / s.objects
+let level_start s l = (l * s.objects + s.depth - 1) / s.depth
+let level_end s l = if l = s.depth - 1 then s.objects else level_start s (l + 1)
+
+let generate spec ~seed =
+  validate_spec spec;
+  let rng = Rng.create ~seed in
+  let class_of =
+    Array.init spec.objects (fun _ -> Rng.int rng spec.classes)
+  in
+  (* Per-object fan-out is uniform in [1, 2*fanout-1], mean exactly
+     [fanout]; targets are distinct objects of the next level. *)
+  let refs =
+    Array.init spec.objects (fun i ->
+        let l = level_of spec i in
+        if l = spec.depth - 1 then [||]
+        else begin
+          let lo = level_start spec (l + 1) in
+          let hi = level_end spec (l + 1) in
+          let size = hi - lo in
+          let k = min size (Rng.int_in rng ~lo:1 ~hi:((2 * spec.fanout) - 1)) in
+          Array.map
+            (fun off -> lo + off)
+            (Rng.sample_without_replacement rng ~k ~n:size)
+        end)
+  in
+  let roots = Array.init (level_end spec 0) (fun i -> i) in
+  let counts = Array.make spec.classes 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) class_of;
+  let instances = Array.map (fun n -> Array.make n 0) counts in
+  let fill = Array.make spec.classes 0 in
+  Array.iteri
+    (fun i c ->
+      instances.(c).(fill.(c)) <- i;
+      fill.(c) <- fill.(c) + 1)
+    class_of;
+  { spec; class_of; refs; roots; instances }
+
+let num_objects t = t.spec.objects
+let num_classes t = t.spec.classes
+
+let edge_count t =
+  Array.fold_left (fun acc rs -> acc + Array.length rs) 0 t.refs
+
+let mean_fanout t =
+  let non_leaf =
+    if t.spec.depth = 1 then 0 else level_start t.spec (t.spec.depth - 1)
+  in
+  if non_leaf = 0 then 0.0
+  else float_of_int (edge_count t) /. float_of_int non_leaf
+
+(* Longest reference path, in objects.  The graph is layered, so a
+   memoized downward walk is linear. *)
+let max_depth t =
+  let memo = Array.make t.spec.objects (-1) in
+  let rec go i =
+    if memo.(i) >= 0 then memo.(i)
+    else begin
+      let d =
+        Array.fold_left (fun acc j -> max acc (1 + go j)) 1 t.refs.(i)
+      in
+      memo.(i) <- d;
+      d
+    end
+  in
+  Array.fold_left (fun acc r -> max acc (go r)) 0 t.roots

@@ -1,0 +1,82 @@
+open Simcore
+
+type policy = Sequential | Dfs_ref | Scatter
+
+let all = [ Sequential; Dfs_ref; Scatter ]
+let name = function Sequential -> "seq" | Dfs_ref -> "dfs" | Scatter -> "scatter"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "seq" | "sequential" -> Some Sequential
+  | "dfs" | "dfs-ref" | "depth-first" -> Some Dfs_ref
+  | "scatter" | "random" -> Some Scatter
+  | _ -> None
+
+(* Object -> dense storage position; the caller turns positions into
+   (page, slot) pairs.  Each policy is a bijection on [0, objects). *)
+let layout policy (base : Objbase.t) ~seed =
+  let n = Objbase.num_objects base in
+  match policy with
+  | Sequential -> Array.init n (fun i -> i)
+  | Scatter ->
+    let perm = Array.init n (fun i -> i) in
+    Rng.shuffle (Rng.create ~seed) perm;
+    let pos = Array.make n 0 in
+    (* perm.(p) is the object stored at position p; invert. *)
+    Array.iteri (fun p obj -> pos.(obj) <- p) perm;
+    pos
+  | Dfs_ref ->
+    (* Discovery order of a depth-first walk from each root, children
+       in reference order: an object lands next to the referents its
+       traversals will touch, maximizing page co-residency. *)
+    let pos = Array.make n (-1) in
+    let next = ref 0 in
+    let place obj =
+      if pos.(obj) < 0 then begin
+        pos.(obj) <- !next;
+        incr next;
+        true
+      end
+      else false
+    in
+    let stack = Stack.create () in
+    Array.iter
+      (fun root ->
+        Stack.push root stack;
+        while not (Stack.is_empty stack) do
+          let obj = Stack.pop stack in
+          if place obj then
+            (* Push in reverse so the first reference is visited first. *)
+            for k = Array.length base.Objbase.refs.(obj) - 1 downto 0 do
+              let child = base.Objbase.refs.(obj).(k) in
+              if pos.(child) < 0 then Stack.push child stack
+            done
+        done)
+      base.Objbase.roots;
+    (* Objects unreachable from any root keep creation order at the end. *)
+    for obj = 0 to n - 1 do
+      ignore (place obj)
+    done;
+    pos
+
+let oid_of ~pos ~objects_per_page obj =
+  let p = pos.(obj) in
+  Storage.Ids.Oid.make ~page:(p / objects_per_page)
+    ~slot:(p mod objects_per_page)
+
+(* Clustering quality: the fraction of reference edges whose endpoints
+   share a page.  This is the lever page-grain protocols feel — a
+   traversal over co-resident objects touches few pages, a scattered
+   one drags a page in (and locks it) per object. *)
+let quality (base : Objbase.t) ~pos ~objects_per_page =
+  let edges = ref 0 and local = ref 0 in
+  Array.iteri
+    (fun i rs ->
+      Array.iter
+        (fun j ->
+          incr edges;
+          if pos.(i) / objects_per_page = pos.(j) / objects_per_page then
+            incr local)
+        rs)
+    base.Objbase.refs;
+  if !edges = 0 then 1.0 else float_of_int !local /. float_of_int !edges

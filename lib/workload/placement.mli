@@ -1,0 +1,27 @@
+(** Object-placement (clustering) policies.
+
+    A policy maps every object of an {!Objbase.t} to a dense storage
+    position; position [p] lives at page [p / objects_per_page], slot
+    [p mod objects_per_page].  Placement decides page co-residency,
+    which is {e the} lever on page-grain false sharing: a depth-first
+    layout keeps a traversal on few pages, a random scatter spreads it
+    over many. *)
+
+type policy =
+  | Sequential  (** creation order: levels laid out in contiguous runs *)
+  | Dfs_ref  (** depth-first by reference: referents co-located *)
+  | Scatter  (** seed-deterministic random permutation: worst case *)
+
+val all : policy list
+val name : policy -> string
+val of_string : string -> policy option
+
+val layout : policy -> Objbase.t -> seed:int -> int array
+(** Object -> position bijection on [\[0, objects)]; deterministic in
+    [(policy, base, seed)]. *)
+
+val oid_of : pos:int array -> objects_per_page:int -> int -> Storage.Ids.Oid.t
+
+val quality : Objbase.t -> pos:int array -> objects_per_page:int -> float
+(** Fraction of reference edges with both endpoints on one page
+    (1.0 when the base has no edges). *)

@@ -119,6 +119,51 @@ let make ?trans_size ?page_locality ?(access_pattern = Wparams.Unclustered)
       think_time;
       clients;
       remap;
+      generic = None;
+      arrival = None;
+    }
+  in
+  Wparams.validate params ~db_pages ~objects_per_page;
+  params
+
+(* --- Generic (OCB-style) workloads ------------------------------------- *)
+
+(* The generic object-base workload wrapped as a [Wparams.t]: the
+   preset fields are inert placeholders that satisfy [validate]; the
+   [generic] payload drives transaction generation.  All knobs default
+   to the values documented in {!Generic.make}. *)
+let ocb ?classes ?objects ?fanout ?depth ?policy ?theta ?mix ?traversal_depth
+    ?traversal_cap ?match_size ?update_size ?(per_object_read_instr = 10_000.0)
+    ?(think_time = 0.0) ?arrival ?(seed = 42) ~db_pages ~objects_per_page
+    ~num_clients ~write_prob () =
+  let g =
+    Generic.make ?classes ?objects ?fanout ?depth ?policy ?theta ?mix
+      ?traversal_depth ?traversal_cap ?match_size ?update_size ~write_prob
+      ~db_pages ~objects_per_page ~seed ()
+  in
+  let clients =
+    Array.init num_clients (fun _ ->
+        {
+          Wparams.hot_region = None;
+          cold_region = whole_db ~db_pages;
+          hot_access_prob = 0.0;
+          hot_write_prob = 0.0;
+          cold_write_prob = 0.0;
+        })
+  in
+  let params =
+    {
+      Wparams.name = Generic.name g;
+      trans_size = 1;
+      page_locality = { Wparams.lo = 1; hi = 1 };
+      access_pattern = Wparams.Clustered;
+      per_object_read_instr;
+      per_object_write_instr = 2.0 *. per_object_read_instr;
+      think_time;
+      clients;
+      remap = None;
+      generic = Some g;
+      arrival;
     }
   in
   Wparams.validate params ~db_pages ~objects_per_page;

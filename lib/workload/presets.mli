@@ -48,3 +48,32 @@ val make :
     [page_locality] default from [locality]; PRIVATE with [Low] locality
     uses the paper's footnote setting (13 pages, 8-16 objects) since a
     30-page transaction does not fit a 25-page hot region. *)
+
+val ocb :
+  ?classes:int ->
+  ?objects:int ->
+  ?fanout:int ->
+  ?depth:int ->
+  ?policy:Placement.policy ->
+  ?theta:float ->
+  ?mix:Generic.mix ->
+  ?traversal_depth:int ->
+  ?traversal_cap:int ->
+  ?match_size:int ->
+  ?update_size:int ->
+  ?per_object_read_instr:float ->
+  ?think_time:float ->
+  ?arrival:Arrival.t ->
+  ?seed:int ->
+  db_pages:int ->
+  objects_per_page:int ->
+  num_clients:int ->
+  write_prob:float ->
+  unit ->
+  Wparams.t
+(** An OCB-style generic object-base workload as a [Wparams.t]: the
+    classic preset fields are inert placeholders and the [generic]
+    payload (see {!Generic.make} for knob defaults) drives transaction
+    generation.  [seed] (default 42) fixes the object base and layout
+    independently of the simulation seed; [arrival] optionally shapes
+    client traffic. *)

@@ -49,7 +49,7 @@ let write_prob_for (c : Wparams.per_client) page =
   | Some hr when Wparams.in_region hr page -> c.hot_write_prob
   | Some _ | None -> c.cold_write_prob
 
-let generate ~rng ~params ~client ~objects_per_page =
+let generate_preset ~rng ~params ~client ~objects_per_page =
   let c = params.Wparams.clients.(client) in
   let pages = draw_pages rng c params.trans_size in
   let per_page_ops =
@@ -78,6 +78,15 @@ let generate ~rng ~params ~client ~objects_per_page =
   match params.remap with
   | None -> ops
   | Some f -> Array.map (fun op -> { op with oid = f op.oid }) ops
+
+(* Generic object-base workloads bypass the preset hot/cold page draw
+   entirely: the object base fixes which objects exist and the placement
+   fixes where they live, so the generator emits oids directly. *)
+let generate ~rng ~params ~client ~objects_per_page =
+  match params.Wparams.generic with
+  | Some g ->
+    Array.map (fun (oid, write) -> { oid; write }) (Generic.generate g ~rng)
+  | None -> generate_preset ~rng ~params ~client ~objects_per_page
 
 let pages t =
   let seen = Hashtbl.create 32 in

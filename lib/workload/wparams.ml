@@ -27,6 +27,8 @@ type t = {
   think_time : float;
   clients : per_client array;
   remap : (Storage.Ids.Oid.t -> Storage.Ids.Oid.t) option;
+  generic : Generic.t option;
+  arrival : Arrival.t option;
 }
 
 let check_region ~db_pages r what =
@@ -36,6 +38,7 @@ let check_region ~db_pages r what =
          what r.first r.last db_pages)
 
 let validate t ~db_pages ~objects_per_page =
+  Option.iter Arrival.validate t.arrival;
   if t.trans_size <= 0 then invalid_arg "Wparams: trans_size must be positive";
   if t.page_locality.lo < 1 || t.page_locality.hi < t.page_locality.lo then
     invalid_arg "Wparams: bad page_locality range";

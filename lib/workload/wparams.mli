@@ -42,6 +42,12 @@ type t = {
   clients : per_client array;
   remap : (Storage.Ids.Oid.t -> Storage.Ids.Oid.t) option;
       (** physical relocation of objects, used by Interleaved PRIVATE *)
+  generic : Generic.t option;
+      (** [Some g]: transactions come from the generic object-base
+          generator instead of the preset hot/cold draw *)
+  arrival : Arrival.t option;
+      (** [Some a]: think times modulated by the traffic shape;
+          [None] is the constant-rate paper behaviour *)
 }
 
 val validate : t -> db_pages:int -> objects_per_page:int -> unit

@@ -1,0 +1,47 @@
+open Simcore
+
+type t = { n : int; theta : float; cdf : float array }
+
+let make ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf: need a positive population";
+  if theta < 0.0 || theta > 4.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Zipf: skew theta %.3f outside [0, 4] (0 = uniform, 1 = classic \
+          Zipf; larger is sharper)"
+         theta);
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for rank = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (rank + 1) ** theta));
+    cdf.(rank) <- !total
+  done;
+  (* Normalize so the last entry is exactly 1.0: a uniform draw can then
+     never fall past the end. *)
+  let norm = !total in
+  for rank = 0 to n - 1 do
+    cdf.(rank) <- cdf.(rank) /. norm
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; theta; cdf }
+
+let n t = t.n
+let theta t = t.theta
+
+(* Probability mass of one rank (0-based), for distribution tests. *)
+let pmf t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+  if rank = 0 then t.cdf.(0) else t.cdf.(rank) -. t.cdf.(rank - 1)
+
+(* Binary search for the least rank whose cumulative mass covers [u]. *)
+let draw t rng =
+  if t.theta = 0.0 then Rng.int rng t.n
+  else begin
+    let u = Rng.float rng 1.0 in
+    let lo = ref 0 and hi = ref (t.n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end

@@ -1,0 +1,23 @@
+(** Zipf-distributed rank sampling for skewed hotspot access.
+
+    Rank [r] (0-based) is drawn with probability proportional to
+    [1/(r+1)^theta]: [theta = 0] is uniform, [theta = 1] the classic
+    Zipf law, larger values sharpen the hotspot.  The cumulative table
+    is precomputed, so a draw costs one uniform float and a binary
+    search — and exactly one RNG draw either way, keeping event
+    schedules insensitive to the skew setting. *)
+
+type t
+
+val make : n:int -> theta:float -> t
+(** Raises [Invalid_argument] with a friendly message when [n <= 0] or
+    [theta] is outside [0, 4]. *)
+
+val n : t -> int
+val theta : t -> float
+
+val draw : t -> Simcore.Rng.t -> int
+(** A rank in [\[0, n)], skewed towards 0. *)
+
+val pmf : t -> int -> float
+(** Probability mass of a rank, for distribution tests. *)

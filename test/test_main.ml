@@ -20,6 +20,7 @@ let () =
       ("faults", Test_faults.suite);
       ("runner", Test_runner.suite);
       ("shard", Test_shard.suite);
+      ("cluster", Test_cluster.suite);
       ("srvfault", Test_srvfault.suite);
       ("oracle", Test_oracle.suite);
       ("harness", Test_harness.suite);
